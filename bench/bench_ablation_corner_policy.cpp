@@ -1,0 +1,57 @@
+// Ablation D — reconstruction corner policy.
+//
+// The Delaunay scaffolding corners need z values; DESIGN.md argues OSD
+// evaluations may pin them from the (known) referential surface while a
+// mobile deployment can only extrapolate from its nearest sample.  This
+// sweep measures how much that choice matters per planner — clustered
+// deployments (FRA at small k) are hurt badly by nearest-sample corners,
+// spread ones barely notice.
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+#include "core/fra.hpp"
+#include "viz/series.hpp"
+
+int main() {
+  using namespace cps;
+  bench::print_header("Ablation D", "corner policy: nearest-sample vs field");
+
+  const auto env = bench::canonical_field();
+  const field::FieldSlice frame(env, bench::reference_time());
+  const core::DeltaMetric metric = bench::canonical_metric();
+
+  viz::Series k_col{"k", {}};
+  viz::Series fra_near{"FRA(nearest)", {}};
+  viz::Series fra_field{"FRA(field)", {}};
+  viz::Series rnd_near{"rand(nearest)", {}};
+  viz::Series rnd_field{"rand(field)", {}};
+
+  core::FraConfig cfg;
+  cfg.error_grid = 50;
+  core::FraPlanner fra(cfg);
+  core::RandomPlanner random(11);
+  for (const std::size_t k : {20u, 40u, 100u}) {
+    const auto request = core::PlanRequest{bench::kRegion, k, bench::kRc};
+    const auto fra_plan = fra.plan(frame, request);
+    const auto rnd_plan = random.plan(frame, request);
+    k_col.values.push_back(static_cast<double>(k));
+    fra_near.values.push_back(metric.delta_of_deployment(
+        frame, fra_plan.positions, core::CornerPolicy::kNearestSample));
+    fra_field.values.push_back(metric.delta_of_deployment(
+        frame, fra_plan.positions, core::CornerPolicy::kFieldValue));
+    rnd_near.values.push_back(metric.delta_of_deployment(
+        frame, rnd_plan.positions, core::CornerPolicy::kNearestSample));
+    rnd_field.values.push_back(metric.delta_of_deployment(
+        frame, rnd_plan.positions, core::CornerPolicy::kFieldValue));
+  }
+
+  const std::vector<viz::Series> table{k_col, fra_near, fra_field, rnd_near,
+                                       rnd_field};
+  std::printf("%s\n", viz::format_table(table, 1).c_str());
+  std::printf("reading: nearest-sample corners punish clustered layouts "
+              "(small-k FRA) by extrapolating a cluster's value across "
+              "the whole region; with known-field corners the planner "
+              "ranking matches the paper's Fig. 7.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Ablation C — FRA's refinement selection measure.
+//
+// Section 4.2 justifies local error by citing Garland & Heckbert's
+// comparison of local error, curvature, product, and other measures.
+// This sweep reruns that comparison inside FRA on the GreenOrbs-like
+// frame: which measure should the greedy refinement maximise?
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+#include "core/fra.hpp"
+#include "viz/series.hpp"
+
+int main() {
+  using namespace cps;
+  bench::print_header("Ablation C", "FRA selection measure comparison");
+
+  const auto env = bench::canonical_field();
+  const field::FieldSlice frame(env, bench::reference_time());
+  const core::DeltaMetric metric = bench::canonical_metric();
+  const auto corners = core::CornerPolicy::kFieldValue;
+
+  struct Measure {
+    const char* name;
+    core::SelectionMeasure value;
+  };
+  const std::vector<Measure> measures{
+      {"local-error", core::SelectionMeasure::kLocalError},
+      {"curvature", core::SelectionMeasure::kCurvature},
+      {"product", core::SelectionMeasure::kProduct},
+      {"random", core::SelectionMeasure::kRandom},
+  };
+
+  viz::Series k_col{"k", {}};
+  for (const std::size_t k : {20u, 40u, 75u, 125u}) {
+    k_col.values.push_back(static_cast<double>(k));
+  }
+  std::vector<viz::Series> columns{k_col};
+
+  for (const auto& measure : measures) {
+    viz::Series col{measure.name, {}};
+    for (const double k : k_col.values) {
+      core::FraConfig cfg;
+      // The curvature grid costs a quadric fit per lattice point; halve
+      // the lattice for the expensive measures to keep the bench brisk.
+      cfg.error_grid = 50;
+      cfg.measure = measure.value;
+      cfg.curvature_radius = bench::kRs;
+      core::FraPlanner planner(cfg);
+      const auto plan = planner.plan(
+          frame, core::PlanRequest{bench::kRegion,
+                                   static_cast<std::size_t>(k), bench::kRc});
+      col.values.push_back(
+          metric.delta_of_deployment(frame, plan.positions, corners));
+    }
+    columns.push_back(std::move(col));
+  }
+
+  std::printf("%s\n", viz::format_table(columns, 1).c_str());
+  std::printf("reading: the paper (after Garland-Heckbert) picks local "
+              "error — expect it at or near the lowest delta per row, "
+              "with random as the sanity floor.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Fig. 1 — the referential environment surface.
+//
+// The paper visualises the GreenOrbs light condition over a 100 x 100 m^2
+// window at 10:00 AM, Nov 24 2009 as a bird-view heat-map and a 3-D
+// virtual surface.  This harness generates the synthetic stand-in field
+// (substitution table, DESIGN.md), prints its bird-view, summarises the
+// surface statistics, and exports the frame as CSV + PGM for re-plotting.
+#include <cstdio>
+
+#include "common.hpp"
+#include "field/grid_field.hpp"
+#include "trace/trace_io.hpp"
+#include "viz/exporters.hpp"
+#include "viz/series.hpp"
+
+int main() {
+  using namespace cps;
+  bench::print_header("Fig. 1", "referential light surface at 10:00");
+
+  const auto env = bench::canonical_field();
+  const field::FieldSlice frame(env, bench::reference_time());
+  const auto grid = env.snapshot(bench::reference_time(), 101, 101);
+
+  std::printf("Bird-view (dark = dim forest floor, bright = canopy gap):\n%s\n",
+              bench::render(frame).c_str());
+  std::printf("surface stats: min=%.3f KLux max=%.3f KLux\n",
+              grid.min_value(), grid.max_value());
+
+  // Cross-sections give the "3-D surface" impression in text form.
+  for (const double y : {25.0, 50.0, 75.0}) {
+    std::vector<double> row;
+    for (int i = 0; i <= 100; i += 2) {
+      row.push_back(frame.value(static_cast<double>(i), y));
+    }
+    std::printf("z(x, y=%2.0f): %s\n", y, viz::sparkline(row).c_str());
+  }
+
+  const std::string dir = bench::output_dir();
+  viz::write_csv_matrix_file(dir + "/fig1_surface.csv", grid);
+  viz::write_pgm_file(dir + "/fig1_surface.pgm", grid);
+  trace::write_grid_file(dir + "/fig1_frame.cpsgrid", grid);
+  std::printf("\nexported: %s/fig1_surface.{csv,pgm}, fig1_frame.cpsgrid\n",
+              dir.c_str());
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Fig. 3 — uniform vs curvature-weighted distribution on Matlab peaks.
+//
+// The paper places 16 nodes on the Peaks(100) surface with Rc = 30 and
+// contrasts the uniform grid (Fig. 3b) with the curvature-weighted pattern
+// (Fig. 3c), arguing the CWD nodes "outline the surface obviously more
+// clear".  This harness computes both patterns, prints the topologies, and
+// quantifies the claim end-to-end: delta after Delaunay reconstruction and
+// the total |Gaussian curvature| captured at node positions (Eqn. 10).
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/curvature.hpp"
+#include "core/cwd.hpp"
+#include "field/analytic_fields.hpp"
+#include "viz/exporters.hpp"
+
+int main() {
+  using namespace cps;
+  bench::print_header("Fig. 3",
+                      "uniform vs curvature-weighted, 16 nodes on peaks");
+
+  const field::PeaksField peaks(bench::kRegion);
+  const core::DeltaMetric metric = bench::canonical_metric();
+  constexpr std::size_t kNodes = 16;
+  constexpr double kFig3Rc = 30.0;  // The figure's communication range.
+
+  const auto uniform = core::GridPlanner::make_grid(bench::kRegion, kNodes);
+
+  core::CwdConfig cwd_cfg;  // Defaults carry rc = 30 (the Fig. 3 setting).
+  cwd_cfg.rc = kFig3Rc;
+  const core::CwdSolver solver(cwd_cfg);
+  const core::CwdResult cwd = solver.solve(peaks, bench::kRegion, kNodes);
+
+  std::printf("Peaks(100) reference surface:\n%s\n",
+              bench::render(peaks).c_str());
+  std::printf("(b) uniform distribution topology:\n%s\n",
+              bench::render(peaks, uniform.positions).c_str());
+  std::printf("(c) curvature-weighted distribution topology "
+              "(%zu relaxation iterations%s):\n%s\n",
+              cwd.iterations, cwd.converged ? ", converged" : "",
+              bench::render(peaks, cwd.deployment.positions).c_str());
+
+  const auto corners = core::CornerPolicy::kFieldValue;
+  const double d_uniform =
+      metric.delta_of_deployment(peaks, uniform.positions, corners);
+  const double d_cwd =
+      metric.delta_of_deployment(peaks, cwd.deployment.positions, corners);
+
+  const core::CurvatureEstimator estimator(10.0);
+  double g_uniform = 0.0;
+  double g_cwd = 0.0;
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    g_uniform += std::abs(estimator.gaussian_at(peaks, uniform.positions[i]));
+    g_cwd += std::abs(
+        estimator.gaussian_at(peaks, cwd.deployment.positions[i]));
+  }
+
+  std::printf("pattern    delta      sum|G| at nodes\n");
+  std::printf("uniform    %8.1f   %10.4f\n", d_uniform, g_uniform);
+  std::printf("CWD        %8.1f   %10.4f\n", d_cwd, g_cwd);
+  std::printf("\npaper expectation: CWD outlines the surface better "
+              "(lower delta, higher captured curvature)\n");
+  std::printf("measured: delta ratio CWD/uniform = %.2f, curvature ratio "
+              "= %.2f\n",
+              d_cwd / d_uniform, g_cwd / g_uniform);
+
+  const std::string dir = bench::output_dir();
+  viz::write_positions_csv_file(dir + "/fig3_uniform.csv", uniform.positions);
+  viz::write_positions_csv_file(dir + "/fig3_cwd.csv",
+                                cwd.deployment.positions);
+  std::printf("exported: %s/fig3_{uniform,cwd}.csv\n", dir.c_str());
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Fig. 7 — delta versus node budget k: FRA against random deployment.
+//
+// The paper sweeps k from 1 to 200 and reports (a) FRA "obviously better
+// than random distribution when k < 125" and (b) both curves converging
+// to a nearly constant delta once the nodes effectively cover the region
+// (k >= ~125).  This harness regenerates the two series (random averaged
+// over seeds), prints the table + sparklines, and checks both claims.
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+#include "core/coverage.hpp"
+#include "core/fra.hpp"
+#include "viz/series.hpp"
+
+int main() {
+  using namespace cps;
+  bench::print_header("Fig. 7", "delta vs k (1..200), FRA vs random");
+
+  const auto env = bench::canonical_field();
+  const field::FieldSlice frame(env, bench::reference_time());
+  const core::DeltaMetric metric = bench::canonical_metric();
+  const auto corners = core::CornerPolicy::kFieldValue;  // OSD knows f.
+
+  const std::vector<std::size_t> budgets{1,  5,   10,  20,  30,  40, 50,
+                                         75, 100, 125, 150, 175, 200};
+  constexpr int kRandomSeeds = 5;
+
+  viz::Series k_col{"k", {}};
+  viz::Series fra_col{"FRA", {}};
+  viz::Series rnd_col{"random(avg5)", {}};
+  viz::Series relay_col{"relays", {}};
+  viz::Series cover_col{"coverage", {}};
+
+  core::FraConfig cfg;  // Paper lattice: 100 x 100 candidates.
+  core::FraPlanner fra(cfg);
+  for (const std::size_t k : budgets) {
+    const core::FraResult plan = fra.plan_detailed(
+        frame, core::PlanRequest{bench::kRegion, k, bench::kRc});
+    const double d_fra = metric.delta_of_deployment(
+        frame, plan.deployment.positions, corners);
+
+    double d_rnd = 0.0;
+    for (int seed = 1; seed <= kRandomSeeds; ++seed) {
+      core::RandomPlanner random(static_cast<std::uint64_t>(seed));
+      d_rnd += metric.delta_of_deployment(
+          frame,
+          random.plan(frame, core::PlanRequest{bench::kRegion, k, bench::kRc})
+              .positions,
+          corners);
+    }
+    d_rnd /= kRandomSeeds;
+
+    k_col.values.push_back(static_cast<double>(k));
+    fra_col.values.push_back(d_fra);
+    rnd_col.values.push_back(d_rnd);
+    relay_col.values.push_back(static_cast<double>(plan.relay_count));
+    cover_col.values.push_back(core::coverage_fraction(
+        plan.deployment.positions, bench::kRs, bench::kRegion, 60));
+  }
+
+  const std::vector<viz::Series> table{k_col, fra_col, rnd_col, relay_col,
+                                       cover_col};
+  std::printf("%s\n", viz::format_table(table, 1).c_str());
+  std::printf("FRA:    %s\n", viz::sparkline(fra_col.values).c_str());
+  std::printf("random: %s\n", viz::sparkline(rnd_col.values).c_str());
+
+  // Claim checks (shape, not absolute numbers).
+  int wins = 0;
+  int comparisons = 0;
+  for (std::size_t i = 0; i < k_col.values.size(); ++i) {
+    if (k_col.values[i] >= 20 && k_col.values[i] < 125) {
+      ++comparisons;
+      if (fra_col.values[i] < rnd_col.values[i]) ++wins;
+    }
+  }
+  const double saturation =
+      fra_col.values[fra_col.values.size() - 1] /
+      fra_col.values[fra_col.values.size() - 3];  // k=200 vs k=150.
+  std::printf("\npaper expectation: FRA < random for moderate k; both "
+              "flatten once coverage saturates (~k=125)\n");
+  std::printf("coverage column: fraction of the region within Rs of an FRA "
+              "node — the saturation mechanism made measurable\n");
+  std::printf("measured: FRA wins %d/%d comparisons in k=[20,125); "
+              "delta(k=200)/delta(k=150) = %.2f (flattening)\n",
+              wins, comparisons, saturation);
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Micro-benchmarks of the substrate hot paths (google-benchmark).
+//
+// These are throughput sanity checks, not figure reproductions: Delaunay
+// insertion/location/interpolation (the inner loop of FRA and the delta
+// metric), the curvature pipeline (the inner loop of CMA), relay planning
+// (FRA's foresight), and trace evaluation.
+#include <benchmark/benchmark.h>
+
+#include "core/curvature.hpp"
+#include "core/delta.hpp"
+#include "core/fra.hpp"
+#include "core/planner.hpp"
+#include "field/analytic_fields.hpp"
+#include "geometry/delaunay.hpp"
+#include "graph/relay.hpp"
+#include "numerics/rng.hpp"
+#include "trace/greenorbs.hpp"
+
+namespace {
+
+using namespace cps;
+
+const num::Rect kRegion{0.0, 0.0, 100.0, 100.0};
+
+void BM_DelaunayInsert(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  num::Rng rng(42);
+  std::vector<geo::Vec2> points;
+  points.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    points.push_back({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)});
+  }
+  for (auto _ : state) {
+    geo::Delaunay dt(kRegion);
+    for (const auto& p : points) dt.insert(p, 0.0);
+    benchmark::DoNotOptimize(dt.triangle_count());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DelaunayInsert)->Arg(50)->Arg(200)->Arg(1000);
+
+void BM_DelaunayLocate(benchmark::State& state) {
+  num::Rng rng(7);
+  geo::Delaunay dt(kRegion);
+  for (int i = 0; i < 500; ++i) {
+    dt.insert({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)}, 0.0);
+  }
+  double x = 1.0;
+  for (auto _ : state) {
+    x = x >= 99.0 ? 1.0 : x + 0.37;
+    benchmark::DoNotOptimize(dt.locate({x, 100.0 - x}));
+  }
+}
+BENCHMARK(BM_DelaunayLocate);
+
+void BM_DelaunayInterpolate(benchmark::State& state) {
+  num::Rng rng(7);
+  geo::Delaunay dt(kRegion);
+  for (int i = 0; i < 500; ++i) {
+    dt.insert({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)},
+              rng.uniform(-1.0, 1.0));
+  }
+  double x = 1.0;
+  for (auto _ : state) {
+    x = x >= 99.0 ? 1.0 : x + 0.37;
+    benchmark::DoNotOptimize(dt.interpolate({x, x}));
+  }
+}
+BENCHMARK(BM_DelaunayInterpolate);
+
+void BM_QuadricFit(benchmark::State& state) {
+  num::Rng rng(3);
+  std::vector<num::QuadricSample> samples;
+  for (int i = -5; i <= 5; ++i) {
+    for (int j = -5; j <= 5; ++j) {
+      if (i * i + j * j > 25) continue;
+      samples.push_back({static_cast<double>(i), static_cast<double>(j),
+                         rng.uniform(-1.0, 1.0)});
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(num::fit_quadric(samples));
+  }
+}
+BENCHMARK(BM_QuadricFit);
+
+void BM_SensingPatch(benchmark::State& state) {
+  const field::PeaksField peaks(kRegion);
+  double x = 10.0;
+  for (auto _ : state) {
+    x = x >= 90.0 ? 10.0 : x + 0.73;
+    const core::SensingPatch patch(peaks, {x, 105.0 - x}, 5.0);
+    benchmark::DoNotOptimize(patch.gaussian());
+  }
+}
+BENCHMARK(BM_SensingPatch);
+
+void BM_DeltaMetric(benchmark::State& state) {
+  const field::PeaksField peaks(kRegion);
+  const auto grid = core::GridPlanner::make_grid(kRegion, 64);
+  const auto samples = core::take_samples(peaks, grid.positions);
+  const core::DeltaMetric metric(kRegion,
+                                 static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(metric.delta_from_samples(peaks, samples));
+  }
+}
+BENCHMARK(BM_DeltaMetric)->Arg(50)->Arg(100);
+
+void BM_RelayPlanning(benchmark::State& state) {
+  num::Rng rng(13);
+  std::vector<geo::Vec2> nodes;
+  for (int i = 0; i < 60; ++i) {
+    nodes.push_back({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::plan_relays(nodes, 10.0));
+  }
+}
+BENCHMARK(BM_RelayPlanning);
+
+void BM_GreenOrbsValue(benchmark::State& state) {
+  const trace::GreenOrbsField env{trace::GreenOrbsConfig{}};
+  double x = 0.0;
+  for (auto _ : state) {
+    x = x >= 100.0 ? 0.0 : x + 0.11;
+    benchmark::DoNotOptimize(env.value({x, 100.0 - x}, 600.0 + x));
+  }
+}
+BENCHMARK(BM_GreenOrbsValue);
+
+void BM_FraPlanK30(benchmark::State& state) {
+  const field::PeaksField peaks(kRegion);
+  core::FraConfig cfg;
+  cfg.error_grid = 50;
+  for (auto _ : state) {
+    core::FraPlanner planner(cfg);
+    benchmark::DoNotOptimize(
+        planner.plan(peaks, core::PlanRequest{kRegion, 30, 10.0}));
+  }
+}
+BENCHMARK(BM_FraPlanK30);
+
+}  // namespace

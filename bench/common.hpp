@@ -1,0 +1,72 @@
+// Shared workload definitions for the figure-reproduction benches.
+//
+// Every bench harness reproduces one figure of the paper's evaluation
+// (Section 6) against the same canonical setting:
+//   * region A = 100 x 100 m^2,
+//   * synthetic GreenOrbs-like light trace (see cps::trace and the
+//     substitution table in DESIGN.md), frozen/replayed around 10:00,
+//   * Rc = 10 m, Rs = 5 m, v = 1 m/min, beta = 2 (Section 6.1).
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "core/delta.hpp"
+#include "core/planner.hpp"
+#include "field/field.hpp"
+#include "numerics/quadrature.hpp"
+#include "trace/greenorbs.hpp"
+#include "viz/ascii.hpp"
+
+namespace cps::bench {
+
+inline const num::Rect kRegion{0.0, 0.0, 100.0, 100.0};
+inline constexpr double kRc = 10.0;
+inline constexpr double kRs = 5.0;
+inline constexpr std::size_t kDeltaResolution = 100;  // sqrt(A) lattice.
+
+/// The canonical synthetic trace (seeded with the paper's trace date).
+inline trace::GreenOrbsConfig canonical_trace_config() {
+  trace::GreenOrbsConfig cfg;  // Defaults documented in trace/greenorbs.hpp.
+  return cfg;
+}
+
+inline trace::GreenOrbsField canonical_field() {
+  return trace::GreenOrbsField(canonical_trace_config());
+}
+
+/// 10:00 AM — the instant of the paper's Fig. 1 reference surface.
+inline double reference_time() { return trace::minutes(10, 0); }
+
+inline core::DeltaMetric canonical_metric() {
+  return core::DeltaMetric(kRegion, kDeltaResolution);
+}
+
+/// Output directory for CSV/PGM artefacts the figures can be re-plotted
+/// from.  Created on demand; failures to create are reported, not fatal.
+inline std::string output_dir() {
+  const std::string dir = "bench_out";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) std::printf("note: cannot create %s: %s\n", dir.c_str(),
+                      ec.message().c_str());
+  return dir;
+}
+
+inline void print_header(const char* figure, const char* description) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure, description);
+  std::printf("==============================================================\n");
+}
+
+/// Renders a field with node overlay at the standard bench size.
+inline std::string render(const field::Field& f,
+                          std::span<const geo::Vec2> nodes = {}) {
+  viz::AsciiOptions opt;
+  opt.width = 60;
+  opt.height = 24;
+  return viz::render_field(f, kRegion, nodes, opt);
+}
+
+}  // namespace cps::bench

@@ -1,0 +1,77 @@
+// Tracking a drifting pollutant plume with mobile CPS nodes.
+//
+// The paper's introduction motivates environment abstraction for
+// "temperature, sound and pollutants"; this example exercises the OSTD
+// machinery on the pollutant case: a Gaussian plume advects across the
+// region (wind) while spreading (diffusion) and decaying at the source.
+// A CMA swarm with purely local sensing keeps reshaping to follow it.
+//
+// Usage: plume_tracking [minutes]   (default: 60)
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/cma.hpp"
+#include "core/delta.hpp"
+#include "core/planner.hpp"
+#include "field/time_varying.hpp"
+#include "viz/ascii.hpp"
+#include "viz/series.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cps;
+  const int minutes = argc > 1 ? std::atoi(argv[1]) : 60;
+  if (minutes <= 0) {
+    std::fprintf(stderr, "usage: %s [minutes > 0]\n", argv[0]);
+    return 1;
+  }
+
+  const num::Rect region{0.0, 0.0, 100.0, 100.0};
+
+  // The plume: released at (20, 30), drifting north-east at ~0.8 m/min,
+  // spreading by diffusion, and slowly weakening at the source.
+  const field::AnalyticTimeField plume([](double x, double y, double t) {
+    const double cx = 20.0 + 0.8 * t;
+    const double cy = 30.0 + 0.5 * t;
+    const double sigma = 8.0 + 0.15 * t;       // Diffusive spread.
+    const double strength = 40.0 * std::exp(-t / 90.0);  // Source decay.
+    const double dx = x - cx;
+    const double dy = y - cy;
+    return strength * std::exp(-(dx * dx + dy * dy) /
+                               (2.0 * sigma * sigma));
+  });
+
+  core::CmaConfig cfg;
+  cfg.rc = 100.0 / 6.0 * 1.001;  // 36-node grid pitch.
+  cfg.lcm = core::LcmMode::kPaper;
+  cfg.attraction_gain = 0.2;  // The plume edge is where curvature lives.
+  core::CmaSimulation sim(plume, region,
+                          core::GridPlanner::make_grid(region, 36).positions,
+                          cfg);
+
+  const core::DeltaMetric metric(region, 80);
+  std::vector<double> deltas;
+  viz::AsciiOptions opt;
+  opt.width = 56;
+  opt.height = 18;
+
+  for (int minute = 0; minute <= minutes; ++minute) {
+    deltas.push_back(sim.current_delta(metric));
+    if (minute % (minutes / 3 == 0 ? 1 : minutes / 3) == 0) {
+      const field::FieldSlice now(plume, sim.time());
+      std::printf("t = %3d min   delta = %7.1f   largest component %3.0f%%\n",
+                  minute, deltas.back(),
+                  100.0 * sim.largest_component_fraction());
+      std::printf("%s\n", viz::render_field(now, region, sim.positions(),
+                                            opt)
+                              .c_str());
+    }
+    sim.step();
+  }
+
+  std::printf("delta over time: %s\n", viz::sparkline(deltas).c_str());
+  std::printf("swarm travelled %.0f m total while following the plume\n",
+              sim.total_distance_traveled());
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Stationary deployment planning (the paper's OSD problem) end to end:
+// generate a forest-light trace frame, persist and reload it as a
+// deployment team would, compare FRA against the random and uniform
+// baselines, and export everything needed to brief the field crew.
+//
+// Usage: stationary_deployment [k] [rc]   (defaults: k = 60, rc = 10)
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/coverage.hpp"
+#include "core/delta.hpp"
+#include "core/fra.hpp"
+#include "core/planner.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/geometric_graph.hpp"
+#include "net/routing.hpp"
+#include "trace/greenorbs.hpp"
+#include "trace/trace_io.hpp"
+#include "viz/ascii.hpp"
+#include "viz/exporters.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cps;
+  const std::size_t k =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 60;
+  const double rc = argc > 2 ? std::atof(argv[2]) : 10.0;
+  if (k == 0 || rc <= 0.0) {
+    std::fprintf(stderr, "usage: %s [k > 0] [rc > 0]\n", argv[0]);
+    return 1;
+  }
+
+  const num::Rect region{0.0, 0.0, 100.0, 100.0};
+
+  // --- Historical data: one mid-morning frame of the light field. ---
+  const trace::GreenOrbsField environment{trace::GreenOrbsConfig{}};
+  const auto frame = environment.snapshot(trace::minutes(10, 0), 101, 101);
+  const std::string frame_path = "deployment_frame.cpsgrid";
+  trace::write_grid_file(frame_path, frame);
+  // Reload it: planning must work from the archived file alone.
+  const auto reference = trace::read_grid_file(frame_path);
+  std::printf("reference frame saved to and reloaded from %s\n\n",
+              frame_path.c_str());
+
+  // --- Plan with FRA and both baselines. ---
+  const core::PlanRequest request{region, k, rc};
+  core::FraPlanner fra;
+  core::RandomPlanner random(2026);
+  core::GridPlanner uniform;
+
+  const core::FraResult fra_plan = fra.plan_detailed(reference, request);
+  const auto random_plan = random.plan(reference, request);
+  const auto uniform_plan = uniform.plan(reference, request);
+
+  const core::DeltaMetric metric(region);
+  const auto corners = core::CornerPolicy::kFieldValue;
+  struct Row {
+    const char* name;
+    const core::Deployment* deployment;
+  };
+  const Row rows[] = {{"FRA", &fra_plan.deployment},
+                      {"random", &random_plan},
+                      {"uniform grid", &uniform_plan}};
+
+  std::printf("planner        delta     connected  components\n");
+  for (const Row& row : rows) {
+    const graph::GeometricGraph g(row.deployment->positions, rc);
+    std::printf("%-12s %8.1f     %-9s  %zu\n", row.name,
+                metric.delta_of_deployment(reference,
+                                           row.deployment->positions,
+                                           corners),
+                g.is_connected() ? "yes" : "NO", g.component_count());
+  }
+  std::printf("(FRA used %zu of %zu nodes as connectivity relays)\n\n",
+              fra_plan.relay_count, k);
+
+  viz::AsciiOptions opt;
+  opt.width = 60;
+  opt.height = 22;
+  std::printf("FRA deployment over the reference frame:\n%s\n",
+              viz::render_field(reference, region,
+                                fra_plan.deployment.positions, opt)
+                  .c_str());
+
+  // --- Operations report: what will this deployment cost to run? ---
+  const graph::GeometricGraph network(fra_plan.deployment.positions, rc);
+  const std::size_t sink = net::best_sink(network);
+  const net::CollectionTree tree(network, sink);
+  std::printf("operations report for the FRA deployment:\n");
+  std::printf("  sensing coverage (Rs = 5 m): %.0f%% of the region\n",
+              100.0 * core::coverage_fraction(fra_plan.deployment.positions,
+                                              5.0, region));
+  std::printf("  best basestation: node %zu at (%.1f, %.1f)\n", sink,
+              fra_plan.deployment.positions[sink].x,
+              fra_plan.deployment.positions[sink].y);
+  std::printf("  collection round: %zu transmissions, depth %zu hops, "
+              "%zu unreachable\n",
+              tree.transmissions_per_round(), tree.depth(),
+              tree.unreachable_count());
+  std::printf("  robustness: %zu single points of failure "
+              "(articulation nodes)\n\n",
+              graph::single_point_of_failure_count(network));
+
+  viz::write_positions_csv_file("deployment_positions.csv",
+                                fra_plan.deployment.positions);
+  std::printf("node positions exported to deployment_positions.csv\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Trace tooling: synthesise a GreenOrbs-like day, persist it, reload it,
+// and inspect it frame by frame — the workflow for preparing the
+// evaluation inputs used by the benches.
+//
+// Usage: trace_inspector [output.cpstrace]   (default: morning.cpstrace)
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "numerics/stats.hpp"
+#include "trace/greenorbs.hpp"
+#include "trace/trace_io.hpp"
+#include "viz/ascii.hpp"
+#include "viz/series.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cps;
+  const std::string path = argc > 1 ? argv[1] : "morning.cpstrace";
+
+  trace::GreenOrbsConfig cfg;
+  const trace::GreenOrbsField environment(cfg);
+
+  // Record 9:00 -> 12:00 at 15-minute cadence (the GreenOrbs deployment
+  // reported hourly; we oversample for smoother playback).
+  const auto recorded = environment.record(
+      trace::minutes(9, 0), trace::minutes(12, 0), 15.0, 101, 101);
+  trace::write_trace_file(path, recorded);
+  std::printf("recorded %zu frames (%.0f..%.0f min) -> %s\n",
+              recorded.frame_count(), recorded.first_time(),
+              recorded.last_time(), path.c_str());
+
+  const auto replay = trace::read_trace_file(path);
+  std::printf("reloaded %zu frames; inspecting:\n\n", replay.frame_count());
+
+  std::vector<double> means;
+  std::vector<double> maxima;
+  for (std::size_t i = 0; i < replay.frame_count(); ++i) {
+    const auto& frame = replay.frame(i);
+    num::RunningStats stats;
+    for (const double v : frame.data()) stats.add(v);
+    means.push_back(stats.mean());
+    maxima.push_back(stats.max());
+    const int t = static_cast<int>(replay.timestamp(i));
+    std::printf("frame %2zu  t=%02d:%02d  mean=%.3f  max=%.3f  "
+                "stddev=%.3f KLux\n",
+                i, t / 60, t % 60, stats.mean(), stats.max(),
+                stats.stddev());
+  }
+  std::printf("\nmean light over the morning: %s\n",
+              viz::sparkline(means).c_str());
+  std::printf("peak light over the morning: %s\n",
+              viz::sparkline(maxima).c_str());
+
+  // Show the field waking up: first, middle, and last frame.
+  viz::AsciiOptions opt;
+  opt.width = 48;
+  opt.height = 16;
+  const num::Rect region = replay.frame(0).bounds();
+  for (const std::size_t i :
+       {std::size_t{0}, replay.frame_count() / 2, replay.frame_count() - 1}) {
+    const int t = static_cast<int>(replay.timestamp(i));
+    std::printf("\nt=%02d:%02d\n%s", t / 60, t % 60,
+                viz::render_field(replay.frame(i), region, {}, opt).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,365 @@
+#include "core/cma.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/curvature.hpp"
+#include "core/reconstruction.hpp"
+#include "graph/geometric_graph.hpp"
+
+namespace cps::core {
+
+CmaSimulation::CmaSimulation(const field::TimeVaryingField& environment,
+                             const num::Rect& region,
+                             std::vector<geo::Vec2> initial,
+                             const CmaConfig& config, double start_time)
+    : environment_(&environment),
+      region_(region),
+      config_(config),
+      positions_(std::move(initial)),
+      bus_(positions_.size(),
+           net::DiskRadio(config.rc, config.packet_loss, config.seed)),
+      time_(start_time) {
+  if (positions_.empty()) {
+    throw std::invalid_argument("CmaSimulation: no nodes");
+  }
+  if (config.rs <= 0.0 || config.rc <= 0.0 || config.velocity < 0.0 ||
+      config.dt <= 0.0 || config.force_gain <= 0.0) {
+    throw std::invalid_argument("CmaSimulation: bad config");
+  }
+  for (const auto& p : positions_) {
+    if (!region.contains(p.x, p.y)) {
+      throw std::invalid_argument("CmaSimulation: node outside region");
+    }
+  }
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    bus_.set_position(i, positions_[i]);
+  }
+  last_forces_.resize(positions_.size());
+  distance_traveled_.resize(positions_.size(), 0.0);
+}
+
+void CmaSimulation::clamp_to_region(geo::Vec2& p) const noexcept {
+  p.x = std::clamp(p.x, region_.x0, region_.x1);
+  p.y = std::clamp(p.y, region_.y0, region_.y1);
+}
+
+void CmaSimulation::step() {
+  const std::size_t n = positions_.size();
+  const field::FieldSlice now(*environment_, time_);
+
+  // --- 1. Sense(Rs): local curvature estimation (Table 2 lines 2-3). ---
+  std::vector<double> gaussian_abs(n, 0.0);
+  std::vector<double> mean_abs(n, 0.0);
+  std::vector<std::optional<PeakInfo>> peaks(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const SensingPatch patch(now, positions_[i], config_.rs,
+                             config_.sample_spacing);
+    gaussian_abs[i] = std::abs(patch.gaussian());
+    mean_abs[i] = patch.mean_abs_gaussian();
+    if (const auto peak = patch.peak_curvature()) {
+      geo::Vec2 pos = peak->position;
+      clamp_to_region(pos);  // Never steer a node through the fence.
+      peaks[i] = PeakInfo{pos, peak->gaussian_abs};
+    }
+  }
+
+  // Trace sampling (Section 7 future work): log this slot's measurement
+  // at each node's pre-move position, then age out stale entries.
+  if (config_.trace_sampling) {
+    for (std::size_t i = 0; i < n; ++i) {
+      trace_log_.push_back(
+          TimedSample{Sample{positions_[i], now.value(positions_[i])},
+                      time_});
+    }
+    const double horizon = time_ - config_.trace_staleness;
+    std::erase_if(trace_log_, [horizon](const TimedSample& s) {
+      return s.time < horizon;
+    });
+  }
+
+  // --- 2. Beacon round (Table 2 lines 4-5). ---
+  for (std::size_t i = 0; i < n; ++i) {
+    Message beacon;
+    beacon.kind = Message::Kind::kBeacon;
+    beacon.position = positions_[i];
+    beacon.gaussian_abs = gaussian_abs[i];
+    bus_.broadcast(i, std::move(beacon));
+  }
+  bus_.step();
+  std::vector<std::vector<NeighborInfo>> tables(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const auto& delivery : bus_.inbox(i)) {
+      if (delivery.message.kind != Message::Kind::kBeacon) continue;
+      tables[i].push_back(NeighborInfo{delivery.message.position,
+                                       delivery.message.gaussian_abs});
+    }
+  }
+
+  // --- 3. Forces and desired destinations (Table 2 lines 6-18). ---
+  ForceConfig force_config;
+  force_config.rc = config_.rc;
+  force_config.beta = config_.beta;
+  force_config.normalize_curvature = config_.normalize_curvature;
+  force_config.attraction_gain = config_.attraction_gain;
+  force_config.repulsion_equilibrium = config_.repulsion_equilibrium;
+  std::vector<geo::Vec2> destination = positions_;
+  for (std::size_t i = 0; i < n; ++i) {
+    const ForceBreakdown forces = compute_forces(
+        positions_[i], peaks[i], tables[i], mean_abs[i], force_config);
+    last_forces_[i] = forces;
+    const double magnitude = forces.fs.norm();
+    if (magnitude <= config_.force_tolerance) continue;  // stop(ni).
+    // Table 2 line 16 points the destination Rs along Fs; the gain maps
+    // force units to metres and the sensing radius caps the ambition.
+    const double reach =
+        std::min(config_.rs, magnitude * config_.force_gain);
+    destination[i] = positions_[i] + forces.fs.normalized() * reach;
+    clamp_to_region(destination[i]);
+  }
+
+  // --- 4. tell round + LCM (Table 2 lines 17-21, Fig. 4). ---
+  // The told destination is the waypoint actually reachable this slot
+  // (speed-capped), not the full force target up to Rs away: neighbours
+  // judge link survival on real post-slot geometry, so the chase rule
+  // fires only for links genuinely about to break.
+  const double told_step =
+      config_.velocity * config_.dt *
+      (config_.lcm == LcmMode::kStrict ? config_.speed_fraction : 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    Message tell;
+    tell.kind = Message::Kind::kTell;
+    tell.position = positions_[i];
+    const geo::Vec2 leg = destination[i] - positions_[i];
+    const double len = leg.norm();
+    tell.destination = len <= told_step
+                           ? destination[i]
+                           : positions_[i] + leg * (told_step / len);
+    tell.table = tables[i];
+    bus_.broadcast(i, std::move(tell));
+  }
+  bus_.step();
+
+  // The LCM variants (see LcmMode).  Strict mode trades speed for a
+  // provable per-slot connectivity invariant; paper mode is the literal
+  // Fig. 4 chase rule at full speed, best effort.
+  const double max_step =
+      config_.velocity * config_.dt *
+      (config_.lcm == LcmMode::kStrict ? config_.speed_fraction : 1.0);
+  std::vector<geo::Vec2> final_target = destination;
+  last_chases_ = 0;
+
+  if (config_.lcm == LcmMode::kStrict) {
+    apply_strict_lcm(tables, destination, max_step, final_target);
+  } else if (config_.lcm == LcmMode::kPaper) {
+    apply_paper_lcm(destination, final_target);
+  }
+
+  // --- 5. Move toward the resolved targets, capped by the speed limit. ---
+  last_max_move_ = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const geo::Vec2 leg = final_target[i] - positions_[i];
+    const double len = leg.norm();
+    geo::Vec2 next = len <= max_step
+                         ? final_target[i]
+                         : positions_[i] + leg * (max_step / len);
+    clamp_to_region(next);
+    const double moved = geo::distance(positions_[i], next);
+    last_max_move_ = std::max(last_max_move_, moved);
+    distance_traveled_[i] += moved;
+    total_distance_ += moved;
+    positions_[i] = next;
+    bus_.set_position(i, positions_[i]);
+  }
+
+  time_ += config_.dt;
+  ++steps_run_;
+}
+
+
+void CmaSimulation::apply_strict_lcm(
+    const std::vector<std::vector<NeighborInfo>>& tables,
+    const std::vector<geo::Vec2>& destination, double max_step,
+    std::vector<geo::Vec2>& final_target) {
+  // Bridgeless single-hop links are *critical* and must survive the slot.
+  // Survival is enforced with the midpoint-disk construction: both
+  // endpoints stay within r of the link midpoint m = (pi + pj) / 2, so by
+  // the triangle inequality the post-move distance is at most 2r.  Each
+  // node projects its force destination into the intersection of its
+  // critical disks (cyclic projection); when the intersection is empty
+  // (opposing taut links) staying put is always safe.  Links may tear only
+  // across margin-safe bridges: a bridge-path link of length
+  // <= Rc - 2 * max_step cannot break within the slot, so the tear leaves
+  // the endpoints provably connected.
+  const std::size_t n = positions_.size();
+  const double slack = std::min(std::max(max_step, 1e-6), 0.1 * config_.rc);
+  const double safe = config_.rc - 2.0 * max_step;
+  struct Anchor {
+    geo::Vec2 midpoint;
+    double radius;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<Anchor> anchors;
+    for (const auto& delivery : bus_.inbox(i)) {
+      const Message& tell = delivery.message;
+      if (tell.kind != Message::Kind::kTell) continue;
+      const geo::Vec2 partner = tell.position;
+      const double d = geo::distance(positions_[i], partner);
+      if (d > config_.rc) continue;
+      bool bridged = false;
+      if (safe > 0.0) {
+        for (const auto& common : tables[i]) {
+          // The partner itself cannot be its own bridge.
+          if (geo::distance(common.position, partner) < 1e-9) continue;
+          if (geo::distance(common.position, positions_[i]) > safe) continue;
+          if (geo::distance(common.position, partner) <= safe) {
+            bridged = true;  // One-hop bridge with margin.
+            break;
+          }
+          for (const auto& far : tell.table) {
+            if (geo::distance(far.position, positions_[i]) < 1e-9) continue;
+            if (geo::distance(far.position, partner) > safe) continue;
+            if (geo::distance(far.position, common.position) <= safe) {
+              bridged = true;  // Two-hop bridge via (common, far).
+              break;
+            }
+          }
+          if (bridged) break;
+        }
+      }
+      if (!bridged) {
+        // Pull taut critical links below the tear-safety threshold so
+        // they can serve as bridge paths for their neighbours next slot.
+        const double relaxed = config_.rc - 2.0 * max_step - 0.2 * slack;
+        anchors.push_back(Anchor{geo::midpoint(positions_[i], partner),
+                                 std::max(0.5 * relaxed,
+                                          0.5 * d - 0.3 * slack)});
+      }
+    }
+    if (anchors.empty()) continue;
+
+    geo::Vec2 target = destination[i];
+    bool constrained = false;
+    for (int pass = 0; pass < 12; ++pass) {
+      bool moved = false;
+      for (const auto& a : anchors) {
+        const geo::Vec2 off = target - a.midpoint;
+        if (off.norm() > a.radius) {
+          target = a.midpoint + off.normalized() * a.radius;
+          moved = true;
+          constrained = true;
+        }
+      }
+      if (!moved) break;
+    }
+    // Cyclic projection approximates the disk intersection; when the
+    // intersection is empty (opposing taut links) or unconverged, staying
+    // put is always safe: the node sits exactly d/2 from every midpoint.
+    for (const auto& a : anchors) {
+      if (geo::distance(target, a.midpoint) > a.radius + 1e-9) {
+        target = positions_[i];
+        constrained = true;
+        break;
+      }
+    }
+    if (constrained) {
+      ++last_chases_;
+      final_target[i] = target;
+      clamp_to_region(final_target[i]);
+    }
+  }
+}
+
+void CmaSimulation::apply_paper_lcm(
+    const std::vector<geo::Vec2>& /*destination*/,
+    std::vector<geo::Vec2>& final_target) {
+  // Table 2 lines 19-21, verbatim: on receiving tell(nd2, N2), if ni can
+  // reach neither nd2 directly nor some nj2 in N2, it abandons its own
+  // plan and moves to hold d(ni, nd2) = Rc.  With several such movers it
+  // chases the most endangered link.  Best effort by construction.
+  const std::size_t n = positions_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    double worst = -1.0;
+    geo::Vec2 worst_destination;
+    for (const auto& delivery : bus_.inbox(i)) {
+      const Message& tell = delivery.message;
+      if (tell.kind != Message::Kind::kTell) continue;
+      if (geo::distance(positions_[i], tell.position) > config_.rc) continue;
+      const double after = geo::distance(positions_[i], tell.destination);
+      if (after <= config_.rc) continue;  // Still reaches the mover.
+      bool via_common = false;
+      for (const auto& common : tell.table) {
+        if (geo::distance(positions_[i], common.position) <= config_.rc &&
+            geo::distance(common.position, tell.destination) <= config_.rc) {
+          via_common = true;
+          break;
+        }
+      }
+      if (via_common) continue;
+      if (after > worst) {
+        worst = after;
+        worst_destination = tell.destination;
+      }
+    }
+    if (worst >= 0.0) {
+      ++last_chases_;
+      const geo::Vec2 away = positions_[i] - worst_destination;
+      final_target[i] =
+          worst_destination +
+          (away.norm() > 0.0 ? away.normalized() * config_.rc
+                             : geo::Vec2{config_.rc, 0.0});
+      clamp_to_region(final_target[i]);
+    }
+  }
+}
+
+void CmaSimulation::run(std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) step();
+}
+
+bool CmaSimulation::is_connected() const {
+  return graph::GeometricGraph(positions_, config_.rc).is_connected();
+}
+
+double CmaSimulation::largest_component_fraction() const {
+  const graph::GeometricGraph g(positions_, config_.rc);
+  std::size_t largest = 0;
+  for (const auto& comp : g.components()) {
+    largest = std::max(largest, comp.size());
+  }
+  return positions_.empty()
+             ? 1.0
+             : static_cast<double>(largest) /
+                   static_cast<double>(positions_.size());
+}
+
+std::vector<Sample> CmaSimulation::sense_at_nodes() const {
+  const field::FieldSlice now(*environment_, time_);
+  return take_samples(now, positions_);
+}
+
+double CmaSimulation::current_delta(const DeltaMetric& metric) const {
+  const field::FieldSlice now(*environment_, time_);
+  return metric.delta_from_samples(now, sense_at_nodes());
+}
+
+std::vector<Sample> CmaSimulation::trace_samples() const {
+  std::vector<Sample> out;
+  out.reserve(trace_log_.size());
+  for (const auto& entry : trace_log_) out.push_back(entry.sample);
+  return out;
+}
+
+double CmaSimulation::current_delta_with_trace(
+    const DeltaMetric& metric) const {
+  // Older samples first: reconstruct_surface resolves duplicate positions
+  // by letting the later insertion win, so fresher data takes precedence.
+  std::vector<Sample> combined = trace_samples();
+  const auto current = sense_at_nodes();
+  combined.insert(combined.end(), current.begin(), current.end());
+  const field::FieldSlice now(*environment_, time_);
+  return metric.delta_from_samples(now, combined);
+}
+
+}  // namespace cps::core

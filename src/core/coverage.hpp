@@ -1,0 +1,32 @@
+// Sensing-coverage metrics.
+//
+// The paper explains Fig. 7's flattening by coverage saturation: "the
+// total coverage of these nodes [k >= 125] almost fully cover the
+// region".  These helpers turn that explanation into a measurement: the
+// fraction of the region within sensing range of at least one node, and
+// the budget at which a deployment family saturates.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "geometry/vec2.hpp"
+#include "numerics/quadrature.hpp"
+
+namespace cps::core {
+
+/// Fraction of `region` (by area, midpoint-sampled on a resolution^2
+/// lattice) within `sensing_radius` of at least one node.  Returns 0 for
+/// an empty deployment; throws std::invalid_argument for a non-positive
+/// radius/resolution or an empty region.
+double coverage_fraction(std::span<const geo::Vec2> nodes,
+                         double sensing_radius, const num::Rect& region,
+                         std::size_t resolution = 100);
+
+/// Area (m^2) covered by at least `multiplicity` nodes — multiplicity 2
+/// quantifies sensing redundancy.
+double covered_area(std::span<const geo::Vec2> nodes, double sensing_radius,
+                    const num::Rect& region, std::size_t multiplicity = 1,
+                    std::size_t resolution = 100);
+
+}  // namespace cps::core

@@ -1,0 +1,89 @@
+#include "core/cwd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/curvature.hpp"
+#include "core/forces.hpp"
+
+namespace cps::core {
+
+CwdSolver::CwdSolver(const CwdConfig& config) : config_(config) {
+  if (config.rc <= 0.0 || config.rs <= 0.0 || config.step_limit <= 0.0 ||
+      config.force_gain <= 0.0 || config.sample_spacing <= 0.0 ||
+      config.step_decay <= 0.0 || config.step_decay > 1.0) {
+    throw std::invalid_argument("CwdSolver: bad config");
+  }
+}
+
+CwdResult CwdSolver::solve(const field::Field& reference,
+                           const num::Rect& region, std::size_t k) const {
+  if (k == 0) throw std::invalid_argument("CwdSolver: k == 0");
+  return solve_from(reference, region,
+                    GridPlanner::make_grid(region, k).positions);
+}
+
+CwdResult CwdSolver::solve_from(const field::Field& reference,
+                                const num::Rect& region,
+                                std::vector<geo::Vec2> initial) const {
+  if (initial.empty()) throw std::invalid_argument("CwdSolver: no nodes");
+  std::vector<geo::Vec2> pos = std::move(initial);
+  const std::size_t n = pos.size();
+  ForceConfig force_config;
+  force_config.rc = config_.rc;
+  force_config.beta = config_.beta;
+  force_config.normalize_curvature = config_.normalize_curvature;
+  force_config.attraction_gain = config_.attraction_gain;
+  force_config.repulsion_equilibrium = config_.repulsion_equilibrium;
+
+  CwdResult result;
+  double step_limit = config_.step_limit;
+  for (std::size_t iter = 0; iter < config_.max_iterations; ++iter) {
+    // Per-node sensing (identical information to CMA, minus the radio).
+    std::vector<double> mean_abs(n, 0.0);
+    std::vector<std::optional<PeakInfo>> peaks(n);
+    std::vector<double> gaussian_abs(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const SensingPatch patch(reference, pos[i], config_.rs,
+                               config_.sample_spacing);
+      gaussian_abs[i] = std::abs(patch.gaussian());
+      mean_abs[i] = patch.mean_abs_gaussian();
+      if (const auto peak = patch.peak_curvature()) {
+        peaks[i] = PeakInfo{peak->position, peak->gaussian_abs};
+      }
+    }
+
+    double max_move = 0.0;
+    std::vector<geo::Vec2> next = pos;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<NeighborInfo> table;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j != i && geo::distance(pos[i], pos[j]) <= config_.rc) {
+          table.push_back(NeighborInfo{pos[j], gaussian_abs[j]});
+        }
+      }
+      const ForceBreakdown forces = compute_forces(
+          pos[i], peaks[i], table, mean_abs[i], force_config);
+      const double magnitude = forces.fs.norm();
+      if (magnitude <= config_.tolerance) continue;
+      const double step = std::min(step_limit,
+                                   magnitude * config_.force_gain);
+      next[i] = pos[i] + forces.fs.normalized() * step;
+      next[i].x = std::clamp(next[i].x, region.x0, region.x1);
+      next[i].y = std::clamp(next[i].y, region.y0, region.y1);
+      max_move = std::max(max_move, geo::distance(pos[i], next[i]));
+    }
+    pos = std::move(next);
+    step_limit *= config_.step_decay;
+    result.iterations = iter + 1;
+    if (max_move < config_.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.deployment.positions = std::move(pos);
+  return result;
+}
+
+}  // namespace cps::core

@@ -1,0 +1,72 @@
+// Curvature-Weighted Distribution reference solver (Section 5.1, Fig. 3).
+//
+// Fig. 3 contrasts 16 uniformly placed nodes with 16 nodes in the
+// curvature-weighted pattern on the Matlab peaks surface: every node is a
+// pivot balancing its single-hop neighbours' curvature weights (Eqn. 9)
+// while repulsion keeps the topology spread to the region borders, and the
+// selected equilibrium maximises the total curvature captured (Eqn. 10).
+//
+// CwdSolver computes that pattern centrally — same force model as CMA but
+// with a static, fully known field, no radio, and no speed cap — by
+// relaxing from the uniform grid until the forces balance.  It is both the
+// Fig. 3 generator and the "what CMA converges to with perfect
+// information" reference the Fig. 10 analysis leans on.
+#pragma once
+
+#include <cstddef>
+
+#include "core/planner.hpp"
+#include "core/types.hpp"
+#include "field/field.hpp"
+#include "numerics/quadrature.hpp"
+
+namespace cps::core {
+
+/// Relaxation parameters (defaults match the Fig. 3 setting, Rc = 30).
+struct CwdConfig {
+  double rc = 30.0;             ///< Communication radius.
+  double rs = 10.0;             ///< Curvature sensing window.
+  double sample_spacing = 1.0;  ///< Sensing lattice pitch.
+  double beta = 2.0;            ///< Repulsion weight (Eqn. 18).
+  double force_gain = 1.0;      ///< Metres per force unit.
+  double step_limit = 2.0;      ///< Max movement per iteration, metres.
+  /// Per-iteration decay of the step limit (simulated annealing): the
+  /// undamped force system orbits its equilibrium; shrinking steps settle
+  /// it.  1.0 disables damping.
+  double step_decay = 0.98;
+  std::size_t max_iterations = 400;
+  double tolerance = 1e-2;      ///< Converged when max move is below this.
+  bool normalize_curvature = true;
+  double attraction_gain = 0.25;  ///< See ForceConfig::attraction_gain.
+  /// See ForceConfig::repulsion_equilibrium.
+  double repulsion_equilibrium = 0.9;
+};
+
+/// Outcome of a relaxation.
+struct CwdResult {
+  Deployment deployment;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// The centralised solver.  Stateless between calls.
+class CwdSolver {
+ public:
+  explicit CwdSolver(const CwdConfig& config = {});
+
+  /// Relaxes k nodes (from the uniform grid) on `reference` over `region`.
+  /// Throws std::invalid_argument for k == 0.
+  CwdResult solve(const field::Field& reference, const num::Rect& region,
+                  std::size_t k) const;
+
+  /// Relaxes from caller-provided initial positions.
+  CwdResult solve_from(const field::Field& reference, const num::Rect& region,
+                       std::vector<geo::Vec2> initial) const;
+
+  const CwdConfig& config() const noexcept { return config_; }
+
+ private:
+  CwdConfig config_;
+};
+
+}  // namespace cps::core

@@ -1,0 +1,61 @@
+#include "core/delta.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cps::core {
+
+DeltaMetric::DeltaMetric(const num::Rect& region, std::size_t resolution)
+    : region_(region), resolution_(resolution) {
+  if (region.width() <= 0.0 || region.height() <= 0.0) {
+    throw std::invalid_argument("DeltaMetric: empty region");
+  }
+  if (resolution == 0) throw std::invalid_argument("DeltaMetric: resolution");
+}
+
+double DeltaMetric::delta(const field::Field& reference,
+                          const geo::Delaunay& dt) const {
+  // Manual midpoint loop (rather than integrate_midpoint) so consecutive
+  // locate() calls walk from the previous cell's triangle — row-coherent
+  // queries make each walk O(1).
+  const double hx = region_.width() / static_cast<double>(resolution_);
+  const double hy = region_.height() / static_cast<double>(resolution_);
+  double sum = 0.0;
+  for (std::size_t j = 0; j < resolution_; ++j) {
+    const double y = region_.y0 + (static_cast<double>(j) + 0.5) * hy;
+    for (std::size_t i = 0; i < resolution_; ++i) {
+      const double x = region_.x0 + (static_cast<double>(i) + 0.5) * hx;
+      sum += std::abs(reference.value(x, y) - dt.interpolate({x, y}));
+    }
+  }
+  return sum * hx * hy;
+}
+
+double DeltaMetric::delta_from_samples(const field::Field& reference,
+                                       std::span<const Sample> samples,
+                                       CornerPolicy policy) const {
+  const geo::Delaunay dt =
+      reconstruct_surface(samples, region_, policy, &reference);
+  return delta(reference, dt);
+}
+
+double DeltaMetric::delta_of_deployment(const field::Field& reference,
+                                        std::span<const geo::Vec2> positions,
+                                        CornerPolicy policy) const {
+  return delta_from_samples(reference, take_samples(reference, positions),
+                            policy);
+}
+
+double DeltaMetric::delta_between(const field::Field& a,
+                                  const field::Field& b) const {
+  return num::integrate_midpoint(
+      region_,
+      [&](double x, double y) { return std::abs(a.value(x, y) - b.value(x, y)); },
+      resolution_, resolution_);
+}
+
+double DeltaMetric::mean_abs_error(double delta_value) const noexcept {
+  return delta_value / region_.area();
+}
+
+}  // namespace cps::core

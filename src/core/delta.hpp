@@ -1,0 +1,63 @@
+// The delta quality metric (Theorem 3.1).
+//
+// delta(V(z), V(z*)) = integral over A of |f(x, y) - DT(x, y)| dx dy:
+// the volume between the referential surface and the rebuilt surface.
+// Smaller is better; 0 means the rebuilt surface matches exactly.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "core/reconstruction.hpp"
+#include "core/types.hpp"
+#include "field/field.hpp"
+#include "geometry/delaunay.hpp"
+#include "numerics/quadrature.hpp"
+
+namespace cps::core {
+
+/// Evaluates delta by midpoint quadrature on a fixed evaluation grid.
+/// The paper evaluates on the sqrt(A) x sqrt(A) lattice (100 x 100 for the
+/// GreenOrbs window); `resolution` is that lattice density per axis.
+class DeltaMetric {
+ public:
+  /// Throws std::invalid_argument for an empty region or zero resolution.
+  DeltaMetric(const num::Rect& region, std::size_t resolution = 100);
+
+  const num::Rect& region() const noexcept { return region_; }
+  std::size_t resolution() const noexcept { return resolution_; }
+
+  /// Volume between the referential field and a rebuilt surface.
+  double delta(const field::Field& reference, const geo::Delaunay& dt) const;
+
+  /// Convenience: reconstructs from samples first, then measures.  The
+  /// corner policy chooses the reconstruction's scaffolding values: OSD
+  /// evaluations pass kFieldValue (the historical referential surface is
+  /// known by assumption — the paper's own initial triangulation carries
+  /// f-valued corners), OSTD evaluations keep the default kNearestSample
+  /// (a mobile deployment has no reference).
+  double delta_from_samples(const field::Field& reference,
+                            std::span<const Sample> samples,
+                            CornerPolicy policy =
+                                CornerPolicy::kNearestSample) const;
+
+  /// Convenience: senses `reference` at `positions`, reconstructs, and
+  /// measures — the full pipeline a deployment would run.
+  double delta_of_deployment(const field::Field& reference,
+                             std::span<const geo::Vec2> positions,
+                             CornerPolicy policy =
+                                 CornerPolicy::kNearestSample) const;
+
+  /// Volume between two arbitrary fields (used to compare interpolators).
+  double delta_between(const field::Field& a, const field::Field& b) const;
+
+  /// Normalises a delta to the mean absolute error per unit area, which is
+  /// easier to eyeball than raw volume.
+  double mean_abs_error(double delta_value) const noexcept;
+
+ private:
+  num::Rect region_;
+  std::size_t resolution_;
+};
+
+}  // namespace cps::core

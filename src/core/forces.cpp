@@ -1,0 +1,77 @@
+#include "core/forces.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cps::core {
+
+geo::Vec2 peak_attraction(geo::Vec2 node, const PeakInfo& peak,
+                          double weight_scale) noexcept {
+  return (peak.position - node) * (peak.gaussian_abs * weight_scale);
+}
+
+geo::Vec2 neighbor_attraction(geo::Vec2 node,
+                              std::span<const NeighborInfo> neighbors,
+                              double weight_scale) noexcept {
+  geo::Vec2 f;
+  for (const auto& n : neighbors) {
+    f += (n.position - node) * (n.gaussian_abs * weight_scale);
+  }
+  return f;
+}
+
+geo::Vec2 repulsion(geo::Vec2 node, std::span<const NeighborInfo> neighbors,
+                    double rc) noexcept {
+  geo::Vec2 f;
+  for (const auto& n : neighbors) {
+    const geo::Vec2 away = node - n.position;
+    const double d = away.norm();
+    if (d >= rc) continue;  // Not single-hop; no repulsion.
+    if (d <= 0.0) {
+      // Coincident nodes: deterministic tiny push along +x so the pair
+      // separates instead of dividing by zero.
+      f += geo::Vec2{rc, 0.0};
+      continue;
+    }
+    f += away.normalized() * (rc - d);
+  }
+  return f;
+}
+
+ForceBreakdown compute_forces(geo::Vec2 node,
+                              const std::optional<PeakInfo>& peak,
+                              std::span<const NeighborInfo> neighbors,
+                              double local_mean_abs_gaussian,
+                              const ForceConfig& config) noexcept {
+  double scale = 1.0;
+  if (config.normalize_curvature) {
+    // Pool the node's own curvature scale with what neighbours report so
+    // that adjacent nodes normalise consistently.
+    double sum = local_mean_abs_gaussian;
+    std::size_t count = 1;
+    for (const auto& n : neighbors) {
+      sum += n.gaussian_abs;
+      ++count;
+    }
+    if (peak) {
+      sum += peak->gaussian_abs;
+      ++count;
+    }
+    const double mean = sum / static_cast<double>(count);
+    scale = 1.0 / std::max(mean, config.normalizer_floor);
+    // A completely flat neighbourhood (mean below floor) produces a huge
+    // scale times ~zero weights; cap the product by clamping scale.
+    scale = std::min(scale, 1.0 / config.normalizer_floor);
+  }
+
+  ForceBreakdown out;
+  const double gain = config.attraction_gain * scale;
+  if (peak) out.f1 = peak_attraction(node, *peak, gain);
+  out.f2 = neighbor_attraction(node, neighbors, gain);
+  out.fr = repulsion(node, neighbors,
+                     config.rc * config.repulsion_equilibrium);
+  out.fs = out.f1 + out.f2 + out.fr * config.beta;
+  return out;
+}
+
+}  // namespace cps::core

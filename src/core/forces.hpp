@@ -1,0 +1,101 @@
+// Virtual forces (Section 5.2, Eqns. 14-18).
+//
+// Three forces steer a mobile node:
+//   F1  attraction toward the highest-curvature position pc inside the
+//       sensing disk:            F1 = d(ni, pc) * G(pc)           (Eqn. 14)
+//   F2  attraction toward the curvature-weighted pivot of the single-hop
+//       neighbours:              F2 = sum_j d(ni, nj) * G(nj)     (Eqn. 15)
+//   Fr  repulsion keeping spacing:
+//                                Fr = sum_j (Rc - d(ni, nj)) u_ij (Eqn. 17)
+// and the resultant              Fs = Fa + beta * Fr              (Eqn. 18).
+//
+// Two clarifications the paper leaves implicit (documented in DESIGN.md):
+//   * Curvature "weights" use |G| — Gaussian curvature is negative at
+//     saddles, and a saddle is as information-rich as a dome.
+//   * Fr's summand is given as a scalar in the paper; the repulsion acts
+//     along the neighbour->node direction (u_ij above), which is the
+//     standard virtual-force construction the paper cites [21].
+//   * Curvature weights are normalised by the locally observed mean |G|
+//     (scale-invariance): Eqn. 9's balance is unaffected, and beta keeps a
+//     consistent meaning across environments whose curvature magnitudes
+//     differ by orders of magnitude.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "geometry/vec2.hpp"
+
+namespace cps::core {
+
+/// What a node knows about one single-hop neighbour (from its beacon).
+struct NeighborInfo {
+  geo::Vec2 position;
+  double gaussian_abs = 0.0;  ///< |G| the neighbour reported.
+};
+
+/// What a node knows about the curvature peak in its own sensing disk.
+struct PeakInfo {
+  geo::Vec2 position;
+  double gaussian_abs = 0.0;
+};
+
+/// Force-model parameters.
+struct ForceConfig {
+  double rc = 10.0;     ///< Communication radius (repulsion reach).
+  double beta = 2.0;    ///< Eqn. 18 weight of repulsion vs attraction.
+  /// Repulsion acts within equilibrium * rc instead of rc itself, so the
+  /// relaxed spacing sits strictly inside communication range.  Links then
+  /// carry slack ((1 - equilibrium) * rc) that absorbs per-slot motion —
+  /// with the paper's literal Eqn. 17 the equilibrium pitch equals Rc and
+  /// every link teeters on the break-point (see DESIGN.md).
+  double repulsion_equilibrium = 0.9;
+  /// Multiplies the (normalised) attraction Fa = F1 + F2 before combining
+  /// with repulsion.  Normalising curvature weights to mean ~1 makes
+  /// attraction O(distance), which at gain 1 overwhelms repulsion and
+  /// collapses the swarm onto the curvature features; the paper's dynamics
+  /// (Fig. 9: nodes "barely move" once balanced) are repulsion-dominated
+  /// with curvature *modulation*.  The pairwise equilibrium spacing is
+  /// roughly beta * equilibrium * rc / (gain * w + beta) for local weight
+  /// w, so higher-curvature neighbourhoods pack denser, as Eqn. 9 wants.
+  double attraction_gain = 0.25;
+  /// Normalise curvature weights by the local mean |G|; when false the raw
+  /// |G| values are used (ablation knob).
+  bool normalize_curvature = true;
+  /// Floor for the normaliser so flat neighbourhoods (mean |G| ~ 0) do not
+  /// blow attraction up; relative to the normaliser itself.
+  double normalizer_floor = 1e-12;
+};
+
+/// All force components for one node in one slot.
+struct ForceBreakdown {
+  geo::Vec2 f1;  ///< Peak attraction (Eqn. 14).
+  geo::Vec2 f2;  ///< Neighbour pivot attraction (Eqn. 15).
+  geo::Vec2 fr;  ///< Repulsion (Eqn. 17).
+  geo::Vec2 fs;  ///< Resultant (Eqn. 18).
+};
+
+/// Eqn. 14.  `weight_scale` multiplies the curvature weight (the
+/// normaliser); pass 1.0 for raw weights.
+geo::Vec2 peak_attraction(geo::Vec2 node, const PeakInfo& peak,
+                          double weight_scale) noexcept;
+
+/// Eqn. 15 over the neighbour table.
+geo::Vec2 neighbor_attraction(geo::Vec2 node,
+                              std::span<const NeighborInfo> neighbors,
+                              double weight_scale) noexcept;
+
+/// Eqn. 17: only neighbours inside rc repel (others are not single-hop).
+geo::Vec2 repulsion(geo::Vec2 node, std::span<const NeighborInfo> neighbors,
+                    double rc) noexcept;
+
+/// Full Eqn. 18 evaluation.  `local_mean_abs_gaussian` is the node's own
+/// estimate of the curvature scale (SensingPatch::mean_abs_gaussian); it
+/// feeds the weight normaliser together with neighbour reports.
+ForceBreakdown compute_forces(geo::Vec2 node,
+                              const std::optional<PeakInfo>& peak,
+                              std::span<const NeighborInfo> neighbors,
+                              double local_mean_abs_gaussian,
+                              const ForceConfig& config) noexcept;
+
+}  // namespace cps::core

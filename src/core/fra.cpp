@@ -1,0 +1,257 @@
+#include "core/fra.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/curvature.hpp"
+#include "geometry/delaunay.hpp"
+#include "graph/relay.hpp"
+#include "numerics/rng.hpp"
+
+namespace cps::core {
+namespace {
+
+/// One lattice position competing for selection.
+struct Candidate {
+  geo::Vec2 pos;
+  double f_value = 0.0;     // Referential surface value (sensed once).
+  double curvature = 0.0;   // |G| (filled only for curvature measures).
+  int triangle = -1;        // Containing triangle in the evolving DT.
+  double error = 0.0;       // Local error |f - DT| at pos.
+  bool used = false;        // Already selected (or coincides with a vertex).
+};
+
+double interpolate_in(const geo::Delaunay& dt, int tri, geo::Vec2 p) {
+  const auto& t = dt.triangle(tri);
+  return geo::interpolate_linear(dt.triangle_geometry(tri),
+                                 dt.vertex(t.v[0]).z, dt.vertex(t.v[1]).z,
+                                 dt.vertex(t.v[2]).z, p);
+}
+
+}  // namespace
+
+FraPlanner::FraPlanner(const FraConfig& config) : config_(config) {
+  if (config.error_grid < 2) {
+    throw std::invalid_argument("FraPlanner: error_grid < 2");
+  }
+  if (config.curvature_radius <= 0.0) {
+    throw std::invalid_argument("FraPlanner: curvature_radius <= 0");
+  }
+}
+
+Deployment FraPlanner::plan(const field::Field& reference,
+                            const PlanRequest& request) {
+  return plan_detailed(reference, request).deployment;
+}
+
+FraResult FraPlanner::plan_detailed(const field::Field& reference,
+                                    const PlanRequest& request) {
+  if (request.rc <= 0.0) throw std::invalid_argument("FRA: rc <= 0");
+  FraResult result;
+  if (request.k == 0) return result;
+
+  const num::Rect& region = request.region;
+  geo::Delaunay dt(region);
+  for (int c = 0; c < geo::Delaunay::kCorners; ++c) {
+    dt.set_vertex_z(c, reference.value(dt.vertex(c).pos));
+  }
+
+  // Candidate lattice (the paper's sqrt(A) x sqrt(A) positions), bucketed
+  // by containing triangle.
+  const std::size_t n = config_.error_grid;
+  std::vector<Candidate> candidates;
+  candidates.reserve(n * n);
+  const double dx = region.width() / static_cast<double>(n - 1);
+  const double dy = region.height() / static_cast<double>(n - 1);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      Candidate c;
+      c.pos = {region.x0 + static_cast<double>(i) * dx,
+               region.y0 + static_cast<double>(j) * dy};
+      c.f_value = reference.value(c.pos);
+      candidates.push_back(c);
+    }
+  }
+
+  if (config_.measure == SelectionMeasure::kCurvature ||
+      config_.measure == SelectionMeasure::kProduct) {
+    const CurvatureEstimator estimator(config_.curvature_radius);
+    for (auto& c : candidates) {
+      c.curvature = std::abs(estimator.gaussian_at(reference, c.pos));
+    }
+  }
+
+  // Triangle -> candidate-index buckets; sized generously since each
+  // insertion adds a bounded number of triangle slots.
+  std::vector<std::vector<std::size_t>> buckets(dt.triangle_slots() +
+                                                6 * request.k + 16);
+  for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
+    auto& c = candidates[ci];
+    c.triangle = dt.locate(c.pos);
+    c.error = std::abs(c.f_value - interpolate_in(dt, c.triangle, c.pos));
+    buckets[static_cast<std::size_t>(c.triangle)].push_back(ci);
+  }
+  // Lattice corners coincide with scaffolding vertices: error 0, but mark
+  // them used so kRandom never wastes a node on them.
+  for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
+    for (int v = 0; v < geo::Delaunay::kCorners; ++v) {
+      if (geo::distance(candidates[ci].pos, dt.vertex(v).pos) < 1e-9) {
+        candidates[ci].used = true;
+      }
+    }
+  }
+
+  num::Rng rng(config_.seed);
+  std::vector<geo::Vec2> selected;
+  selected.reserve(request.k);
+
+  // Distance from each candidate to the nearest already-placed node,
+  // maintained incrementally: the foresight step uses it to price a
+  // candidate's worst-case connection cost in O(1).
+  std::vector<double> dist_to_net(candidates.size(),
+                                  std::numeric_limits<double>::infinity());
+  const auto note_added = [&](geo::Vec2 p) {
+    for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
+      dist_to_net[ci] =
+          std::min(dist_to_net[ci], geo::distance(candidates[ci].pos, p));
+    }
+  };
+
+  const auto place_relays = [&](std::size_t budget) {
+    const graph::RelayPlan plan = graph::plan_relays(selected, request.rc);
+    const std::size_t count = std::min(budget, plan.count);
+    for (std::size_t r = 0; r < count; ++r) {
+      const geo::Vec2 p = plan.positions[r];
+      dt.insert(p, reference.value(p));
+      selected.push_back(p);
+      note_added(p);
+      result.steps.push_back(FraStep{p, 0.0, true});
+      ++result.relay_count;
+    }
+    return count;
+  };
+
+  while (selected.size() < request.k) {
+    // Foresight (Table 1 lines 5-8): when the remaining budget is no more
+    // than the relay count needed for connectivity, spend it on relays.
+    // On top of the paper's trigger, candidate selection below only
+    // considers positions whose worst-case connection cost (relays along
+    // the straight line to the nearest placed node) still fits in the
+    // post-selection budget — without this, one far-away max-error pick
+    // can make connectivity unaffordable in a single step.
+    std::size_t candidate_relay_budget = request.k;  // Unbounded pre-seed.
+    if (config_.foresight && !selected.empty()) {
+      const std::size_t remaining = request.k - selected.size();
+      const graph::RelayPlan plan = graph::plan_relays(selected, request.rc);
+      if (plan.count >= remaining) {
+        place_relays(remaining);
+        break;
+      }
+      candidate_relay_budget = remaining - 1 - plan.count;
+    }
+    const auto affordable = [&](std::size_t ci) {
+      if (!config_.foresight || selected.empty()) return true;
+      if (dist_to_net[ci] <= request.rc) return true;
+      return graph::relays_for_gap(dist_to_net[ci], request.rc) <=
+             candidate_relay_budget;
+    };
+
+    // Select the best unused, affordable candidate under the measure.
+    std::size_t best = candidates.size();
+    if (config_.measure == SelectionMeasure::kRandom) {
+      std::vector<std::size_t> unused;
+      for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
+        if (!candidates[ci].used && affordable(ci)) unused.push_back(ci);
+      }
+      if (!unused.empty()) {
+        best = unused[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(unused.size()) - 1))];
+      }
+    } else {
+      double best_score = -1.0;
+      for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
+        const auto& c = candidates[ci];
+        if (c.used || !affordable(ci)) continue;
+        double score = 0.0;
+        switch (config_.measure) {
+          case SelectionMeasure::kLocalError:
+            score = c.error;
+            break;
+          case SelectionMeasure::kCurvature:
+            score = c.curvature;
+            break;
+          case SelectionMeasure::kProduct:
+            score = c.error * c.curvature;
+            break;
+          case SelectionMeasure::kRandom:
+            break;  // Handled above.
+        }
+        if (score > best_score) {
+          best_score = score;
+          best = ci;
+        }
+      }
+    }
+    if (best == candidates.size()) {
+      // No affordable candidate: connect what exists to free the budget,
+      // then retry; a lattice with nothing left at all ends the plan.
+      if (config_.foresight && !selected.empty() &&
+          place_relays(request.k - selected.size()) > 0) {
+        continue;
+      }
+      break;
+    }
+
+    Candidate& chosen = candidates[best];
+    chosen.used = true;
+    note_added(chosen.pos);
+    const double score =
+        config_.measure == SelectionMeasure::kLocalError ? chosen.error
+        : config_.measure == SelectionMeasure::kCurvature
+            ? chosen.curvature
+        : config_.measure == SelectionMeasure::kProduct
+            ? chosen.error * chosen.curvature
+            : 0.0;
+    selected.push_back(chosen.pos);
+    result.steps.push_back(FraStep{chosen.pos, score, false});
+
+    const geo::InsertResult ins = dt.insert(chosen.pos, chosen.f_value);
+    if (!ins.inserted) continue;  // Coincided with a vertex; z updated.
+
+    // Garland-Heckbert update: only candidates whose triangle died need
+    // re-location (among the fan of new triangles) and error refresh.
+    if (buckets.size() < dt.triangle_slots()) {
+      buckets.resize(dt.triangle_slots() * 2);
+    }
+    std::vector<std::size_t> displaced;
+    for (const int dead : ins.removed_triangles) {
+      auto& bucket = buckets[static_cast<std::size_t>(dead)];
+      displaced.insert(displaced.end(), bucket.begin(), bucket.end());
+      bucket.clear();
+    }
+    for (const std::size_t ci : displaced) {
+      auto& c = candidates[ci];
+      c.triangle = -1;
+      for (const int fresh : ins.created_triangles) {
+        if (dt.triangle_geometry(fresh).contains(c.pos)) {
+          c.triangle = fresh;
+          break;
+        }
+      }
+      if (c.triangle == -1) {
+        // Numerical corner case: the point sits exactly on the cavity
+        // boundary; a full locate resolves it.
+        c.triangle = dt.locate(c.pos);
+      }
+      c.error = std::abs(c.f_value - interpolate_in(dt, c.triangle, c.pos));
+      buckets[static_cast<std::size_t>(c.triangle)].push_back(ci);
+    }
+  }
+
+  result.deployment.positions = std::move(selected);
+  return result;
+}
+
+}  // namespace cps::core

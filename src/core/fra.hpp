@@ -1,0 +1,86 @@
+// Foresighted Refinement Algorithm (Section 4.2, Table 1).
+//
+// FRA answers the (NP-hard) OSD problem heuristically with a
+// coarse-to-fine greedy refinement:
+//
+//   1. Seed the triangulation with the region split into two triangles and
+//      compute the local error |f - DT| at every lattice position.
+//   2. FORESIGHT: count the connected components of the disk graph over
+//      the positions selected so far; if the remaining budget k - i is
+//      exactly what it takes to stitch the components together (relays
+//      spaced <= Rc along the component MST — L(G, Rc) of Table 1), spend
+//      the rest of the budget on those relays and stop.
+//   3. Otherwise select the position with maximal local error, insert it
+//      into the Delaunay triangulation, and update local errors — only
+//      positions inside the retriangulated cavity can have changed, so the
+//      update is O(cavity), the Garland-Heckbert structure.
+//
+// The selection measure is pluggable (local error, curvature, their
+// product, random) to reproduce the Garland comparison the paper cites
+// when motivating local error; see bench_ablation_selection.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "core/types.hpp"
+
+namespace cps::core {
+
+/// What the refinement greedily maximises.
+enum class SelectionMeasure {
+  kLocalError,  ///< |f - DT| at the candidate (the paper's choice).
+  kCurvature,   ///< |Gaussian curvature| of f at the candidate.
+  kProduct,     ///< Local error times curvature.
+  kRandom,      ///< Uniformly random unused candidate (sanity floor).
+};
+
+/// FRA tuning knobs.
+struct FraConfig {
+  /// Candidate lattice density per axis (the paper's sqrt(A) x sqrt(A)
+  /// positions; 100 for the GreenOrbs window).
+  std::size_t error_grid = 100;
+  /// Enable the connectivity foresight step (off = pure greedy, the
+  /// ablation of bench_ablation_foresight).
+  bool foresight = true;
+  SelectionMeasure measure = SelectionMeasure::kLocalError;
+  /// Sensing radius used by the curvature-based selection measures.
+  double curvature_radius = 5.0;
+  /// Seed for SelectionMeasure::kRandom.
+  std::uint64_t seed = 1;
+};
+
+/// One selection the algorithm made, in order.
+struct FraStep {
+  geo::Vec2 position;
+  double score = 0.0;  ///< Measure value at selection time (0 for relays).
+  bool relay = false;  ///< True when placed by the foresight step.
+};
+
+/// Full planning record.
+struct FraResult {
+  Deployment deployment;
+  std::vector<FraStep> steps;
+  std::size_t relay_count = 0;
+};
+
+/// The planner.  Thread-compatible: each plan() call is independent.
+class FraPlanner final : public Planner {
+ public:
+  explicit FraPlanner(const FraConfig& config = {});
+
+  Deployment plan(const field::Field& reference,
+                  const PlanRequest& request) override;
+
+  /// plan() plus the per-step record benches and tests introspect.
+  FraResult plan_detailed(const field::Field& reference,
+                          const PlanRequest& request);
+
+  const FraConfig& config() const noexcept { return config_; }
+
+ private:
+  FraConfig config_;
+};
+
+}  // namespace cps::core

@@ -1,0 +1,79 @@
+// Alternative surface interpolators.
+//
+// The paper settles on Delaunay triangulation for rebuilding z* from the
+// sampled data (Section 3.1) after noting that least squares, polygon
+// meshes, and other interpolation methods are common in the vision
+// literature.  This module makes the interpolator a first-class, swappable
+// piece: the Delaunay surface as an owning Field, plus inverse-distance
+// weighting and nearest-neighbour baselines, so the choice the paper takes
+// for granted can be measured (bench_ablation_interpolation).
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "core/reconstruction.hpp"
+#include "core/types.hpp"
+#include "field/field.hpp"
+#include "geometry/delaunay.hpp"
+#include "numerics/quadrature.hpp"
+
+namespace cps::core {
+
+/// The paper's rebuilt surface z* = DT(x, y), packaged as an owning Field
+/// so it can flow through anything that consumes environments (renderers,
+/// the delta metric's delta_between, field combinators).
+class DelaunayField final : public field::Field {
+ public:
+  /// Takes ownership of a built triangulation.
+  explicit DelaunayField(geo::Delaunay dt) noexcept : dt_(std::move(dt)) {}
+
+  const geo::Delaunay& triangulation() const noexcept { return dt_; }
+
+ private:
+  double do_value(geo::Vec2 p) const override { return dt_.interpolate(p); }
+
+  geo::Delaunay dt_;
+};
+
+/// Inverse-distance-weighted (Shepard) interpolation:
+///   z*(p) = sum_i w_i z_i / sum_i w_i,  w_i = 1 / d(p, p_i)^power.
+/// Exact at sample positions; tends to the sample mean far away.
+class IdwField final : public field::Field {
+ public:
+  /// Requires at least one sample and power > 0
+  /// (std::invalid_argument otherwise).
+  IdwField(std::span<const Sample> samples, double power = 2.0);
+
+  double power() const noexcept { return power_; }
+  std::size_t sample_count() const noexcept { return samples_.size(); }
+
+ private:
+  double do_value(geo::Vec2 p) const override;
+
+  std::vector<Sample> samples_;
+  double power_;
+};
+
+/// Nearest-neighbour (Voronoi) interpolation: z*(p) is the value of the
+/// closest sample.  The crudest baseline; piecewise constant.
+class NearestField final : public field::Field {
+ public:
+  /// Requires at least one sample (std::invalid_argument otherwise).
+  explicit NearestField(std::span<const Sample> samples);
+
+  std::size_t sample_count() const noexcept { return samples_.size(); }
+
+ private:
+  double do_value(geo::Vec2 p) const override;
+
+  std::vector<Sample> samples_;
+};
+
+/// Convenience: reconstruct_surface + DelaunayField in one call.
+std::shared_ptr<const field::Field> make_delaunay_surface(
+    std::span<const Sample> samples, const num::Rect& region,
+    CornerPolicy policy = CornerPolicy::kNearestSample,
+    const field::Field* reference = nullptr);
+
+}  // namespace cps::core

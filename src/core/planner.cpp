@@ -1,0 +1,95 @@
+#include "core/planner.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "numerics/rng.hpp"
+
+namespace cps::core {
+
+Deployment RandomPlanner::plan(const field::Field& /*reference*/,
+                               const PlanRequest& request) {
+  num::Rng rng(seed_);
+  Deployment d;
+  d.positions.reserve(request.k);
+  for (std::size_t i = 0; i < request.k; ++i) {
+    d.positions.push_back({rng.uniform(request.region.x0, request.region.x1),
+                           rng.uniform(request.region.y0, request.region.y1)});
+  }
+  return d;
+}
+
+FarthestPointPlanner::FarthestPointPlanner(std::size_t lattice)
+    : lattice_(lattice) {
+  if (lattice < 2) {
+    throw std::invalid_argument("FarthestPointPlanner: lattice < 2");
+  }
+}
+
+Deployment FarthestPointPlanner::plan(const field::Field& /*reference*/,
+                                      const PlanRequest& request) {
+  Deployment d;
+  if (request.k == 0) return d;
+  // Candidate lattice over the region.
+  std::vector<geo::Vec2> candidates;
+  candidates.reserve(lattice_ * lattice_);
+  const double dx =
+      request.region.width() / static_cast<double>(lattice_ - 1);
+  const double dy =
+      request.region.height() / static_cast<double>(lattice_ - 1);
+  for (std::size_t j = 0; j < lattice_; ++j) {
+    for (std::size_t i = 0; i < lattice_; ++i) {
+      candidates.push_back({request.region.x0 + static_cast<double>(i) * dx,
+                            request.region.y0 + static_cast<double>(j) * dy});
+    }
+  }
+  // Start at the region centre, then grow greedily by max-min distance,
+  // maintained incrementally.
+  d.positions.push_back({request.region.x0 + request.region.width() / 2.0,
+                         request.region.y0 + request.region.height() / 2.0});
+  std::vector<double> nearest(candidates.size());
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    nearest[c] = geo::distance_sq(candidates[c], d.positions.front());
+  }
+  while (d.positions.size() < request.k) {
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < candidates.size(); ++c) {
+      if (nearest[c] > nearest[best]) best = c;
+    }
+    if (nearest[best] <= 0.0) break;  // Lattice exhausted.
+    d.positions.push_back(candidates[best]);
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      nearest[c] = std::min(
+          nearest[c], geo::distance_sq(candidates[c], candidates[best]));
+    }
+  }
+  return d;
+}
+
+Deployment GridPlanner::make_grid(const num::Rect& region, std::size_t k) {
+  Deployment d;
+  if (k == 0) return d;
+  const auto cols = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(k))));
+  const std::size_t rows = (k + cols - 1) / cols;
+  const double dx = region.width() / static_cast<double>(cols);
+  const double dy = region.height() / static_cast<double>(rows);
+  d.positions.reserve(k);
+  for (std::size_t r = 0; r < rows && d.positions.size() < k; ++r) {
+    for (std::size_t c = 0; c < cols && d.positions.size() < k; ++c) {
+      d.positions.push_back(
+          {region.x0 + (static_cast<double>(c) + 0.5) * dx,
+           region.y0 + (static_cast<double>(r) + 0.5) * dy});
+    }
+  }
+  return d;
+}
+
+Deployment GridPlanner::plan(const field::Field& /*reference*/,
+                             const PlanRequest& request) {
+  return make_grid(request.region, request.k);
+}
+
+}  // namespace cps::core

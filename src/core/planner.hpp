@@ -1,0 +1,82 @@
+// Deployment planners: the strategy interface plus the paper's baselines.
+//
+// A planner answers the OSD question (Definition 3.1): given the
+// referential surface f, the region A, the node budget k, and the
+// communication radius Rc, choose the k node positions.  FRA (core/fra.hpp)
+// is the paper's contribution; RandomPlanner is the baseline of Fig. 7 and
+// GridPlanner is the uniform-distribution comparison of Fig. 3 (and CMA's
+// initial state).
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.hpp"
+#include "field/field.hpp"
+#include "numerics/quadrature.hpp"
+
+namespace cps::core {
+
+/// Common planner inputs.
+struct PlanRequest {
+  num::Rect region{0.0, 0.0, 100.0, 100.0};
+  std::size_t k = 0;      ///< Node budget.
+  double rc = 10.0;       ///< Communication radius.
+};
+
+/// Strategy interface.  Implementations must return at most k positions,
+/// all inside the region.
+class Planner {
+ public:
+  virtual ~Planner() = default;
+
+  /// Plans a deployment against the referential surface.
+  virtual Deployment plan(const field::Field& reference,
+                          const PlanRequest& request) = 0;
+};
+
+/// Uniform-random scatter (the "widely used method in WSN study" the paper
+/// compares against in Fig. 7).  Ignores the reference surface; makes no
+/// connectivity promise.
+class RandomPlanner final : public Planner {
+ public:
+  explicit RandomPlanner(std::uint64_t seed = 1) noexcept : seed_(seed) {}
+
+  Deployment plan(const field::Field& reference,
+                  const PlanRequest& request) override;
+
+ private:
+  std::uint64_t seed_;
+};
+
+/// Greedy farthest-point ("max-min distance") placement: each node goes
+/// to the lattice position maximising the distance to all previously
+/// placed nodes — the classic 2-approximation for k-center coverage and a
+/// stronger field-blind baseline than random scatter.  Makes no
+/// connectivity promise (like RandomPlanner).
+class FarthestPointPlanner final : public Planner {
+ public:
+  /// `lattice` is candidate positions per axis (>= 2).
+  explicit FarthestPointPlanner(std::size_t lattice = 50);
+
+  Deployment plan(const field::Field& reference,
+                  const PlanRequest& request) override;
+
+ private:
+  std::size_t lattice_;
+};
+
+/// Near-square grid ("uniform distribution", Fig. 3(b); also CMA's
+/// connected initial state, Fig. 8(a)).  Rows x cols is the most-square
+/// factorisation covering k; nodes sit at cell centres, so for k = 100 on
+/// a 100 x 100 region the pitch is 10 m — exactly Rc in the paper's
+/// setting, which keeps the grid connected.
+class GridPlanner final : public Planner {
+ public:
+  Deployment plan(const field::Field& reference,
+                  const PlanRequest& request) override;
+
+  /// The grid itself, independent of any field.
+  static Deployment make_grid(const num::Rect& region, std::size_t k);
+};
+
+}  // namespace cps::core

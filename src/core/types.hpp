@@ -1,0 +1,24 @@
+// Shared value types of the core library.
+#pragma once
+
+#include <vector>
+
+#include "geometry/vec2.hpp"
+
+namespace cps::core {
+
+/// One environment measurement: where it was taken and the sensed value.
+struct Sample {
+  geo::Vec2 position;
+  double z = 0.0;
+};
+
+/// A planned deployment: the k node positions a planner selected.
+struct Deployment {
+  std::vector<geo::Vec2> positions;
+
+  std::size_t size() const noexcept { return positions.size(); }
+  bool empty() const noexcept { return positions.empty(); }
+};
+
+}  // namespace cps::core

@@ -1,0 +1,51 @@
+#include "field/analytic_fields.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cps::field {
+
+AnalyticField::AnalyticField(std::function<double(double, double)> fn)
+    : fn_(std::move(fn)) {
+  if (!fn_) throw std::invalid_argument("AnalyticField: empty callable");
+}
+
+PeaksField::PeaksField(const num::Rect& domain) : domain_(domain) {
+  if (domain.width() <= 0.0 || domain.height() <= 0.0) {
+    throw std::invalid_argument("PeaksField: empty domain");
+  }
+}
+
+double PeaksField::peaks(double u, double v) noexcept {
+  return 3.0 * (1.0 - u) * (1.0 - u) * std::exp(-u * u - (v + 1.0) * (v + 1.0)) -
+         10.0 * (u / 5.0 - u * u * u - std::pow(v, 5.0)) *
+             std::exp(-u * u - v * v) -
+         (1.0 / 3.0) * std::exp(-(u + 1.0) * (u + 1.0) - v * v);
+}
+
+double PeaksField::do_value(geo::Vec2 p) const {
+  const double u = -3.0 + 6.0 * (p.x - domain_.x0) / domain_.width();
+  const double v = -3.0 + 6.0 * (p.y - domain_.y0) / domain_.height();
+  return peaks(u, v);
+}
+
+GaussianMixtureField::GaussianMixtureField(double base,
+                                           std::vector<GaussianBump> bumps)
+    : base_(base), bumps_(std::move(bumps)) {
+  for (const auto& b : bumps_) {
+    if (b.sigma <= 0.0) {
+      throw std::invalid_argument("GaussianMixtureField: sigma <= 0");
+    }
+  }
+}
+
+double GaussianMixtureField::do_value(geo::Vec2 p) const {
+  double z = base_;
+  for (const auto& b : bumps_) {
+    const double r2 = distance_sq(p, b.center);
+    z += b.amplitude * std::exp(-r2 / (2.0 * b.sigma * b.sigma));
+  }
+  return z;
+}
+
+}  // namespace cps::field

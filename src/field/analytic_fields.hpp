@@ -1,0 +1,115 @@
+// Closed-form environment models: exact functions used as referential
+// surfaces in tests and in the Fig. 3 reproduction (Matlab peaks).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "field/field.hpp"
+#include "numerics/quadrature.hpp"
+
+namespace cps::field {
+
+/// Wraps an arbitrary callable as a Field.
+class AnalyticField final : public Field {
+ public:
+  /// Throws std::invalid_argument when fn is empty.
+  explicit AnalyticField(std::function<double(double, double)> fn);
+
+ private:
+  double do_value(geo::Vec2 p) const override { return fn_(p.x, p.y); }
+
+  std::function<double(double, double)> fn_;
+};
+
+/// Constant surface z = c (the degenerate case every interpolant must
+/// reproduce exactly).
+class ConstantField final : public Field {
+ public:
+  explicit ConstantField(double c) noexcept : c_(c) {}
+
+ private:
+  double do_value(geo::Vec2) const override { return c_; }
+
+  double c_;
+};
+
+/// Plane z = offset + gx * x + gy * y.  Piecewise-linear interpolation is
+/// exact on planes, which makes this the canonical zero-delta test field.
+class PlaneField final : public Field {
+ public:
+  PlaneField(double offset, double gx, double gy) noexcept
+      : offset_(offset), gx_(gx), gy_(gy) {}
+
+ private:
+  double do_value(geo::Vec2 p) const override {
+    return offset_ + gx_ * p.x + gy_ * p.y;
+  }
+
+  double offset_;
+  double gx_;
+  double gy_;
+};
+
+/// Centered quadric z = a dx^2 + b dx dy + c dy^2 — ground truth for the
+/// curvature estimator (its fit must recover a, b, c exactly).
+class QuadricField final : public Field {
+ public:
+  QuadricField(geo::Vec2 center, double a, double b, double c) noexcept
+      : center_(center), a_(a), b_(b), c_(c) {}
+
+ private:
+  double do_value(geo::Vec2 p) const override {
+    const geo::Vec2 d = p - center_;
+    return a_ * d.x * d.x + b_ * d.x * d.y + c_ * d.y * d.y;
+  }
+
+  geo::Vec2 center_;
+  double a_;
+  double b_;
+  double c_;
+};
+
+/// The Matlab `peaks` surface mapped from its native [-3, 3]^2 domain onto
+/// an arbitrary rectangle.  This is the exact referential surface of the
+/// paper's Fig. 3 (Peaks(100) on a 100 x 100 region).
+class PeaksField final : public Field {
+ public:
+  /// Throws std::invalid_argument for an empty rectangle.
+  explicit PeaksField(const num::Rect& domain);
+
+  /// The classic formula on native coordinates (u, v) in [-3, 3].
+  static double peaks(double u, double v) noexcept;
+
+ private:
+  double do_value(geo::Vec2 p) const override;
+
+  num::Rect domain_;
+};
+
+/// One radial Gaussian bump.
+struct GaussianBump {
+  geo::Vec2 center;
+  double amplitude = 1.0;
+  double sigma = 1.0;  ///< Spatial spread; must be > 0.
+};
+
+/// Sum of Gaussian bumps over a base level — the building block of the
+/// synthetic GreenOrbs-like light field (canopy gaps show up as bright,
+/// roughly radial patches; see cps::trace).
+class GaussianMixtureField final : public Field {
+ public:
+  /// Throws std::invalid_argument when any bump has sigma <= 0.
+  GaussianMixtureField(double base, std::vector<GaussianBump> bumps);
+
+  double base() const noexcept { return base_; }
+  const std::vector<GaussianBump>& bumps() const noexcept { return bumps_; }
+
+ private:
+  double do_value(geo::Vec2 p) const override;
+
+  double base_;
+  std::vector<GaussianBump> bumps_;
+};
+
+}  // namespace cps::field

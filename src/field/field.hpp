@@ -1,0 +1,73 @@
+// Abstract environment models.
+//
+// The paper represents a physical condition over the region as a bivariate
+// function z = f(x, y) ("virtual surface", Section 3.1); time-varying
+// conditions add a time argument, z = f(x(t), y(t)).  Every consumer in the
+// library — planners, the delta metric, curvature estimation, trace
+// generation — works against these two interfaces, which is what lets the
+// GreenOrbs trace substitution stay behind one seam.
+//
+// Both interfaces follow the non-virtual-interface pattern: the public
+// `value` overloads forward to one private virtual, so implementations
+// override a single function and callers get both calling conventions.
+#pragma once
+
+#include "geometry/vec2.hpp"
+
+namespace cps::field {
+
+/// A static scalar environment over the plane: z = f(x, y).
+///
+/// Implementations must be safe to call concurrently from const contexts
+/// and total over the region of interest (callers never range-check).
+class Field {
+ public:
+  virtual ~Field() = default;
+
+  /// Environment value at position p.
+  double value(geo::Vec2 p) const { return do_value(p); }
+
+  /// Convenience overload.
+  double value(double x, double y) const { return do_value({x, y}); }
+
+ private:
+  virtual double do_value(geo::Vec2 p) const = 0;
+};
+
+/// A time-varying scalar environment: z = f(x, y, t).  Time is in the
+/// simulation unit (minutes in the paper's evaluation).
+class TimeVaryingField {
+ public:
+  virtual ~TimeVaryingField() = default;
+
+  /// Environment value at position p and time t.
+  double value(geo::Vec2 p, double t) const { return do_value(p, t); }
+
+  double value(double x, double y, double t) const {
+    return do_value({x, y}, t);
+  }
+
+ private:
+  virtual double do_value(geo::Vec2 p, double t) const = 0;
+};
+
+/// Non-owning view of a TimeVaryingField frozen at one instant, usable
+/// wherever a static Field is expected (e.g. evaluating delta at slot t).
+/// The underlying field must outlive the slice.
+class FieldSlice final : public Field {
+ public:
+  FieldSlice(const TimeVaryingField& field, double t) noexcept
+      : field_(&field), t_(t) {}
+
+  double time() const noexcept { return t_; }
+
+ private:
+  double do_value(geo::Vec2 p) const override {
+    return field_->value(p, t_);
+  }
+
+  const TimeVaryingField* field_;
+  double t_;
+};
+
+}  // namespace cps::field

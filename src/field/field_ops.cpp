@@ -1,0 +1,53 @@
+#include "field/field_ops.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cps::field {
+namespace {
+
+void require(const FieldPtr& f, const char* what) {
+  if (!f) throw std::invalid_argument(what);
+}
+
+}  // namespace
+
+SumField::SumField(FieldPtr a, FieldPtr b)
+    : a_(std::move(a)), b_(std::move(b)) {
+  require(a_, "SumField: null operand");
+  require(b_, "SumField: null operand");
+}
+
+double SumField::do_value(geo::Vec2 p) const {
+  return a_->value(p) + b_->value(p);
+}
+
+ScaledField::ScaledField(FieldPtr f, double scale, double offset)
+    : f_(std::move(f)), scale_(scale), offset_(offset) {
+  require(f_, "ScaledField: null operand");
+}
+
+double ScaledField::do_value(geo::Vec2 p) const {
+  return scale_ * f_->value(p) + offset_;
+}
+
+TranslatedField::TranslatedField(FieldPtr f, geo::Vec2 shift)
+    : f_(std::move(f)), shift_(shift) {
+  require(f_, "TranslatedField: null operand");
+}
+
+double TranslatedField::do_value(geo::Vec2 p) const {
+  return f_->value(p - shift_);
+}
+
+ClampedField::ClampedField(FieldPtr f, double lo, double hi)
+    : f_(std::move(f)), lo_(lo), hi_(hi) {
+  require(f_, "ClampedField: null operand");
+  if (lo > hi) throw std::invalid_argument("ClampedField: lo > hi");
+}
+
+double ClampedField::do_value(geo::Vec2 p) const {
+  return std::clamp(f_->value(p), lo_, hi_);
+}
+
+}  // namespace cps::field

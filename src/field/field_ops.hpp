@@ -1,0 +1,67 @@
+// Field combinators: compose environment models without writing new
+// classes.  All combinators share ownership of their operands via
+// shared_ptr so composed fields are freely copyable and returnable.
+#pragma once
+
+#include <memory>
+
+#include "field/field.hpp"
+
+namespace cps::field {
+
+using FieldPtr = std::shared_ptr<const Field>;
+
+/// Pointwise sum of two fields.
+class SumField final : public Field {
+ public:
+  /// Throws std::invalid_argument on null operands.
+  SumField(FieldPtr a, FieldPtr b);
+
+ private:
+  double do_value(geo::Vec2 p) const override;
+
+  FieldPtr a_;
+  FieldPtr b_;
+};
+
+/// Affine transform of the value: scale * f(p) + offset.
+class ScaledField final : public Field {
+ public:
+  ScaledField(FieldPtr f, double scale, double offset = 0.0);
+
+ private:
+  double do_value(geo::Vec2 p) const override;
+
+  FieldPtr f_;
+  double scale_;
+  double offset_;
+};
+
+/// Evaluates the wrapped field at p - shift (translates features by
+/// +shift).  Used by the trace generator to drift canopy-gap bumps.
+class TranslatedField final : public Field {
+ public:
+  TranslatedField(FieldPtr f, geo::Vec2 shift);
+
+ private:
+  double do_value(geo::Vec2 p) const override;
+
+  FieldPtr f_;
+  geo::Vec2 shift_;
+};
+
+/// Clamps the value into [lo, hi]; models sensor saturation (light sensors
+/// bottom out at 0 KLux).  Throws std::invalid_argument when lo > hi.
+class ClampedField final : public Field {
+ public:
+  ClampedField(FieldPtr f, double lo, double hi);
+
+ private:
+  double do_value(geo::Vec2 p) const override;
+
+  FieldPtr f_;
+  double lo_;
+  double hi_;
+};
+
+}  // namespace cps::field

@@ -1,0 +1,84 @@
+#include "field/grid_field.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cps::field {
+
+GridField::GridField(const num::Rect& bounds, std::size_t nx, std::size_t ny)
+    : GridField(bounds, nx, ny, std::vector<double>(nx * ny, 0.0)) {}
+
+GridField::GridField(const num::Rect& bounds, std::size_t nx, std::size_t ny,
+                     std::vector<double> data)
+    : bounds_(bounds), nx_(nx), ny_(ny), data_(std::move(data)) {
+  if (nx < 2 || ny < 2) throw std::invalid_argument("GridField: nx, ny >= 2");
+  if (bounds.width() <= 0.0 || bounds.height() <= 0.0) {
+    throw std::invalid_argument("GridField: empty bounds");
+  }
+  if (data_.size() != nx_ * ny_) {
+    throw std::invalid_argument("GridField: data size != nx * ny");
+  }
+}
+
+GridField GridField::sample(const Field& f, const num::Rect& bounds,
+                            std::size_t nx, std::size_t ny) {
+  GridField g(bounds, nx, ny);
+  for (std::size_t j = 0; j < ny; ++j) {
+    for (std::size_t i = 0; i < nx; ++i) {
+      g.set(i, j, f.value(g.sample_position(i, j)));
+    }
+  }
+  return g;
+}
+
+geo::Vec2 GridField::sample_position(std::size_t i,
+                                     std::size_t j) const noexcept {
+  const double dx = bounds_.width() / static_cast<double>(nx_ - 1);
+  const double dy = bounds_.height() / static_cast<double>(ny_ - 1);
+  return {bounds_.x0 + static_cast<double>(i) * dx,
+          bounds_.y0 + static_cast<double>(j) * dy};
+}
+
+double GridField::at(std::size_t i, std::size_t j) const {
+  if (i >= nx_ || j >= ny_) throw std::out_of_range("GridField::at");
+  return data_[j * nx_ + i];
+}
+
+void GridField::set(std::size_t i, std::size_t j, double z) {
+  if (i >= nx_ || j >= ny_) throw std::out_of_range("GridField::set");
+  data_[j * nx_ + i] = z;
+}
+
+double GridField::do_value(geo::Vec2 p) const {
+  // Map to fractional grid coordinates, clamped to the border so queries a
+  // hair outside the rectangle (CMA nodes sensing at the fence) stay total.
+  const double fx = (p.x - bounds_.x0) / bounds_.width() *
+                    static_cast<double>(nx_ - 1);
+  const double fy = (p.y - bounds_.y0) / bounds_.height() *
+                    static_cast<double>(ny_ - 1);
+  const double cx = std::clamp(fx, 0.0, static_cast<double>(nx_ - 1));
+  const double cy = std::clamp(fy, 0.0, static_cast<double>(ny_ - 1));
+  const auto i0 = static_cast<std::size_t>(
+      std::min(cx, static_cast<double>(nx_ - 2)));
+  const auto j0 = static_cast<std::size_t>(
+      std::min(cy, static_cast<double>(ny_ - 2)));
+  const double tx = cx - static_cast<double>(i0);
+  const double ty = cy - static_cast<double>(j0);
+  const double v00 = data_[j0 * nx_ + i0];
+  const double v10 = data_[j0 * nx_ + i0 + 1];
+  const double v01 = data_[(j0 + 1) * nx_ + i0];
+  const double v11 = data_[(j0 + 1) * nx_ + i0 + 1];
+  const double a = v00 * (1.0 - tx) + v10 * tx;
+  const double b = v01 * (1.0 - tx) + v11 * tx;
+  return a * (1.0 - ty) + b * ty;
+}
+
+double GridField::min_value() const noexcept {
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+double GridField::max_value() const noexcept {
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+}  // namespace cps::field

@@ -1,0 +1,58 @@
+// Gridded environment data with bilinear interpolation.
+//
+// A GridField is the in-memory form of one trace frame (the GreenOrbs-like
+// generator rasterises its analytic model into frames so the simulated
+// "historical data" has the same granularity a real deployment log would).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "field/field.hpp"
+#include "numerics/quadrature.hpp"
+
+namespace cps::field {
+
+/// nx x ny samples over a rectangle, bilinearly interpolated between sample
+/// positions and clamped at the border.  Sample (i, j) sits at
+/// (x0 + i*dx, y0 + j*dy) with dx = width/(nx-1).
+class GridField final : public Field {
+ public:
+  /// Zero-filled grid.  Requires nx, ny >= 2 (std::invalid_argument).
+  GridField(const num::Rect& bounds, std::size_t nx, std::size_t ny);
+
+  /// Grid with explicit row-major data (data.size() == nx * ny, index
+  /// j * nx + i); throws std::invalid_argument on size mismatch.
+  GridField(const num::Rect& bounds, std::size_t nx, std::size_t ny,
+            std::vector<double> data);
+
+  /// Rasterises an arbitrary field onto a grid.
+  static GridField sample(const Field& f, const num::Rect& bounds,
+                          std::size_t nx, std::size_t ny);
+
+  const num::Rect& bounds() const noexcept { return bounds_; }
+  std::size_t nx() const noexcept { return nx_; }
+  std::size_t ny() const noexcept { return ny_; }
+
+  double at(std::size_t i, std::size_t j) const;
+  void set(std::size_t i, std::size_t j, double z);
+
+  /// Position of sample (i, j) on the plane.
+  geo::Vec2 sample_position(std::size_t i, std::size_t j) const noexcept;
+
+  double min_value() const noexcept;
+  double max_value() const noexcept;
+
+  /// Raw row-major storage (size nx * ny).
+  const std::vector<double>& data() const noexcept { return data_; }
+
+ private:
+  double do_value(geo::Vec2 p) const override;
+
+  num::Rect bounds_;
+  std::size_t nx_ = 0;
+  std::size_t ny_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace cps::field

@@ -1,0 +1,53 @@
+#include "field/time_varying.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cps::field {
+
+AnalyticTimeField::AnalyticTimeField(
+    std::function<double(double, double, double)> fn)
+    : fn_(std::move(fn)) {
+  if (!fn_) throw std::invalid_argument("AnalyticTimeField: empty callable");
+}
+
+StaticTimeField::StaticTimeField(std::shared_ptr<const Field> f)
+    : f_(std::move(f)) {
+  if (!f_) throw std::invalid_argument("StaticTimeField: null field");
+}
+
+FrameSequenceField::FrameSequenceField(std::vector<GridField> frames,
+                                       std::vector<double> timestamps)
+    : frames_(std::move(frames)), timestamps_(std::move(timestamps)) {
+  if (frames_.empty() || frames_.size() != timestamps_.size()) {
+    throw std::invalid_argument("FrameSequenceField: frames/timestamps");
+  }
+  for (std::size_t i = 1; i < timestamps_.size(); ++i) {
+    if (timestamps_[i] <= timestamps_[i - 1]) {
+      throw std::invalid_argument(
+          "FrameSequenceField: timestamps not increasing");
+    }
+    if (frames_[i].nx() != frames_[0].nx() ||
+        frames_[i].ny() != frames_[0].ny()) {
+      throw std::invalid_argument("FrameSequenceField: grid shape mismatch");
+    }
+  }
+}
+
+double FrameSequenceField::do_value(geo::Vec2 p, double t) const {
+  if (frames_.size() == 1 || t <= timestamps_.front()) {
+    return frames_.front().value(p);
+  }
+  if (t >= timestamps_.back()) return frames_.back().value(p);
+  // First timestamp strictly greater than t; predecessor exists because of
+  // the clamps above.
+  const auto it =
+      std::upper_bound(timestamps_.begin(), timestamps_.end(), t);
+  const auto hi = static_cast<std::size_t>(it - timestamps_.begin());
+  const std::size_t lo = hi - 1;
+  const double span = timestamps_[hi] - timestamps_[lo];
+  const double w = (t - timestamps_[lo]) / span;
+  return frames_[lo].value(p) * (1.0 - w) + frames_[hi].value(p) * w;
+}
+
+}  // namespace cps::field

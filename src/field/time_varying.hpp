@@ -1,0 +1,66 @@
+// Time-varying environment models.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "field/field.hpp"
+#include "field/grid_field.hpp"
+
+namespace cps::field {
+
+/// Wraps a callable f(x, y, t) as a TimeVaryingField.
+class AnalyticTimeField final : public TimeVaryingField {
+ public:
+  /// Throws std::invalid_argument when fn is empty.
+  explicit AnalyticTimeField(std::function<double(double, double, double)> fn);
+
+ private:
+  double do_value(geo::Vec2 p, double t) const override {
+    return fn_(p.x, p.y, t);
+  }
+
+  std::function<double(double, double, double)> fn_;
+};
+
+/// A static field viewed as (trivially) time-varying.
+class StaticTimeField final : public TimeVaryingField {
+ public:
+  /// Throws std::invalid_argument when f is null.
+  explicit StaticTimeField(std::shared_ptr<const Field> f);
+
+ private:
+  double do_value(geo::Vec2 p, double) const override {
+    return f_->value(p);
+  }
+
+  std::shared_ptr<const Field> f_;
+};
+
+/// A sequence of grid frames at increasing timestamps, linearly
+/// interpolated in time and clamped outside [t_first, t_last].  This is the
+/// playback form of a recorded (or synthesised) trace: exactly how the
+/// GreenOrbs hourly logs would be replayed.
+class FrameSequenceField final : public TimeVaryingField {
+ public:
+  /// Frames and timestamps must be equally sized (>= 1) with strictly
+  /// increasing timestamps and identical grid geometry; throws
+  /// std::invalid_argument otherwise.
+  FrameSequenceField(std::vector<GridField> frames,
+                     std::vector<double> timestamps);
+
+  std::size_t frame_count() const noexcept { return frames_.size(); }
+  const GridField& frame(std::size_t i) const { return frames_.at(i); }
+  double timestamp(std::size_t i) const { return timestamps_.at(i); }
+  double first_time() const noexcept { return timestamps_.front(); }
+  double last_time() const noexcept { return timestamps_.back(); }
+
+ private:
+  double do_value(geo::Vec2 p, double t) const override;
+
+  std::vector<GridField> frames_;
+  std::vector<double> timestamps_;
+};
+
+}  // namespace cps::field

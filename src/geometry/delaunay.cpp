@@ -1,0 +1,353 @@
+#include "geometry/delaunay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "geometry/predicates.hpp"
+
+namespace cps::geo {
+namespace {
+
+constexpr double kBoundsTol = 1e-9;
+
+}  // namespace
+
+Delaunay::Delaunay(const num::Rect& bounds) : bounds_(bounds) {
+  if (bounds.width() <= 0.0 || bounds.height() <= 0.0) {
+    throw std::invalid_argument("Delaunay: empty region");
+  }
+  vertices_ = {
+      {{bounds.x0, bounds.y0}, 0.0},
+      {{bounds.x1, bounds.y0}, 0.0},
+      {{bounds.x1, bounds.y1}, 0.0},
+      {{bounds.x0, bounds.y1}, 0.0},
+  };
+  // Two seed triangles split by the (0, 2) diagonal, both CCW.
+  triangles_.resize(2);
+  triangles_[0] = DtTriangle{{0, 1, 2}, {-1, 1, -1}, true};
+  triangles_[1] = DtTriangle{{0, 2, 3}, {-1, -1, 0}, true};
+  alive_count_ = 2;
+  cavity_epoch_.assign(2, 0);
+  cavity_state_.assign(2, 0);
+}
+
+int Delaunay::alloc_triangle() {
+  if (!free_list_.empty()) {
+    const int id = free_list_.back();
+    free_list_.pop_back();
+    triangles_[static_cast<std::size_t>(id)].alive = true;
+    ++alive_count_;
+    return id;
+  }
+  triangles_.push_back(DtTriangle{});
+  triangles_.back().alive = true;
+  cavity_epoch_.push_back(0);
+  cavity_state_.push_back(0);
+  ++alive_count_;
+  return static_cast<int>(triangles_.size()) - 1;
+}
+
+void Delaunay::free_triangle(int id) {
+  auto& t = triangles_[static_cast<std::size_t>(id)];
+  t.alive = false;
+  t.nbr = {-1, -1, -1};
+  free_list_.push_back(id);
+  --alive_count_;
+}
+
+Triangle Delaunay::triangle_geometry(int id) const {
+  const auto& t = triangles_.at(static_cast<std::size_t>(id));
+  if (!t.alive) throw std::invalid_argument("triangle_geometry: dead id");
+  return Triangle(vertices_[static_cast<std::size_t>(t.v[0])].pos,
+                  vertices_[static_cast<std::size_t>(t.v[1])].pos,
+                  vertices_[static_cast<std::size_t>(t.v[2])].pos);
+}
+
+std::vector<int> Delaunay::alive_triangles() const {
+  std::vector<int> out;
+  out.reserve(alive_count_);
+  for (std::size_t i = 0; i < triangles_.size(); ++i) {
+    if (triangles_[i].alive) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+void Delaunay::set_vertex_z(int id, double z) {
+  vertices_.at(static_cast<std::size_t>(id)).z = z;
+}
+
+int Delaunay::walk_from(int start, Vec2 p) const {
+  int current = start;
+  int previous = -1;
+  // A straight walk over a Delaunay triangulation of a convex region
+  // terminates; the step cap only guards against degenerate adjacency bugs.
+  const std::size_t max_steps = 4 * triangles_.size() + 16;
+  for (std::size_t step = 0; step < max_steps; ++step) {
+    const auto& t = triangles_[static_cast<std::size_t>(current)];
+    int next = -1;
+    bool inside = true;
+    for (int e = 0; e < 3; ++e) {
+      const Vec2 a =
+          vertices_[static_cast<std::size_t>(t.v[(e + 1) % 3])].pos;
+      const Vec2 b =
+          vertices_[static_cast<std::size_t>(t.v[(e + 2) % 3])].pos;
+      if (orient2d(a, b, p) < 0) {
+        inside = false;
+        const int candidate = t.nbr[static_cast<std::size_t>(e)];
+        if (candidate != -1 && candidate != previous) {
+          next = candidate;
+          break;
+        }
+      }
+    }
+    if (inside) return current;
+    if (next == -1) break;  // Fall through to the exhaustive scan.
+    previous = current;
+    current = next;
+  }
+  // Exhaustive fallback — hit only under adversarial degeneracy.
+  for (std::size_t i = 0; i < triangles_.size(); ++i) {
+    if (!triangles_[i].alive) continue;
+    if (triangle_geometry(static_cast<int>(i)).contains(p)) {
+      return static_cast<int>(i);
+    }
+  }
+  throw std::logic_error("Delaunay::locate: walk failed for in-region point");
+}
+
+int Delaunay::locate(Vec2 p, int hint) const {
+  if (p.x < bounds_.x0 - kBoundsTol || p.x > bounds_.x1 + kBoundsTol ||
+      p.y < bounds_.y0 - kBoundsTol || p.y > bounds_.y1 + kBoundsTol) {
+    throw std::invalid_argument("Delaunay::locate: point outside region");
+  }
+  const Vec2 q{std::clamp(p.x, bounds_.x0, bounds_.x1),
+               std::clamp(p.y, bounds_.y0, bounds_.y1)};
+  int start = hint;
+  if (start < 0 || start >= static_cast<int>(triangles_.size()) ||
+      !triangles_[static_cast<std::size_t>(start)].alive) {
+    start = locate_hint_;
+    if (start < 0 || start >= static_cast<int>(triangles_.size()) ||
+        !triangles_[static_cast<std::size_t>(start)].alive) {
+      start = -1;
+      for (std::size_t i = 0; i < triangles_.size(); ++i) {
+        if (triangles_[i].alive) {
+          start = static_cast<int>(i);
+          break;
+        }
+      }
+    }
+  }
+  const int found = walk_from(start, q);
+  locate_hint_ = found;
+  return found;
+}
+
+double Delaunay::interpolate(Vec2 p) const {
+  const int tid = locate(p);
+  const auto& t = triangles_[static_cast<std::size_t>(tid)];
+  return interpolate_linear(
+      triangle_geometry(tid), vertices_[static_cast<std::size_t>(t.v[0])].z,
+      vertices_[static_cast<std::size_t>(t.v[1])].z,
+      vertices_[static_cast<std::size_t>(t.v[2])].z, p);
+}
+
+bool Delaunay::in_cavity(int tri, Vec2 p) const {
+  if (cavity_epoch_[static_cast<std::size_t>(tri)] == epoch_) {
+    return cavity_state_[static_cast<std::size_t>(tri)] == 1;
+  }
+  const auto& t = triangles_[static_cast<std::size_t>(tri)];
+  const bool in =
+      incircle(vertices_[static_cast<std::size_t>(t.v[0])].pos,
+               vertices_[static_cast<std::size_t>(t.v[1])].pos,
+               vertices_[static_cast<std::size_t>(t.v[2])].pos, p) > 0;
+  cavity_epoch_[static_cast<std::size_t>(tri)] = epoch_;
+  cavity_state_[static_cast<std::size_t>(tri)] = in ? 1 : 0;
+  return in;
+}
+
+InsertResult Delaunay::insert(Vec2 p, double z, double duplicate_tol) {
+  const int containing = locate(p);  // Validates bounds.
+  InsertResult result;
+
+  // Duplicate check against the containing triangle's vertices: a
+  // coincident point always lands in a triangle incident to the original.
+  {
+    const auto& t = triangles_[static_cast<std::size_t>(containing)];
+    for (const int vid : t.v) {
+      if (distance(vertices_[static_cast<std::size_t>(vid)].pos, p) <=
+          duplicate_tol) {
+        vertices_[static_cast<std::size_t>(vid)].z = z;
+        result.vertex = vid;
+        result.inserted = false;
+        return result;
+      }
+    }
+  }
+
+  const int new_vertex = static_cast<int>(vertices_.size());
+  vertices_.push_back(DtVertex{p, z});
+
+  // Grow the cavity from the containing triangle.  The containing triangle
+  // is force-included: mathematically p (strictly inside or on an edge of
+  // it) is strictly inside its circumcircle, but the filtered predicate may
+  // report a near-degenerate case as "on".
+  ++epoch_;
+  if (epoch_ == 0) {  // Wrapped: reset stamps.
+    std::fill(cavity_epoch_.begin(), cavity_epoch_.end(), 0u);
+    epoch_ = 1;
+  }
+  cavity_epoch_[static_cast<std::size_t>(containing)] = epoch_;
+  cavity_state_[static_cast<std::size_t>(containing)] = 1;
+
+  std::vector<int> cavity{containing};
+  struct BoundaryEdge {
+    int a;        // Edge endpoints, CCW as seen from inside the cavity.
+    int b;
+    int outside;  // Triangle beyond the edge (-1 on the region border).
+  };
+  std::vector<BoundaryEdge> boundary;
+  for (std::size_t idx = 0; idx < cavity.size(); ++idx) {
+    const int tid = cavity[idx];
+    const auto t = triangles_[static_cast<std::size_t>(tid)];  // Copy: the
+    // vector may reallocate later, and we only read this snapshot.
+    for (int e = 0; e < 3; ++e) {
+      const int n = t.nbr[static_cast<std::size_t>(e)];
+      bool neighbor_in = false;
+      if (n != -1) {
+        // A neighbour not yet stamped this epoch is being classified for
+        // the first time; that is exactly when it may join the frontier.
+        const bool first_visit =
+            cavity_epoch_[static_cast<std::size_t>(n)] != epoch_;
+        neighbor_in = in_cavity(n, p);
+        if (neighbor_in && first_visit) cavity.push_back(n);
+      }
+      if (!neighbor_in) {
+        boundary.push_back(
+            BoundaryEdge{t.v[static_cast<std::size_t>((e + 1) % 3)],
+                         t.v[static_cast<std::size_t>((e + 2) % 3)], n});
+      }
+    }
+  }
+
+  // A point on a region-border edge leaves that edge on the cavity
+  // boundary but collinear with p; the (p, a, b) triangle it would spawn is
+  // degenerate.  Drop such edges — the fan then forms an open chain whose
+  // two dangling (p, endpoint) edges lie on the region border.
+  std::erase_if(boundary, [&](const BoundaryEdge& edge) {
+    return orient2d(vertices_[static_cast<std::size_t>(edge.a)].pos,
+                    vertices_[static_cast<std::size_t>(edge.b)].pos, p) == 0;
+  });
+
+  // Retriangulate: one new triangle (p, a, b) per boundary edge.  New
+  // triangles are allocated before the cavity is freed so that ids in
+  // `removed_triangles` and `created_triangles` never overlap (callers
+  // re-bucket samples keyed by these ids).
+  std::unordered_map<int, int> tri_starting_at;  // a -> new triangle id
+  std::unordered_map<int, int> tri_ending_at;    // b -> new triangle id
+  tri_starting_at.reserve(boundary.size());
+  tri_ending_at.reserve(boundary.size());
+
+  std::vector<int> created;
+  created.reserve(boundary.size());
+  for (const auto& edge : boundary) {
+    const int tid = alloc_triangle();
+    auto& t = triangles_[static_cast<std::size_t>(tid)];
+    t.v = {new_vertex, edge.a, edge.b};
+    t.nbr = {edge.outside, -1, -1};
+    created.push_back(tid);
+    tri_starting_at[edge.a] = tid;
+    tri_ending_at[edge.b] = tid;
+    // Re-point the outside triangle's adjacency at the replacement.
+    if (edge.outside != -1) {
+      auto& out = triangles_[static_cast<std::size_t>(edge.outside)];
+      for (int e = 0; e < 3; ++e) {
+        const int va = out.v[static_cast<std::size_t>((e + 1) % 3)];
+        const int vb = out.v[static_cast<std::size_t>((e + 2) % 3)];
+        if ((va == edge.b && vb == edge.a) || (va == edge.a && vb == edge.b)) {
+          out.nbr[static_cast<std::size_t>(e)] = tid;
+          break;
+        }
+      }
+    }
+  }
+
+  // Stitch the fan: triangle (p, a, b) meets the next one across edge
+  // (p, b) and the previous across edge (p, a).  A missing link means the
+  // chain is open there (p landed on the region border) and that edge lies
+  // on the border: -1.
+  for (std::size_t i = 0; i < boundary.size(); ++i) {
+    const auto& edge = boundary[i];
+    auto& t = triangles_[static_cast<std::size_t>(created[i])];
+    const auto next = tri_starting_at.find(edge.b);
+    const auto prev = tri_ending_at.find(edge.a);
+    t.nbr[1] = next == tri_starting_at.end() ? -1 : next->second;
+    t.nbr[2] = prev == tri_ending_at.end() ? -1 : prev->second;
+  }
+
+  for (const int tid : cavity) free_triangle(tid);
+
+  locate_hint_ = created.empty() ? locate_hint_ : created.front();
+  result.vertex = new_vertex;
+  result.inserted = true;
+  result.removed_triangles = std::move(cavity);
+  result.created_triangles = std::move(created);
+  return result;
+}
+
+bool Delaunay::validate_topology() const {
+  for (std::size_t i = 0; i < triangles_.size(); ++i) {
+    const auto& t = triangles_[i];
+    if (!t.alive) continue;
+    const Vec2 a = vertices_[static_cast<std::size_t>(t.v[0])].pos;
+    const Vec2 b = vertices_[static_cast<std::size_t>(t.v[1])].pos;
+    const Vec2 c = vertices_[static_cast<std::size_t>(t.v[2])].pos;
+    if (orient2d(a, b, c) <= 0) return false;
+    for (int e = 0; e < 3; ++e) {
+      const int n = t.nbr[static_cast<std::size_t>(e)];
+      if (n == -1) continue;
+      if (n < 0 || n >= static_cast<int>(triangles_.size())) return false;
+      const auto& u = triangles_[static_cast<std::size_t>(n)];
+      if (!u.alive) return false;
+      bool mutual = false;
+      for (int f = 0; f < 3; ++f) {
+        if (u.nbr[static_cast<std::size_t>(f)] == static_cast<int>(i)) {
+          const int va = u.v[static_cast<std::size_t>((f + 1) % 3)];
+          const int vb = u.v[static_cast<std::size_t>((f + 2) % 3)];
+          const int wa = t.v[static_cast<std::size_t>((e + 1) % 3)];
+          const int wb = t.v[static_cast<std::size_t>((e + 2) % 3)];
+          if ((va == wb && vb == wa) || (va == wa && vb == wb)) mutual = true;
+        }
+      }
+      if (!mutual) return false;
+    }
+  }
+  return true;
+}
+
+bool Delaunay::is_delaunay() const {
+  const auto alive = alive_triangles();
+  for (const int tid : alive) {
+    const auto& t = triangles_[static_cast<std::size_t>(tid)];
+    const Vec2 a = vertices_[static_cast<std::size_t>(t.v[0])].pos;
+    const Vec2 b = vertices_[static_cast<std::size_t>(t.v[1])].pos;
+    const Vec2 c = vertices_[static_cast<std::size_t>(t.v[2])].pos;
+    for (std::size_t v = 0; v < vertices_.size(); ++v) {
+      const int vid = static_cast<int>(v);
+      if (vid == t.v[0] || vid == t.v[1] || vid == t.v[2]) continue;
+      if (incircle(a, b, c, vertices_[v].pos) > 0) return false;
+    }
+  }
+  return true;
+}
+
+double Delaunay::total_area() const {
+  double sum = 0.0;
+  for (const int tid : alive_triangles()) {
+    sum += triangle_geometry(tid).area();
+  }
+  return sum;
+}
+
+}  // namespace cps::geo

@@ -1,0 +1,143 @@
+// Incremental Delaunay triangulation of a rectangular region.
+//
+// This is the interpolation engine the paper builds everything on: the
+// rebuilt surface z* = DT(x, y) is the piecewise-linear interpolant over
+// the Delaunay triangulation of the sample positions (Section 3.1), and
+// FRA's refinement loop (Table 1) inserts one max-error vertex at a time.
+//
+// Design choices:
+//  * The triangulation is seeded with the four region corners, so it covers
+//    the rectangle exactly at all times and every in-region query point has
+//    a containing triangle — no super-triangle cleanup, no NaN holes at the
+//    hull like Matlab's griddata.  The corners are interpolation
+//    scaffolding; planners decide what z to pin there (see
+//    core/reconstruction).
+//  * Bowyer-Watson insertion with triangle adjacency and a remembering walk
+//    for point location.  Each insert reports the removed and created
+//    triangle ids so callers (FRA) can re-bucket their sample points in
+//    O(cavity) instead of O(region).
+//  * Predicates are the filtered ones from geometry/predicates.hpp, so
+//    grid-aligned (cocircular) inputs stay consistent: a point reported
+//    *on* a circumcircle is left out of the cavity, which still yields a
+//    valid (if non-unique) Delaunay triangulation.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "geometry/triangle.hpp"
+#include "geometry/vec2.hpp"
+#include "numerics/quadrature.hpp"
+
+namespace cps::geo {
+
+/// A triangulation vertex: position plus the sampled environment value
+/// carried for piecewise-linear surface evaluation.
+struct DtVertex {
+  Vec2 pos;
+  double z = 0.0;
+};
+
+/// Triangle record.  `v` lists vertex ids in CCW order; `nbr[i]` is the id
+/// of the triangle sharing the edge opposite `v[i]` (-1 on the region
+/// boundary).  Dead records are recycled through a free list.
+struct DtTriangle {
+  std::array<int, 3> v{-1, -1, -1};
+  std::array<int, 3> nbr{-1, -1, -1};
+  bool alive = false;
+};
+
+/// Outcome of an insertion.
+struct InsertResult {
+  /// Id of the vertex now at the requested position (existing id when the
+  /// point duplicated a previous vertex).
+  int vertex = -1;
+  /// False when the point coincided with an existing vertex and nothing
+  /// changed structurally.
+  bool inserted = false;
+  /// Triangles destroyed / created by this insertion (empty when
+  /// !inserted).
+  std::vector<int> removed_triangles;
+  std::vector<int> created_triangles;
+};
+
+/// Incremental Delaunay triangulation over a rectangle.
+class Delaunay {
+ public:
+  /// Number of scaffolding corner vertices (ids 0..3, CCW from (x0, y0)).
+  static constexpr int kCorners = 4;
+
+  /// Seeds the triangulation with the four corners of `bounds` (z = 0; use
+  /// set_vertex_z to pin corner values).  Throws std::invalid_argument for
+  /// an empty or inverted rectangle.
+  explicit Delaunay(const num::Rect& bounds);
+
+  /// Inserts a sample at p with value z.  Points within `duplicate_tol` of
+  /// an existing vertex update that vertex's z instead of inserting.
+  /// Throws std::invalid_argument when p lies outside the region.
+  InsertResult insert(Vec2 p, double z, double duplicate_tol = 1e-9);
+
+  const num::Rect& bounds() const noexcept { return bounds_; }
+
+  std::size_t vertex_count() const noexcept { return vertices_.size(); }
+  const DtVertex& vertex(int id) const { return vertices_.at(
+      static_cast<std::size_t>(id)); }
+  void set_vertex_z(int id, double z);
+
+  /// Total number of triangle slots; use triangle_alive to filter.
+  std::size_t triangle_slots() const noexcept { return triangles_.size(); }
+  std::size_t triangle_count() const noexcept { return alive_count_; }
+  bool triangle_alive(int id) const {
+    return triangles_.at(static_cast<std::size_t>(id)).alive;
+  }
+  const DtTriangle& triangle(int id) const {
+    return triangles_.at(static_cast<std::size_t>(id));
+  }
+  /// Geometric view of an alive triangle.
+  Triangle triangle_geometry(int id) const;
+
+  /// Ids of all alive triangles (freshly collected each call).
+  std::vector<int> alive_triangles() const;
+
+  /// Id of the alive triangle containing p (ties on shared edges resolved
+  /// arbitrarily but deterministically).  `hint` accelerates the walk.
+  /// Throws std::invalid_argument when p is outside the region.
+  int locate(Vec2 p, int hint = -1) const;
+
+  /// Piecewise-linear surface value DT(p).
+  double interpolate(Vec2 p) const;
+
+  // --- Validation hooks (used by tests; O(V*T) where noted) ---
+
+  /// Structural soundness: CCW triangles, symmetric adjacency, boundary
+  /// edges only on the region border.
+  bool validate_topology() const;
+
+  /// Empty-circumcircle property over all alive triangles and all vertices
+  /// (O(V*T)); cocircular points are tolerated.
+  bool is_delaunay() const;
+
+  /// Sum of alive triangle areas (should equal bounds().area()).
+  double total_area() const;
+
+ private:
+  int alloc_triangle();
+  void free_triangle(int id);
+  bool in_cavity(int tri, Vec2 p) const;
+  int walk_from(int start, Vec2 p) const;
+
+  num::Rect bounds_;
+  std::vector<DtVertex> vertices_;
+  std::vector<DtTriangle> triangles_;
+  std::vector<int> free_list_;
+  std::size_t alive_count_ = 0;
+  mutable int locate_hint_ = 0;
+
+  // Epoch-stamped scratch for cavity classification (avoids clearing).
+  mutable std::vector<unsigned> cavity_epoch_;
+  mutable std::vector<char> cavity_state_;
+  mutable unsigned epoch_ = 0;
+};
+
+}  // namespace cps::geo

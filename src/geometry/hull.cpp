@@ -1,0 +1,44 @@
+#include "geometry/hull.hpp"
+
+#include <algorithm>
+
+#include "geometry/predicates.hpp"
+
+namespace cps::geo {
+
+std::vector<Vec2> convex_hull(std::span<const Vec2> points) {
+  std::vector<Vec2> pts(points.begin(), points.end());
+  std::sort(pts.begin(), pts.end(), [](Vec2 a, Vec2 b) {
+    return a.x < b.x || (a.x == b.x && a.y < b.y);
+  });
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  if (pts.size() < 3) return pts;
+
+  // Monotone chain: lower hull then upper hull.
+  std::vector<Vec2> hull(2 * pts.size());
+  std::size_t h = 0;
+  for (const auto& p : pts) {  // Lower.
+    while (h >= 2 && orient2d(hull[h - 2], hull[h - 1], p) <= 0) --h;
+    hull[h++] = p;
+  }
+  const std::size_t lower = h + 1;
+  for (auto it = pts.rbegin() + 1; it != pts.rend(); ++it) {  // Upper.
+    while (h >= lower && orient2d(hull[h - 2], hull[h - 1], *it) <= 0) --h;
+    hull[h++] = *it;
+  }
+  hull.resize(h - 1);  // Last point repeats the first.
+  return hull;
+}
+
+double polygon_area(std::span<const Vec2> polygon) {
+  if (polygon.size() < 3) return 0.0;
+  double twice = 0.0;
+  for (std::size_t i = 0; i < polygon.size(); ++i) {
+    const Vec2 a = polygon[i];
+    const Vec2 b = polygon[(i + 1) % polygon.size()];
+    twice += a.cross(b);
+  }
+  return 0.5 * twice;
+}
+
+}  // namespace cps::geo

@@ -1,0 +1,20 @@
+// Convex hull (Andrew monotone chain) — deployment footprint analysis.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geometry/vec2.hpp"
+
+namespace cps::geo {
+
+/// Convex hull of a point set, counter-clockwise, starting from the
+/// lexicographically smallest point; collinear boundary points are
+/// dropped.  Degenerate inputs return what exists: fewer than 3 distinct
+/// points yield those points.
+std::vector<Vec2> convex_hull(std::span<const Vec2> points);
+
+/// Area of a simple polygon given in order (shoelace; positive for CCW).
+double polygon_area(std::span<const Vec2> polygon);
+
+}  // namespace cps::geo

@@ -1,0 +1,79 @@
+#include "geometry/predicates.hpp"
+
+#include <cmath>
+
+namespace cps::geo {
+namespace {
+
+// Static filter constants from Shewchuk's "Adaptive Precision Floating-Point
+// Arithmetic and Fast Robust Geometric Predicates" (scaled for double).
+constexpr double kOrientErrBound = 3.3306690621773724e-16;
+constexpr double kIncircleErrBound = 1.1102230246251577e-15;
+
+template <typename F>
+int orient_impl(F ax, F ay, F bx, F by, F cx, F cy, F err_bound) noexcept {
+  const F detl = (bx - ax) * (cy - ay);
+  const F detr = (by - ay) * (cx - ax);
+  const F det = detl - detr;
+  const F detsum = std::abs(detl) + std::abs(detr);
+  if (std::abs(det) > err_bound * detsum) return det > 0 ? 1 : -1;
+  return 0;  // Ambiguous at this precision.
+}
+
+template <typename F>
+int incircle_impl(F ax, F ay, F bx, F by, F cx, F cy, F dx, F dy,
+                  F err_bound) noexcept {
+  const F adx = ax - dx;
+  const F ady = ay - dy;
+  const F bdx = bx - dx;
+  const F bdy = by - dy;
+  const F cdx = cx - dx;
+  const F cdy = cy - dy;
+
+  const F bdxcdy = bdx * cdy;
+  const F cdxbdy = cdx * bdy;
+  const F alift = adx * adx + ady * ady;
+
+  const F cdxady = cdx * ady;
+  const F adxcdy = adx * cdy;
+  const F blift = bdx * bdx + bdy * bdy;
+
+  const F adxbdy = adx * bdy;
+  const F bdxady = bdx * ady;
+  const F clift = cdx * cdx + cdy * cdy;
+
+  const F det = alift * (bdxcdy - cdxbdy) + blift * (cdxady - adxcdy) +
+                clift * (adxbdy - bdxady);
+
+  const F permanent = (std::abs(bdxcdy) + std::abs(cdxbdy)) * alift +
+                      (std::abs(cdxady) + std::abs(adxcdy)) * blift +
+                      (std::abs(adxbdy) + std::abs(bdxady)) * clift;
+  if (std::abs(det) > err_bound * permanent) return det > 0 ? 1 : -1;
+  return 0;
+}
+
+}  // namespace
+
+double orient2d_value(Vec2 a, Vec2 b, Vec2 c) noexcept {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+int orient2d(Vec2 a, Vec2 b, Vec2 c) noexcept {
+  const int fast = orient_impl<double>(a.x, a.y, b.x, b.y, c.x, c.y,
+                                       kOrientErrBound);
+  if (fast != 0) return fast;
+  // Retry at extended precision; a result still inside the long-double error
+  // bound is genuinely (or as good as) collinear.
+  return orient_impl<long double>(a.x, a.y, b.x, b.y, c.x, c.y,
+                                  static_cast<long double>(1e-19));
+}
+
+int incircle(Vec2 a, Vec2 b, Vec2 c, Vec2 d) noexcept {
+  const int fast = incircle_impl<double>(a.x, a.y, b.x, b.y, c.x, c.y, d.x,
+                                         d.y, kIncircleErrBound);
+  if (fast != 0) return fast;
+  return incircle_impl<long double>(a.x, a.y, b.x, b.y, c.x, c.y, d.x, d.y,
+                                    static_cast<long double>(1e-18));
+}
+
+}  // namespace cps::geo

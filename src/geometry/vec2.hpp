@@ -1,0 +1,82 @@
+// Plane vector/point type shared by every geometric subsystem.
+#pragma once
+
+#include <cmath>
+
+namespace cps::geo {
+
+/// 2-D point / vector with value semantics.  Interpreted as a position on
+/// the region plane (metres) or as a displacement/force, depending on
+/// context.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) noexcept : x(x_), y(y_) {}
+
+  constexpr Vec2 operator+(Vec2 o) const noexcept { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const noexcept { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const noexcept { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const noexcept { return {x / s, y / s}; }
+  constexpr Vec2 operator-() const noexcept { return {-x, -y}; }
+
+  constexpr Vec2& operator+=(Vec2 o) noexcept {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  constexpr Vec2& operator-=(Vec2 o) noexcept {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  constexpr Vec2& operator*=(double s) noexcept {
+    x *= s;
+    y *= s;
+    return *this;
+  }
+
+  constexpr bool operator==(const Vec2&) const noexcept = default;
+
+  constexpr double dot(Vec2 o) const noexcept { return x * o.x + y * o.y; }
+
+  /// Z-component of the 3-D cross product (signed parallelogram area).
+  constexpr double cross(Vec2 o) const noexcept { return x * o.y - y * o.x; }
+
+  constexpr double norm_sq() const noexcept { return x * x + y * y; }
+  double norm() const noexcept { return std::sqrt(norm_sq()); }
+
+  /// Unit vector in the same direction; returns {0,0} for the zero vector
+  /// so force integrators never divide by zero.
+  Vec2 normalized() const noexcept {
+    const double n = norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+
+  /// Counter-clockwise rotation by `radians`.
+  Vec2 rotated(double radians) const noexcept {
+    const double c = std::cos(radians);
+    const double s = std::sin(radians);
+    return {x * c - y * s, x * s + y * c};
+  }
+};
+
+constexpr Vec2 operator*(double s, Vec2 v) noexcept { return v * s; }
+
+inline double distance(Vec2 a, Vec2 b) noexcept { return (a - b).norm(); }
+inline constexpr double distance_sq(Vec2 a, Vec2 b) noexcept {
+  return (a - b).norm_sq();
+}
+
+/// Linear interpolation a + t (b - a).
+inline constexpr Vec2 lerp(Vec2 a, Vec2 b, double t) noexcept {
+  return a + (b - a) * t;
+}
+
+/// Midpoint of the segment ab.
+inline constexpr Vec2 midpoint(Vec2 a, Vec2 b) noexcept {
+  return {(a.x + b.x) * 0.5, (a.y + b.y) * 0.5};
+}
+
+}  // namespace cps::geo

@@ -1,0 +1,57 @@
+#include "graph/relay.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/geometric_graph.hpp"
+#include "graph/mst.hpp"
+
+namespace cps::graph {
+
+std::size_t relays_for_gap(double d, double r) {
+  if (r <= 0.0) throw std::invalid_argument("relays_for_gap: r <= 0");
+  if (d <= r) return 0;
+  // ceil(d / r) - 1 hops of length <= r; the epsilon shields exact
+  // multiples of r from float round-up (a gap of exactly 2r needs 1 relay).
+  return static_cast<std::size_t>(std::ceil(d / r - 1e-12)) - 1;
+}
+
+std::vector<geo::Vec2> relay_positions(geo::Vec2 a, geo::Vec2 b,
+                                       std::size_t relay_count) {
+  std::vector<geo::Vec2> out;
+  out.reserve(relay_count);
+  const double hops = static_cast<double>(relay_count + 1);
+  for (std::size_t i = 1; i <= relay_count; ++i) {
+    out.push_back(geo::lerp(a, b, static_cast<double>(i) / hops));
+  }
+  return out;
+}
+
+RelayPlan plan_relays(std::span<const geo::Vec2> nodes, double r) {
+  if (r <= 0.0) throw std::invalid_argument("plan_relays: r <= 0");
+  RelayPlan plan;
+  if (nodes.size() <= 1) return plan;
+
+  const GeometricGraph g(nodes, r);
+  const auto comps = g.components();
+  if (comps.size() <= 1) return plan;
+
+  std::vector<std::vector<geo::Vec2>> groups;
+  groups.reserve(comps.size());
+  for (const auto& comp : comps) {
+    std::vector<geo::Vec2> pts;
+    pts.reserve(comp.size());
+    for (const std::size_t id : comp) pts.push_back(g.position(id));
+    groups.push_back(std::move(pts));
+  }
+
+  for (const auto& bridge : prim_group_mst(groups)) {
+    const std::size_t need = relays_for_gap(bridge.distance, r);
+    const auto pts = relay_positions(bridge.point_a, bridge.point_b, need);
+    plan.count += need;
+    plan.positions.insert(plan.positions.end(), pts.begin(), pts.end());
+  }
+  return plan;
+}
+
+}  // namespace cps::graph

@@ -1,0 +1,104 @@
+// Slot-synchronous broadcast bus over a disk radio.
+//
+// CMA (Table 2) is written against a classic synchronous-rounds model: in
+// each slot every node broadcasts a small message (its Tx/tell lines) and
+// receives whatever its single-hop neighbours broadcast (Rx/Rxtell).
+// MessageBus implements those rounds: messages queued during slot s are
+// delivered at the start of slot s+1 to every node within Rc of the sender
+// at *send* time, matching the paper's assumption that positions change
+// slowly relative to the beacon rate.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "net/radio.hpp"
+
+namespace cps::net {
+
+using NodeId = std::size_t;
+
+/// A delivered message with its sender.
+template <typename M>
+struct Delivery {
+  NodeId from = 0;
+  M message{};
+};
+
+/// Broadcast-only message bus for `M`-typed payloads.
+template <typename M>
+class MessageBus {
+ public:
+  /// `node_count` fixed for the bus lifetime; radio defines range/loss.
+  MessageBus(std::size_t node_count, DiskRadio radio)
+      : radio_(std::move(radio)),
+        positions_(node_count),
+        inboxes_(node_count) {}
+
+  std::size_t node_count() const noexcept { return positions_.size(); }
+  const DiskRadio& radio() const noexcept { return radio_; }
+
+  /// Updates the position used for range checks of subsequent broadcasts.
+  void set_position(NodeId id, geo::Vec2 p) { positions_.at(id) = p; }
+  geo::Vec2 position(NodeId id) const { return positions_.at(id); }
+
+  /// Queues a broadcast for delivery at the next step().
+  void broadcast(NodeId from, M message) {
+    if (from >= positions_.size()) {
+      throw std::out_of_range("MessageBus::broadcast");
+    }
+    ++total_broadcasts_;
+    outbox_.push_back(Pending{from, positions_[from], std::move(message)});
+  }
+
+  /// Broadcasts queued over the bus lifetime (the radio-energy proxy).
+  std::size_t total_broadcasts() const noexcept { return total_broadcasts_; }
+
+  /// Delivers all queued broadcasts to in-range receivers and clears the
+  /// queue.  Senders do not receive their own broadcasts.
+  void step() {
+    for (auto& inbox : inboxes_) inbox.clear();
+    for (auto& pending : outbox_) {
+      for (NodeId to = 0; to < positions_.size(); ++to) {
+        if (to == pending.from) continue;
+        if (radio_.transmit(pending.sent_from, positions_[to])) {
+          inboxes_[to].push_back(Delivery<M>{pending.from, pending.message});
+        }
+      }
+    }
+    outbox_.clear();
+  }
+
+  /// Messages delivered to `id` by the last step().
+  const std::vector<Delivery<M>>& inbox(NodeId id) const {
+    return inboxes_.at(id);
+  }
+
+  /// Ids of nodes currently within radio range of `id` (excluding itself).
+  std::vector<NodeId> neighbors_of(NodeId id) const {
+    std::vector<NodeId> out;
+    for (NodeId j = 0; j < positions_.size(); ++j) {
+      if (j != id && radio_.in_range(positions_.at(id), positions_[j])) {
+        out.push_back(j);
+      }
+    }
+    return out;
+  }
+
+ private:
+  struct Pending {
+    NodeId from;
+    geo::Vec2 sent_from;
+    M message;
+  };
+
+  DiskRadio radio_;
+  std::vector<geo::Vec2> positions_;
+  std::vector<Pending> outbox_;
+  std::vector<std::vector<Delivery<M>>> inboxes_;
+  std::size_t total_broadcasts_ = 0;
+};
+
+}  // namespace cps::net

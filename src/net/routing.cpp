@@ -1,0 +1,72 @@
+#include "net/routing.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace cps::net {
+
+CollectionTree::CollectionTree(const graph::GeometricGraph& g,
+                               std::size_t sink)
+    : sink_(sink),
+      parent_(g.node_count(), kNone),
+      hops_(g.node_count(), kNone),
+      subtree_(g.node_count(), 1) {
+  if (sink >= g.node_count()) {
+    throw std::out_of_range("CollectionTree: sink index");
+  }
+
+  // BFS from the sink; parents point one hop closer to it.
+  std::queue<std::size_t> frontier;
+  hops_[sink] = 0;
+  frontier.push(sink);
+  std::vector<std::size_t> order;  // BFS order, for the subtree pass.
+  order.reserve(g.node_count());
+  while (!frontier.empty()) {
+    const std::size_t u = frontier.front();
+    frontier.pop();
+    order.push_back(u);
+    for (const std::size_t v : g.neighbors(u)) {
+      if (hops_[v] == kNone) {
+        hops_[v] = hops_[u] + 1;
+        parent_[v] = u;
+        frontier.push(v);
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    if (hops_[i] == kNone) {
+      ++unreachable_;
+      subtree_[i] = 0;
+    } else {
+      depth_ = std::max(depth_, hops_[i]);
+      total_hops_ += hops_[i];
+    }
+  }
+
+  // Accumulate subtree sizes bottom-up (reverse BFS order).
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const std::size_t node = *it;
+    if (parent_[node] != kNone) subtree_[parent_[node]] += subtree_[node];
+  }
+}
+
+std::size_t best_sink(const graph::GeometricGraph& g) {
+  if (g.node_count() == 0) throw std::invalid_argument("best_sink: empty");
+  std::size_t best = 0;
+  std::size_t best_cost = static_cast<std::size_t>(-1);
+  for (std::size_t sink = 0; sink < g.node_count(); ++sink) {
+    const CollectionTree tree(g, sink);
+    // Prefer full reachability, then minimal total transmissions.
+    const std::size_t cost =
+        tree.unreachable_count() * 1000000 + tree.transmissions_per_round();
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = sink;
+    }
+  }
+  return best;
+}
+
+}  // namespace cps::net

@@ -1,0 +1,72 @@
+// Data-collection routing over a deployed network.
+//
+// The paper requires the deployment to be a connected network "for data
+// transmission" but never models the transmission itself.  This module
+// closes that loop: a convergecast tree rooted at a sink (the classic WSN
+// collection structure), with the per-round cost model that lets the
+// benches/examples report what a deployment's topology actually costs to
+// operate — one transmission per node per round, each sample travelling
+// hop-count hops toward the sink.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/geometric_graph.hpp"
+
+namespace cps::net {
+
+/// A shortest-path (BFS) collection tree over a disk graph.
+class CollectionTree {
+ public:
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  /// Builds the tree rooted at `sink` (a node index of `g`).  Nodes
+  /// unreachable from the sink have parent() == kNone and are reported by
+  /// unreachable_count().  Throws std::out_of_range for a bad sink.
+  CollectionTree(const graph::GeometricGraph& g, std::size_t sink);
+
+  std::size_t sink() const noexcept { return sink_; }
+  std::size_t node_count() const noexcept { return parent_.size(); }
+
+  /// Parent toward the sink (kNone for the sink itself and for
+  /// unreachable nodes).
+  std::size_t parent(std::size_t node) const { return parent_.at(node); }
+
+  /// Hop distance to the sink (kNone when unreachable, 0 for the sink).
+  std::size_t hops(std::size_t node) const { return hops_.at(node); }
+
+  std::size_t unreachable_count() const noexcept { return unreachable_; }
+
+  /// Longest hop path in the tree (collection latency in slots).
+  std::size_t depth() const noexcept { return depth_; }
+
+  /// Total transmissions for one collection round in which every
+  /// reachable node reports one sample to the sink (sum of hop counts) —
+  /// the standard energy proxy for convergecast.
+  std::size_t transmissions_per_round() const noexcept {
+    return total_hops_;
+  }
+
+  /// Number of tree children per node; the sink's subtree loads identify
+  /// bottleneck relays.
+  std::size_t subtree_size(std::size_t node) const {
+    return subtree_.at(node);
+  }
+
+ private:
+  std::size_t sink_;
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> hops_;
+  std::vector<std::size_t> subtree_;
+  std::size_t unreachable_ = 0;
+  std::size_t depth_ = 0;
+  std::size_t total_hops_ = 0;
+};
+
+/// Picks the sink index minimising transmissions_per_round — where a
+/// basestation should sit on an already-fixed deployment.  Throws
+/// std::invalid_argument for an empty graph.
+std::size_t best_sink(const graph::GeometricGraph& g);
+
+}  // namespace cps::net

@@ -1,0 +1,196 @@
+#include "numerics/linalg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cps::num {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+  if ((rows == 0) != (cols == 0)) {
+    throw std::invalid_argument("Matrix: one dimension is zero");
+  }
+}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    if (r.size() != cols_) {
+      throw std::invalid_argument("Matrix: ragged initializer");
+    }
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+  return (*this)(r, c);
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+  return (*this)(r, c);
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  if (cols_ != rhs.rows_) throw std::invalid_argument("Matrix*: dim mismatch");
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double v = (*this)(r, k);
+      if (v == 0.0) continue;
+      for (std::size_t c = 0; c < rhs.cols_; ++c) out(r, c) += v * rhs(k, c);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& rhs) const {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_) {
+    throw std::invalid_argument("Matrix+: dim mismatch");
+  }
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] += rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& rhs) const {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_) {
+    throw std::invalid_argument("Matrix-: dim mismatch");
+  }
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] -= rhs.data_[i];
+  return out;
+}
+
+Matrix& Matrix::operator*=(double s) noexcept {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+std::vector<double> Matrix::apply(const std::vector<double>& v) const {
+  if (v.size() != cols_) throw std::invalid_argument("Matrix::apply: dim");
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) out[r] += (*this)(r, c) * v[c];
+  return out;
+}
+
+double Matrix::frobenius_norm() const noexcept {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+namespace {
+
+// In-place LU with partial pivoting.  Returns the permutation sign, or 0 if
+// singular.  `a` must be square.
+int lu_decompose(Matrix& a, std::vector<std::size_t>& perm) {
+  const std::size_t n = a.rows();
+  perm.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  int sign = 1;
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    double best = std::abs(a(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::abs(a(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) return 0;
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(col, c), a(pivot, c));
+      std::swap(perm[col], perm[pivot]);
+      sign = -sign;
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a(r, col) / a(col, col);
+      a(r, col) = f;
+      for (std::size_t c = col + 1; c < n; ++c) a(r, c) -= f * a(col, c);
+    }
+  }
+  return sign;
+}
+
+}  // namespace
+
+std::vector<double> solve(Matrix a, std::vector<double> b) {
+  if (a.rows() != a.cols()) throw std::invalid_argument("solve: not square");
+  if (b.size() != a.rows()) throw std::invalid_argument("solve: b size");
+  const std::size_t n = a.rows();
+  std::vector<std::size_t> perm;
+  if (lu_decompose(a, perm) == 0) throw std::domain_error("solve: singular");
+  std::vector<double> x(n);
+  // Forward substitution on the permuted RHS.
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[perm[i]];
+    for (std::size_t j = 0; j < i; ++j) s -= a(i, j) * x[j];
+    x[i] = s;
+  }
+  // Back substitution.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= a(ii, j) * x[j];
+    x[ii] = s / a(ii, ii);
+  }
+  return x;
+}
+
+double determinant(Matrix a) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("determinant: not square");
+  }
+  std::vector<std::size_t> perm;
+  const int sign = lu_decompose(a, perm);
+  if (sign == 0) return 0.0;
+  double d = sign;
+  for (std::size_t i = 0; i < a.rows(); ++i) d *= a(i, i);
+  return d;
+}
+
+Matrix inverse(const Matrix& a) {
+  if (a.rows() != a.cols()) throw std::invalid_argument("inverse: not square");
+  const std::size_t n = a.rows();
+  Matrix out(n, n);
+  for (std::size_t c = 0; c < n; ++c) {
+    std::vector<double> e(n, 0.0);
+    e[c] = 1.0;
+    const auto col = solve(a, std::move(e));
+    for (std::size_t r = 0; r < n; ++r) out(r, c) = col[r];
+  }
+  return out;
+}
+
+double norm2(const std::vector<double>& v) noexcept {
+  double s = 0.0;
+  for (double x : v) s += x * x;
+  return std::sqrt(s);
+}
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("dot: size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+}  // namespace cps::num

@@ -1,0 +1,81 @@
+// Small dense linear algebra: just enough to support the least-squares
+// quadric fits (Eqn. 11 of the paper) and relay/geometry computations.
+//
+// Matrices are row-major, dynamically sized, and value-semantic.  The
+// library deliberately avoids expression templates: every matrix in this
+// system is tiny (m x 3 for curvature fits, <= 16 x 16 elsewhere), so
+// clarity wins over micro-optimisation.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace cps::num {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Creates a rows x cols matrix filled with `fill`.
+  /// Throws std::invalid_argument if exactly one dimension is zero.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Builds from nested initializer lists; all rows must be equally long.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// Identity matrix of size n.
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  bool empty() const noexcept { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  /// Element access with bounds checking; throws std::out_of_range.
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  Matrix transposed() const;
+  Matrix operator*(const Matrix& rhs) const;
+  Matrix operator+(const Matrix& rhs) const;
+  Matrix operator-(const Matrix& rhs) const;
+  Matrix& operator*=(double s) noexcept;
+
+  /// Matrix-vector product; v.size() must equal cols().
+  std::vector<double> apply(const std::vector<double>& v) const;
+
+  /// Frobenius norm.
+  double frobenius_norm() const noexcept;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves the square system A x = b by Gaussian elimination with partial
+/// pivoting.  Throws std::invalid_argument on dimension mismatch and
+/// std::domain_error when A is (numerically) singular.
+std::vector<double> solve(Matrix a, std::vector<double> b);
+
+/// Determinant via LU factorisation (partial pivoting).  Square only.
+double determinant(Matrix a);
+
+/// Inverse of a square matrix; throws std::domain_error when singular.
+Matrix inverse(const Matrix& a);
+
+/// Euclidean norm of a vector.
+double norm2(const std::vector<double>& v) noexcept;
+
+/// Dot product; sizes must match (std::invalid_argument otherwise).
+double dot(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace cps::num

@@ -1,0 +1,31 @@
+// Smooth deterministic 2-D value noise.  The synthetic GreenOrbs-like trace
+// layers this under the RBF bumps to mimic small-scale canopy texture.
+#pragma once
+
+#include <cstdint>
+
+namespace cps::num {
+
+/// Lattice value noise with cosine interpolation plus fractal octaves.
+/// Output of `sample` is in roughly [-1, 1]; `fbm` sums `octaves` layers at
+/// doubling frequency and halving amplitude (normalised back to ~[-1, 1]).
+class ValueNoise {
+ public:
+  /// `frequency` is cells per unit distance (> 0, else
+  /// std::invalid_argument).
+  explicit ValueNoise(std::uint64_t seed, double frequency = 0.05);
+
+  /// Single-octave smooth noise at (x, y).
+  double sample(double x, double y) const noexcept;
+
+  /// Fractal Brownian motion: octaves >= 1 (else std::invalid_argument).
+  double fbm(double x, double y, int octaves) const;
+
+ private:
+  double lattice(std::int64_t ix, std::int64_t iy) const noexcept;
+
+  std::uint64_t seed_;
+  double frequency_;
+};
+
+}  // namespace cps::num

@@ -1,0 +1,55 @@
+#include "numerics/quadrature.hpp"
+
+#include <stdexcept>
+
+namespace cps::num {
+namespace {
+
+void validate(const Rect& rect, std::size_t nx, std::size_t ny) {
+  if (nx == 0 || ny == 0) {
+    throw std::invalid_argument("integrate: zero cells");
+  }
+  if (rect.x1 < rect.x0 || rect.y1 < rect.y0) {
+    throw std::invalid_argument("integrate: inverted rect");
+  }
+}
+
+}  // namespace
+
+double integrate_midpoint(const Rect& rect,
+                          const std::function<double(double, double)>& g,
+                          std::size_t nx, std::size_t ny) {
+  validate(rect, nx, ny);
+  const double hx = rect.width() / static_cast<double>(nx);
+  const double hy = rect.height() / static_cast<double>(ny);
+  double sum = 0.0;
+  for (std::size_t j = 0; j < ny; ++j) {
+    const double y = rect.y0 + (static_cast<double>(j) + 0.5) * hy;
+    for (std::size_t i = 0; i < nx; ++i) {
+      const double x = rect.x0 + (static_cast<double>(i) + 0.5) * hx;
+      sum += g(x, y);
+    }
+  }
+  return sum * hx * hy;
+}
+
+double integrate_trapezoid(const Rect& rect,
+                           const std::function<double(double, double)>& g,
+                           std::size_t nx, std::size_t ny) {
+  validate(rect, nx, ny);
+  const double hx = rect.width() / static_cast<double>(nx);
+  const double hy = rect.height() / static_cast<double>(ny);
+  double sum = 0.0;
+  for (std::size_t j = 0; j <= ny; ++j) {
+    const double y = rect.y0 + static_cast<double>(j) * hy;
+    const double wy = (j == 0 || j == ny) ? 0.5 : 1.0;
+    for (std::size_t i = 0; i <= nx; ++i) {
+      const double x = rect.x0 + static_cast<double>(i) * hx;
+      const double wx = (i == 0 || i == nx) ? 0.5 : 1.0;
+      sum += wx * wy * g(x, y);
+    }
+  }
+  return sum * hx * hy;
+}
+
+}  // namespace cps::num

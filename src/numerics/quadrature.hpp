@@ -1,0 +1,40 @@
+// 2-D quadrature over rectangular regions.  Used by the delta metric
+// (Theorem 3.1: the volume difference between the referential and rebuilt
+// surface polytopes reduces to the integral of |f - DT| over the region).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace cps::num {
+
+/// Axis-aligned rectangle [x0, x1] x [y0, y1].
+struct Rect {
+  double x0 = 0.0;
+  double y0 = 0.0;
+  double x1 = 0.0;
+  double y1 = 0.0;
+
+  double width() const noexcept { return x1 - x0; }
+  double height() const noexcept { return y1 - y0; }
+  double area() const noexcept { return width() * height(); }
+  bool contains(double x, double y) const noexcept {
+    return x >= x0 && x <= x1 && y >= y0 && y <= y1;
+  }
+};
+
+/// Midpoint-rule integration of g over `rect` on an nx x ny cell grid.
+/// Error is O(h^2) for C^2 integrands; for the |f - DT| integrands used by
+/// the delta metric (piecewise C^1) it converges O(h) near kinks, which the
+/// convergence tests characterise.  Throws std::invalid_argument when nx or
+/// ny is zero or the rect is inverted.
+double integrate_midpoint(const Rect& rect,
+                          const std::function<double(double, double)>& g,
+                          std::size_t nx, std::size_t ny);
+
+/// Trapezoid-rule integration on the same grid (samples cell corners).
+double integrate_trapezoid(const Rect& rect,
+                           const std::function<double(double, double)>& g,
+                           std::size_t nx, std::size_t ny);
+
+}  // namespace cps::num

@@ -1,0 +1,115 @@
+#include "trace/greenorbs.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "numerics/rng.hpp"
+
+namespace cps::trace {
+
+GreenOrbsField::GreenOrbsField(const GreenOrbsConfig& config)
+    : config_(config),
+      noise_(config.seed ^ 0xa5a5a5a5ULL, config.noise_frequency) {
+  if (config.region.width() <= 0.0 || config.region.height() <= 0.0) {
+    throw std::invalid_argument("GreenOrbsField: empty region");
+  }
+  if (config.gap_count < 0) {
+    throw std::invalid_argument("GreenOrbsField: gap_count < 0");
+  }
+  if (config.amplitude_min <= 0.0 ||
+      config.amplitude_max < config.amplitude_min) {
+    throw std::invalid_argument("GreenOrbsField: amplitude range");
+  }
+  if (config.sigma_min <= 0.0 || config.sigma_max < config.sigma_min) {
+    throw std::invalid_argument("GreenOrbsField: sigma range");
+  }
+  if (config.sunrise >= config.sunset) {
+    throw std::invalid_argument("GreenOrbsField: sunrise >= sunset");
+  }
+  if (config.flutter_fraction < 0.0 || config.flutter_fraction > 1.0) {
+    throw std::invalid_argument("GreenOrbsField: flutter fraction");
+  }
+  if (config.flutter_period <= 0.0) {
+    throw std::invalid_argument("GreenOrbsField: flutter period");
+  }
+
+  num::Rng rng(config.seed);
+  gaps_.reserve(static_cast<std::size_t>(config.gap_count));
+  for (int i = 0; i < config.gap_count; ++i) {
+    Gap g;
+    g.center0 = {rng.uniform(config_.region.x0, config_.region.x1),
+                 rng.uniform(config_.region.y0, config_.region.y1)};
+    const double heading = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    g.drift = geo::Vec2{std::cos(heading), std::sin(heading)} *
+              (config.drift_speed * rng.uniform(0.5, 1.5));
+    g.amplitude = rng.uniform(config.amplitude_min, config.amplitude_max);
+    g.sigma = rng.uniform(config.sigma_min, config.sigma_max);
+    g.flutter_phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    gaps_.push_back(g);
+  }
+}
+
+double GreenOrbsField::envelope(double t) const noexcept {
+  if (t <= config_.sunrise || t >= config_.sunset) return 0.0;
+  const double phase =
+      (t - config_.sunrise) / (config_.sunset - config_.sunrise);
+  return std::sin(std::numbers::pi * phase);
+}
+
+geo::Vec2 GreenOrbsField::gap_center(const Gap& g, double t) const noexcept {
+  geo::Vec2 c = g.center0 + g.drift * t;
+  // Reflect the drifted centre back into the region so gaps never leave the
+  // window entirely (a gap wandering off would make late frames trivially
+  // flat).
+  const auto reflect = [](double v, double lo, double hi) {
+    const double span = hi - lo;
+    double u = std::fmod(v - lo, 2.0 * span);
+    if (u < 0.0) u += 2.0 * span;
+    return lo + (u <= span ? u : 2.0 * span - u);
+  };
+  c.x = reflect(c.x, config_.region.x0, config_.region.x1);
+  c.y = reflect(c.y, config_.region.y0, config_.region.y1);
+  return c;
+}
+
+double GreenOrbsField::do_value(geo::Vec2 p, double t) const {
+  const double env = envelope(t);
+  if (env == 0.0) return 0.0;
+  double light = config_.base_light;
+  for (const auto& g : gaps_) {
+    const double flutter =
+        1.0 + config_.flutter_fraction *
+                  std::sin(2.0 * std::numbers::pi * t /
+                               config_.flutter_period +
+                           g.flutter_phase);
+    const double r2 = geo::distance_sq(p, gap_center(g, t));
+    light += g.amplitude * flutter *
+             std::exp(-r2 / (2.0 * g.sigma * g.sigma));
+  }
+  light += config_.noise_amplitude * noise_.fbm(p.x, p.y, 3);
+  return std::max(0.0, env * light);
+}
+
+field::GridField GreenOrbsField::snapshot(double t, std::size_t nx,
+                                          std::size_t ny) const {
+  const field::FieldSlice slice(*this, t);
+  return field::GridField::sample(slice, config_.region, nx, ny);
+}
+
+field::FrameSequenceField GreenOrbsField::record(double t0, double t1,
+                                                 double dt, std::size_t nx,
+                                                 std::size_t ny) const {
+  if (dt <= 0.0) throw std::invalid_argument("record: dt <= 0");
+  if (t1 < t0) throw std::invalid_argument("record: t1 < t0");
+  std::vector<field::GridField> frames;
+  std::vector<double> stamps;
+  for (double t = t0; t <= t1 + 1e-9; t += dt) {
+    frames.push_back(snapshot(t, nx, ny));
+    stamps.push_back(t);
+  }
+  return field::FrameSequenceField(std::move(frames), std::move(stamps));
+}
+
+}  // namespace cps::trace

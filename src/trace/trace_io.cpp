@@ -1,0 +1,167 @@
+#include "trace/trace_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace cps::trace {
+namespace {
+
+void write_header(std::ostream& out, const char* kind,
+                  const field::GridField& grid) {
+  out << "# cps-" << kind << " v1\n";
+  out << "# bounds " << grid.bounds().x0 << ' ' << grid.bounds().y0 << ' '
+      << grid.bounds().x1 << ' ' << grid.bounds().y1 << '\n';
+  out << "# shape " << grid.nx() << ' ' << grid.ny() << '\n';
+}
+
+void write_rows(std::ostream& out, const field::GridField& grid) {
+  const auto old_precision = out.precision();
+  out << std::setprecision(17);
+  for (std::size_t j = 0; j < grid.ny(); ++j) {
+    for (std::size_t i = 0; i < grid.nx(); ++i) {
+      if (i) out << ',';
+      out << grid.at(i, j);
+    }
+    out << '\n';
+  }
+  out << std::setprecision(static_cast<int>(old_precision));
+}
+
+[[noreturn]] void malformed(const std::string& what) {
+  throw std::runtime_error("trace_io: malformed input: " + what);
+}
+
+std::string next_line(std::istream& in, const char* expected) {
+  std::string line;
+  if (!std::getline(in, line)) malformed(std::string("missing ") + expected);
+  return line;
+}
+
+void parse_magic(std::istream& in, const std::string& magic) {
+  if (next_line(in, magic.c_str()) != magic) malformed("bad magic");
+}
+
+num::Rect parse_bounds(std::istream& in) {
+  std::istringstream ls(next_line(in, "bounds"));
+  std::string hash;
+  std::string word;
+  num::Rect r;
+  if (!(ls >> hash >> word >> r.x0 >> r.y0 >> r.x1 >> r.y1) ||
+      hash != "#" || word != "bounds") {
+    malformed("bounds line");
+  }
+  return r;
+}
+
+std::pair<std::size_t, std::size_t> parse_shape(std::istream& in) {
+  std::istringstream ls(next_line(in, "shape"));
+  std::string hash;
+  std::string word;
+  std::size_t nx = 0;
+  std::size_t ny = 0;
+  if (!(ls >> hash >> word >> nx >> ny) || hash != "#" || word != "shape") {
+    malformed("shape line");
+  }
+  return {nx, ny};
+}
+
+std::vector<double> parse_rows(std::istream& in, std::size_t nx,
+                               std::size_t ny) {
+  std::vector<double> data;
+  data.reserve(nx * ny);
+  for (std::size_t j = 0; j < ny; ++j) {
+    std::istringstream row(next_line(in, "data row"));
+    std::string cell;
+    std::size_t i = 0;
+    while (std::getline(row, cell, ',')) {
+      if (i >= nx) malformed("too many columns");
+      data.push_back(std::stod(cell));
+      ++i;
+    }
+    if (i != nx) malformed("too few columns");
+  }
+  return data;
+}
+
+}  // namespace
+
+void write_grid(std::ostream& out, const field::GridField& grid) {
+  write_header(out, "grid", grid);
+  write_rows(out, grid);
+}
+
+void write_grid_file(const std::string& path, const field::GridField& grid) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("trace_io: cannot open " + path);
+  write_grid(out, grid);
+}
+
+field::GridField read_grid(std::istream& in) {
+  parse_magic(in, "# cps-grid v1");
+  const num::Rect bounds = parse_bounds(in);
+  const auto [nx, ny] = parse_shape(in);
+  return field::GridField(bounds, nx, ny, parse_rows(in, nx, ny));
+}
+
+field::GridField read_grid_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("trace_io: cannot open " + path);
+  return read_grid(in);
+}
+
+void write_trace(std::ostream& out, const field::FrameSequenceField& t) {
+  write_header(out, "trace", t.frame(0));
+  out << "# frames " << t.frame_count() << '\n';
+  for (std::size_t f = 0; f < t.frame_count(); ++f) {
+    out << std::setprecision(17) << "# t " << t.timestamp(f) << '\n';
+    write_rows(out, t.frame(f));
+  }
+}
+
+void write_trace_file(const std::string& path,
+                      const field::FrameSequenceField& t) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("trace_io: cannot open " + path);
+  write_trace(out, t);
+}
+
+field::FrameSequenceField read_trace(std::istream& in) {
+  parse_magic(in, "# cps-trace v1");
+  const num::Rect bounds = parse_bounds(in);
+  const auto [nx, ny] = parse_shape(in);
+
+  std::istringstream ls(next_line(in, "frames"));
+  std::string hash;
+  std::string word;
+  std::size_t count = 0;
+  if (!(ls >> hash >> word >> count) || hash != "#" || word != "frames" ||
+      count == 0) {
+    malformed("frames line");
+  }
+
+  std::vector<field::GridField> frames;
+  std::vector<double> stamps;
+  frames.reserve(count);
+  stamps.reserve(count);
+  for (std::size_t f = 0; f < count; ++f) {
+    std::istringstream ts(next_line(in, "t line"));
+    double t = 0.0;
+    if (!(ts >> hash >> word >> t) || hash != "#" || word != "t") {
+      malformed("t line");
+    }
+    stamps.push_back(t);
+    frames.emplace_back(bounds, nx, ny, parse_rows(in, nx, ny));
+  }
+  return field::FrameSequenceField(std::move(frames), std::move(stamps));
+}
+
+field::FrameSequenceField read_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("trace_io: cannot open " + path);
+  return read_trace(in);
+}
+
+}  // namespace cps::trace

@@ -1,0 +1,47 @@
+// Trace persistence: CSV round-tripping for grid frames and frame
+// sequences, in the spirit of the GreenOrbs public data page (plain-text
+// per-hour dumps).
+//
+// Formats
+//   Grid file:
+//     # cps-grid v1
+//     # bounds x0 y0 x1 y1
+//     # shape nx ny
+//     <ny rows of nx comma-separated values, row j = y index j>
+//   Trace file:
+//     # cps-trace v1
+//     # bounds x0 y0 x1 y1
+//     # shape nx ny
+//     # frames n
+//     repeated n times:
+//       # t <timestamp>
+//       <ny rows of nx comma-separated values>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "field/grid_field.hpp"
+#include "field/time_varying.hpp"
+
+namespace cps::trace {
+
+/// Serialises a grid frame.  Stream variants never touch the filesystem;
+/// path variants throw std::runtime_error when the file cannot be opened.
+void write_grid(std::ostream& out, const field::GridField& grid);
+void write_grid_file(const std::string& path, const field::GridField& grid);
+
+/// Parses a grid frame; throws std::runtime_error on malformed input.
+field::GridField read_grid(std::istream& in);
+field::GridField read_grid_file(const std::string& path);
+
+/// Serialises a frame sequence.
+void write_trace(std::ostream& out, const field::FrameSequenceField& t);
+void write_trace_file(const std::string& path,
+                      const field::FrameSequenceField& t);
+
+/// Parses a frame sequence; throws std::runtime_error on malformed input.
+field::FrameSequenceField read_trace(std::istream& in);
+field::FrameSequenceField read_trace_file(const std::string& path);
+
+}  // namespace cps::trace

@@ -1,0 +1,115 @@
+#include "viz/ascii.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace cps::viz {
+namespace {
+
+constexpr const char* kRamp = " .:-=+*#%@";
+constexpr std::size_t kRampLevels = 10;
+
+void validate(const num::Rect& region, const AsciiOptions& options) {
+  if (options.width < 2 || options.height < 2) {
+    throw std::invalid_argument("render: size too small");
+  }
+  if (region.width() <= 0.0 || region.height() <= 0.0) {
+    throw std::invalid_argument("render: empty region");
+  }
+}
+
+geo::Vec2 cell_center(const num::Rect& region, const AsciiOptions& options,
+                      std::size_t col, std::size_t row_from_bottom) {
+  const double fx =
+      (static_cast<double>(col) + 0.5) / static_cast<double>(options.width);
+  const double fy = (static_cast<double>(row_from_bottom) + 0.5) /
+                    static_cast<double>(options.height);
+  return {region.x0 + fx * region.width(), region.y0 + fy * region.height()};
+}
+
+std::string assemble(const std::vector<std::string>& rows_bottom_up,
+                     bool border) {
+  std::string out;
+  const std::size_t w = rows_bottom_up.empty() ? 0 : rows_bottom_up[0].size();
+  if (border) out += '+' + std::string(w, '-') + "+\n";
+  for (std::size_t r = rows_bottom_up.size(); r-- > 0;) {
+    if (border) out += '|';
+    out += rows_bottom_up[r];
+    if (border) out += '|';
+    out += '\n';
+  }
+  if (border) out += '+' + std::string(w, '-') + "+\n";
+  return out;
+}
+
+void overlay_nodes(std::vector<std::string>& rows, const num::Rect& region,
+                   const AsciiOptions& options,
+                   std::span<const geo::Vec2> nodes) {
+  for (const auto& n : nodes) {
+    if (!region.contains(n.x, n.y)) continue;
+    const auto col = std::min(
+        options.width - 1,
+        static_cast<std::size_t>((n.x - region.x0) / region.width() *
+                                 static_cast<double>(options.width)));
+    const auto row = std::min(
+        options.height - 1,
+        static_cast<std::size_t>((n.y - region.y0) / region.height() *
+                                 static_cast<double>(options.height)));
+    rows[row][col] = options.node_marker;
+  }
+}
+
+}  // namespace
+
+std::string render_field(const field::Field& f, const num::Rect& region,
+                         std::span<const geo::Vec2> nodes,
+                         const AsciiOptions& options) {
+  validate(region, options);
+  std::vector<std::vector<double>> values(
+      options.height, std::vector<double>(options.width));
+  double lo = options.range_min;
+  double hi = options.range_max;
+  if (lo == hi) {
+    lo = std::numeric_limits<double>::infinity();
+    hi = -lo;
+  }
+  for (std::size_t r = 0; r < options.height; ++r) {
+    for (std::size_t c = 0; c < options.width; ++c) {
+      const double v = f.value(cell_center(region, options, c, r));
+      values[r][c] = v;
+      if (options.range_min == options.range_max) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+  }
+  const double span = hi > lo ? hi - lo : 1.0;
+  std::vector<std::string> rows(options.height,
+                                std::string(options.width, ' '));
+  for (std::size_t r = 0; r < options.height; ++r) {
+    for (std::size_t c = 0; c < options.width; ++c) {
+      const double norm = std::clamp((values[r][c] - lo) / span, 0.0, 1.0);
+      const auto level = std::min(
+          kRampLevels - 1,
+          static_cast<std::size_t>(norm * static_cast<double>(kRampLevels)));
+      rows[r][c] = kRamp[level];
+    }
+  }
+  overlay_nodes(rows, region, options, nodes);
+  return assemble(rows, options.border);
+}
+
+std::string render_topology(const num::Rect& region,
+                            std::span<const geo::Vec2> nodes,
+                            const AsciiOptions& options) {
+  validate(region, options);
+  std::vector<std::string> rows(options.height,
+                                std::string(options.width, '.'));
+  overlay_nodes(rows, region, options, nodes);
+  return assemble(rows, options.border);
+}
+
+}  // namespace cps::viz

@@ -1,0 +1,43 @@
+// Terminal rendering of environment surfaces and node topologies.
+//
+// The paper communicates results as Matlab surface plots (Figs. 1, 3, 5-9);
+// the bench harnesses communicate the same content as ASCII heat-maps with
+// optional node-position overlays, so a reviewer can eyeball the rebuilt
+// surface directly in the bench output.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "field/field.hpp"
+#include "geometry/vec2.hpp"
+#include "numerics/quadrature.hpp"
+
+namespace cps::viz {
+
+/// Rendering options.
+struct AsciiOptions {
+  std::size_t width = 60;    ///< Character columns (>= 2).
+  std::size_t height = 24;   ///< Character rows (>= 2).
+  char node_marker = 'o';    ///< Overlay glyph for node positions.
+  bool border = true;        ///< Surround with a box.
+  /// Value range for the ramp; when min == max the range is taken from the
+  /// rendered samples.
+  double range_min = 0.0;
+  double range_max = 0.0;
+};
+
+/// Renders `f` over `region` as an ASCII heat-map (dark = low, bright =
+/// high, 10-level ramp).  `nodes` are overlaid with the node marker.  The
+/// y axis points up (last text row is y0), matching the paper's plots.
+/// Throws std::invalid_argument for degenerate sizes or region.
+std::string render_field(const field::Field& f, const num::Rect& region,
+                         std::span<const geo::Vec2> nodes = {},
+                         const AsciiOptions& options = {});
+
+/// Renders only a topology: nodes plus '.' where no node is.
+std::string render_topology(const num::Rect& region,
+                            std::span<const geo::Vec2> nodes,
+                            const AsciiOptions& options = {});
+
+}  // namespace cps::viz

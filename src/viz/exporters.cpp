@@ -1,0 +1,69 @@
+#include "viz/exporters.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <stdexcept>
+
+namespace cps::viz {
+namespace {
+
+std::ofstream open_or_throw(const std::string& path,
+                            std::ios_base::openmode mode = std::ios::out) {
+  std::ofstream out(path, mode);
+  if (!out) throw std::runtime_error("exporters: cannot open " + path);
+  return out;
+}
+
+}  // namespace
+
+void write_csv_matrix(std::ostream& out, const field::GridField& grid) {
+  out << std::setprecision(17);
+  for (std::size_t j = 0; j < grid.ny(); ++j) {
+    for (std::size_t i = 0; i < grid.nx(); ++i) {
+      if (i) out << ',';
+      out << grid.at(i, j);
+    }
+    out << '\n';
+  }
+}
+
+void write_csv_matrix_file(const std::string& path,
+                           const field::GridField& grid) {
+  auto out = open_or_throw(path);
+  write_csv_matrix(out, grid);
+}
+
+void write_positions_csv(std::ostream& out,
+                         std::span<const geo::Vec2> positions) {
+  out << "x,y\n" << std::setprecision(17);
+  for (const auto& p : positions) out << p.x << ',' << p.y << '\n';
+}
+
+void write_positions_csv_file(const std::string& path,
+                              std::span<const geo::Vec2> positions) {
+  auto out = open_or_throw(path);
+  write_positions_csv(out, positions);
+}
+
+void write_pgm(std::ostream& out, const field::GridField& grid) {
+  const double lo = grid.min_value();
+  const double hi = grid.max_value();
+  const double span = hi > lo ? hi - lo : 1.0;
+  out << "P5\n" << grid.nx() << ' ' << grid.ny() << "\n255\n";
+  for (std::size_t j = grid.ny(); j-- > 0;) {
+    for (std::size_t i = 0; i < grid.nx(); ++i) {
+      const double norm = (grid.at(i, j) - lo) / span;
+      const auto byte = static_cast<unsigned char>(
+          std::clamp(norm * 255.0, 0.0, 255.0));
+      out.put(static_cast<char>(byte));
+    }
+  }
+}
+
+void write_pgm_file(const std::string& path, const field::GridField& grid) {
+  auto out = open_or_throw(path, std::ios::out | std::ios::binary);
+  write_pgm(out, grid);
+}
+
+}  // namespace cps::viz

@@ -1,0 +1,31 @@
+// File exporters for offline plotting: CSV matrices (gnuplot / pandas) and
+// binary PGM images (any image viewer).  These are the "figure data"
+// counterparts of the paper's Matlab plots.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "field/grid_field.hpp"
+#include "geometry/vec2.hpp"
+
+namespace cps::viz {
+
+/// Writes the grid as a bare CSV matrix (row j = y index j, no header).
+void write_csv_matrix(std::ostream& out, const field::GridField& grid);
+void write_csv_matrix_file(const std::string& path,
+                           const field::GridField& grid);
+
+/// Writes node positions as "x,y" lines with a header row.
+void write_positions_csv(std::ostream& out,
+                         std::span<const geo::Vec2> positions);
+void write_positions_csv_file(const std::string& path,
+                              std::span<const geo::Vec2> positions);
+
+/// Writes an 8-bit binary PGM (P5) of the grid, low = black, high = white.
+/// Rows are emitted top-down (image convention: y grows downward).
+void write_pgm(std::ostream& out, const field::GridField& grid);
+void write_pgm_file(const std::string& path, const field::GridField& grid);
+
+}  // namespace cps::viz

@@ -1,0 +1,86 @@
+#include "viz/series.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace cps::viz {
+
+std::string format_table(std::span<const Series> columns, int precision) {
+  if (columns.empty()) return "";
+  const std::size_t n = columns[0].values.size();
+  for (const auto& c : columns) {
+    if (c.values.size() != n) {
+      throw std::invalid_argument("format_table: ragged columns");
+    }
+  }
+  // Render every cell first so column widths can be computed.
+  std::vector<std::vector<std::string>> cells(columns.size());
+  std::vector<std::size_t> widths(columns.size());
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    widths[c] = columns[c].name.size();
+    cells[c].reserve(n);
+    for (const double v : columns[c].values) {
+      std::ostringstream ss;
+      ss << std::fixed << std::setprecision(precision) << v;
+      cells[c].push_back(ss.str());
+      widths[c] = std::max(widths[c], cells[c].back().size());
+    }
+  }
+  std::ostringstream out;
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    if (c) out << "  ";
+    out << std::setw(static_cast<int>(widths[c])) << columns[c].name;
+  }
+  out << '\n';
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      if (c) out << "  ";
+      out << std::setw(static_cast<int>(widths[c])) << cells[c][r];
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string sparkline(std::span<const double> values) {
+  static const char* kLevels[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  if (values.empty()) return "";
+  const double lo = *std::min_element(values.begin(), values.end());
+  const double hi = *std::max_element(values.begin(), values.end());
+  const double span = hi > lo ? hi - lo : 1.0;
+  std::string out;
+  for (const double v : values) {
+    const double norm = (v - lo) / span;
+    const auto idx =
+        std::min<std::size_t>(7, static_cast<std::size_t>(norm * 8.0));
+    out += kLevels[idx];
+  }
+  return out;
+}
+
+std::string summarize(const std::string& name,
+                      std::span<const double> values) {
+  std::ostringstream out;
+  out << name << ':';
+  if (values.empty()) {
+    out << " (empty)";
+    return out.str();
+  }
+  double lo = values[0];
+  double hi = values[0];
+  double sum = 0.0;
+  for (const double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+    sum += v;
+  }
+  out << std::setprecision(6) << " min=" << lo << " max=" << hi
+      << " mean=" << sum / static_cast<double>(values.size())
+      << " n=" << values.size();
+  return out.str();
+}
+
+}  // namespace cps::viz

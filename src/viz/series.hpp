@@ -1,0 +1,29 @@
+// Tabular / sparkline printing for bench output.  Every figure bench
+// prints its series through these helpers so the output stays uniform.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cps::viz {
+
+/// One named numeric column.
+struct Series {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// Formats columns as an aligned text table.  All series must have the same
+/// length (std::invalid_argument otherwise).  `precision` applies to every
+/// value.
+std::string format_table(std::span<const Series> columns, int precision = 4);
+
+/// Unicode sparkline (8 levels) of a series; empty input yields "".
+std::string sparkline(std::span<const double> values);
+
+/// "name: min=... max=... mean=..." one-line summary.
+std::string summarize(const std::string& name,
+                      std::span<const double> values);
+
+}  // namespace cps::viz

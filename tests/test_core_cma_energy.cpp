@@ -1,0 +1,100 @@
+// Tests for CMA's energy accounting (movement distance, broadcast count).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/cma.hpp"
+#include "core/planner.hpp"
+#include "field/analytic_fields.hpp"
+#include "field/time_varying.hpp"
+
+namespace cps::core {
+namespace {
+
+const num::Rect kRegion{0.0, 0.0, 100.0, 100.0};
+
+field::StaticTimeField bump_env() {
+  return field::StaticTimeField(std::make_shared<field::GaussianMixtureField>(
+      0.5, std::vector<field::GaussianBump>{{{60.0, 60.0}, 4.0, 10.0}}));
+}
+
+TEST(CmaEnergy, ZeroBeforeAnyStep) {
+  const auto env = bump_env();
+  CmaSimulation sim(env, kRegion, GridPlanner::make_grid(kRegion, 16).positions,
+                    CmaConfig{});
+  EXPECT_DOUBLE_EQ(sim.total_distance_traveled(), 0.0);
+  EXPECT_EQ(sim.total_broadcasts(), 0u);
+  EXPECT_DOUBLE_EQ(sim.distance_traveled(3), 0.0);
+}
+
+TEST(CmaEnergy, BroadcastsAreTwoPerNodePerSlot) {
+  // Table 2: one beacon round plus one tell round each slot.
+  const auto env = bump_env();
+  CmaSimulation sim(env, kRegion, GridPlanner::make_grid(kRegion, 16).positions,
+                    CmaConfig{});
+  sim.run(7);
+  EXPECT_EQ(sim.total_broadcasts(), 2u * 16u * 7u);
+}
+
+TEST(CmaEnergy, TotalIsSumOfPerNodeDistances) {
+  const auto env = bump_env();
+  CmaConfig cfg;
+  cfg.rc = 100.0 / 4.0 * 1.001;
+  cfg.lcm = LcmMode::kOff;
+  CmaSimulation sim(env, kRegion, GridPlanner::make_grid(kRegion, 16).positions,
+                    cfg);
+  sim.run(15);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < 16; ++i) sum += sim.distance_traveled(i);
+  EXPECT_NEAR(sum, sim.total_distance_traveled(), 1e-9);
+  EXPECT_GT(sum, 0.0);
+}
+
+TEST(CmaEnergy, DistanceBoundedBySpeedTimesTime) {
+  const auto env = bump_env();
+  CmaConfig cfg;
+  cfg.lcm = LcmMode::kOff;
+  CmaSimulation sim(env, kRegion, GridPlanner::make_grid(kRegion, 25).positions,
+                    cfg);
+  sim.run(20);
+  for (std::size_t i = 0; i < 25; ++i) {
+    // v * dt * slots, with a float hair.
+    EXPECT_LE(sim.distance_traveled(i), 20.0 + 1e-9);
+  }
+  EXPECT_LE(sim.total_distance_traveled(), 25.0 * 20.0 + 1e-6);
+}
+
+TEST(CmaEnergy, StrictLcmMovesLessThanFreeTopology) {
+  // The strict invariant pins the taut lattice: its energy budget is a
+  // fraction of the free run's.
+  const auto env = bump_env();
+  const auto init = GridPlanner::make_grid(kRegion, 100).positions;
+  CmaConfig strict_cfg;
+  strict_cfg.rc = 10.0 * 1.0001;
+  strict_cfg.lcm = LcmMode::kStrict;
+  CmaConfig off_cfg = strict_cfg;
+  off_cfg.lcm = LcmMode::kOff;
+  CmaSimulation strict_sim(env, kRegion, init, strict_cfg);
+  CmaSimulation off_sim(env, kRegion, init, off_cfg);
+  strict_sim.run(20);
+  off_sim.run(20);
+  EXPECT_LT(strict_sim.total_distance_traveled(),
+            off_sim.total_distance_traveled());
+}
+
+TEST(CmaEnergy, BalancedSwarmStopsSpendingMovementEnergy) {
+  // Flat field, nodes far apart: no forces, no movement, but the radio
+  // keeps beaconing (the idle-listening cost structure of real motes).
+  const field::StaticTimeField env(
+      std::make_shared<field::ConstantField>(1.0));
+  CmaConfig cfg;
+  cfg.lcm = LcmMode::kOff;
+  CmaSimulation sim(env, kRegion, GridPlanner::make_grid(kRegion, 4).positions,
+                    cfg);
+  sim.run(10);
+  EXPECT_DOUBLE_EQ(sim.total_distance_traveled(), 0.0);
+  EXPECT_EQ(sim.total_broadcasts(), 2u * 4u * 10u);
+}
+
+}  // namespace
+}  // namespace cps::core

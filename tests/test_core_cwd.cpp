@@ -1,0 +1,111 @@
+// Tests for the centralised CWD solver (core/cwd.hpp).
+#include "core/cwd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/curvature.hpp"
+#include "core/delta.hpp"
+#include "field/analytic_fields.hpp"
+
+namespace cps::core {
+namespace {
+
+const num::Rect kRegion{0.0, 0.0, 100.0, 100.0};
+
+CwdConfig fig3_config() {
+  CwdConfig cfg;       // Defaults are the Fig. 3 setting (Rc = 30).
+  cfg.max_iterations = 200;
+  return cfg;
+}
+
+TEST(Cwd, Validation) {
+  CwdConfig bad = fig3_config();
+  bad.rc = 0.0;
+  EXPECT_THROW(CwdSolver{bad}, std::invalid_argument);
+  bad = fig3_config();
+  bad.step_limit = 0.0;
+  EXPECT_THROW(CwdSolver{bad}, std::invalid_argument);
+  const CwdSolver ok(fig3_config());
+  EXPECT_THROW(ok.solve(field::ConstantField(0.0), kRegion, 0),
+               std::invalid_argument);
+  EXPECT_THROW(ok.solve_from(field::ConstantField(0.0), kRegion, {}),
+               std::invalid_argument);
+}
+
+TEST(Cwd, KeepsNodeCountAndRegion) {
+  const field::PeaksField f(kRegion);
+  const CwdSolver solver(fig3_config());
+  const CwdResult result = solver.solve(f, kRegion, 16);
+  ASSERT_EQ(result.deployment.size(), 16u);
+  for (const auto& p : result.deployment.positions) {
+    EXPECT_TRUE(kRegion.contains(p.x, p.y));
+  }
+  EXPECT_GT(result.iterations, 0u);
+}
+
+TEST(Cwd, FlatFieldRelaxesToSpreadPattern) {
+  // Pure repulsion on a flat field pushes nodes apart: the minimum
+  // pairwise distance must grow well beyond the initial 16-node grid's if
+  // nodes started clustered.
+  const field::ConstantField f(1.0);
+  CwdConfig cfg = fig3_config();
+  const CwdSolver solver(cfg);
+  std::vector<geo::Vec2> clustered;
+  for (int i = 0; i < 9; ++i) {
+    clustered.push_back({45.0 + 2.0 * (i % 3), 45.0 + 2.0 * (i / 3)});
+  }
+  const CwdResult result = solver.solve_from(f, kRegion, clustered);
+  double min_dist = 1e9;
+  const auto& pos = result.deployment.positions;
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    for (std::size_t j = i + 1; j < pos.size(); ++j) {
+      min_dist = std::min(min_dist, geo::distance(pos[i], pos[j]));
+    }
+  }
+  EXPECT_GT(min_dist, 5.0);
+}
+
+TEST(Cwd, BeatsUniformDeltaOnPeaks) {
+  // The Fig. 3 claim: 16 CWD nodes outline peaks better than the uniform
+  // grid, measured end-to-end by delta after DT reconstruction.
+  const field::PeaksField f(kRegion);
+  const DeltaMetric metric(kRegion, 50);
+  const auto uniform = GridPlanner::make_grid(kRegion, 16);
+  const CwdSolver solver(fig3_config());
+  const CwdResult cwd = solver.solve(f, kRegion, 16);
+  const auto corners = CornerPolicy::kFieldValue;  // Known-surface demo.
+  const double uniform_delta =
+      metric.delta_of_deployment(f, uniform.positions, corners);
+  const double cwd_delta =
+      metric.delta_of_deployment(f, cwd.deployment.positions, corners);
+  EXPECT_LT(cwd_delta, uniform_delta);
+}
+
+TEST(Cwd, TotalCapturedCurvatureRisesVsUniform) {
+  // Eqn. 10's objective: the CWD pattern accumulates more |G| at node
+  // positions than the uniform grid does.
+  const field::PeaksField f(kRegion);
+  const CurvatureEstimator est(10.0);
+  const CwdSolver solver(fig3_config());
+  const auto uniform = GridPlanner::make_grid(kRegion, 16).positions;
+  const auto cwd = solver.solve(f, kRegion, 16).deployment.positions;
+  double uniform_total = 0.0;
+  double cwd_total = 0.0;
+  for (std::size_t i = 0; i < 16; ++i) {
+    uniform_total += std::abs(est.gaussian_at(f, uniform[i]));
+    cwd_total += std::abs(est.gaussian_at(f, cwd[i]));
+  }
+  EXPECT_GT(cwd_total, uniform_total);
+}
+
+TEST(Cwd, DeterministicAcrossRuns) {
+  const field::PeaksField f(kRegion);
+  const CwdSolver solver(fig3_config());
+  const auto a = solver.solve(f, kRegion, 9);
+  const auto b = solver.solve(f, kRegion, 9);
+  EXPECT_EQ(a.deployment.positions, b.deployment.positions);
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+}  // namespace
+}  // namespace cps::core

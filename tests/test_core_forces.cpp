@@ -1,0 +1,142 @@
+// Tests for the virtual-force model (core/forces.hpp).
+#include "core/forces.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cps::core {
+namespace {
+
+using geo::Vec2;
+
+TEST(PeakAttraction, PullsTowardPeakScaledByCurvature) {
+  const Vec2 node{0.0, 0.0};
+  const PeakInfo peak{{4.0, 0.0}, 2.0};
+  const Vec2 f1 = peak_attraction(node, peak, 1.0);
+  EXPECT_DOUBLE_EQ(f1.x, 8.0);  // d * G (Eqn. 14).
+  EXPECT_DOUBLE_EQ(f1.y, 0.0);
+  // Shrinks as the node approaches: F1 -> 0.
+  const Vec2 closer = peak_attraction({3.9, 0.0}, peak, 1.0);
+  EXPECT_LT(closer.norm(), f1.norm());
+}
+
+TEST(NeighborAttraction, BalancedAtCurvatureWeightedPivot) {
+  // Two neighbours, right one twice the curvature: the pivot satisfying
+  // Eqn. 9 sits where d_left * 1 = d_right * 2.
+  const std::vector<NeighborInfo> neighbors{{{0.0, 0.0}, 1.0},
+                                            {{9.0, 0.0}, 2.0}};
+  const Vec2 pivot{6.0, 0.0};  // 6 * 1 == 3 * 2.
+  const Vec2 f2 = neighbor_attraction(pivot, neighbors, 1.0);
+  EXPECT_NEAR(f2.x, 0.0, 1e-12);
+  EXPECT_NEAR(f2.y, 0.0, 1e-12);
+  // Off the pivot the force points back toward it.
+  EXPECT_GT(neighbor_attraction({5.0, 0.0}, neighbors, 1.0).x, 0.0);
+  EXPECT_LT(neighbor_attraction({7.0, 0.0}, neighbors, 1.0).x, 0.0);
+}
+
+TEST(NeighborAttraction, EmptyTableIsZero) {
+  EXPECT_EQ(neighbor_attraction({1.0, 1.0}, {}, 1.0), Vec2(0.0, 0.0));
+}
+
+TEST(Repulsion, PushesAwayWithinRc) {
+  const std::vector<NeighborInfo> neighbors{{{0.0, 0.0}, 1.0}};
+  const Vec2 fr = repulsion({3.0, 0.0}, neighbors, 10.0);
+  EXPECT_DOUBLE_EQ(fr.x, 7.0);  // (Rc - d) away from the neighbour.
+  EXPECT_DOUBLE_EQ(fr.y, 0.0);
+}
+
+TEST(Repulsion, ZeroAtAndBeyondRc) {
+  const std::vector<NeighborInfo> neighbors{{{0.0, 0.0}, 1.0}};
+  EXPECT_EQ(repulsion({10.0, 0.0}, neighbors, 10.0), Vec2(0.0, 0.0));
+  EXPECT_EQ(repulsion({15.0, 0.0}, neighbors, 10.0), Vec2(0.0, 0.0));
+}
+
+TEST(Repulsion, CoincidentNodesStillSeparate) {
+  const std::vector<NeighborInfo> neighbors{{{5.0, 5.0}, 1.0}};
+  const Vec2 fr = repulsion({5.0, 5.0}, neighbors, 10.0);
+  EXPECT_GT(fr.norm(), 0.0);
+}
+
+TEST(Repulsion, SymmetricPairCancelsAtMidpoint) {
+  const std::vector<NeighborInfo> neighbors{{{0.0, 0.0}, 1.0},
+                                            {{8.0, 0.0}, 1.0}};
+  const Vec2 fr = repulsion({4.0, 0.0}, neighbors, 10.0);
+  EXPECT_NEAR(fr.x, 0.0, 1e-12);
+}
+
+TEST(ComputeForces, ResultantCombinesPerEqn18) {
+  const Vec2 node{0.0, 0.0};
+  const PeakInfo peak{{2.0, 0.0}, 1.0};
+  const std::vector<NeighborInfo> neighbors{{{4.0, 0.0}, 1.0}};
+  ForceConfig cfg;
+  cfg.rc = 10.0;
+  cfg.beta = 2.0;
+  cfg.normalize_curvature = false;
+  cfg.repulsion_equilibrium = 1.0;  // The paper's literal Eqn. 17.
+  cfg.attraction_gain = 1.0;        // ... and literal Eqns. 14-15.
+  const ForceBreakdown out =
+      compute_forces(node, peak, neighbors, 1.0, cfg);
+  EXPECT_EQ(out.f1, Vec2(2.0, 0.0));
+  EXPECT_EQ(out.f2, Vec2(4.0, 0.0));
+  EXPECT_EQ(out.fr, Vec2(-6.0, 0.0));
+  EXPECT_EQ(out.fs, out.f1 + out.f2 + out.fr * cfg.beta);
+}
+
+TEST(ComputeForces, NoPeakDropsF1) {
+  const std::vector<NeighborInfo> neighbors{{{4.0, 0.0}, 1.0}};
+  ForceConfig cfg;
+  cfg.normalize_curvature = false;
+  const ForceBreakdown out =
+      compute_forces({0.0, 0.0}, std::nullopt, neighbors, 1.0, cfg);
+  EXPECT_EQ(out.f1, Vec2(0.0, 0.0));
+  EXPECT_NE(out.fs, Vec2(0.0, 0.0));
+}
+
+TEST(ComputeForces, NormalisationMakesAttractionScaleInvariant) {
+  // Multiplying every curvature weight by 1000 must leave the normalised
+  // attraction forces unchanged (the paper's balance Eqn. 9 is scale-free;
+  // normalisation keeps beta meaningful too).
+  const Vec2 node{1.0, 2.0};
+  const PeakInfo peak1{{4.0, 3.0}, 0.002};
+  const PeakInfo peak2{{4.0, 3.0}, 2.0};
+  std::vector<NeighborInfo> n1{{{7.0, 2.0}, 0.004}, {{1.0, 9.0}, 0.001}};
+  std::vector<NeighborInfo> n2{{{7.0, 2.0}, 4.0}, {{1.0, 9.0}, 1.0}};
+  ForceConfig cfg;
+  cfg.normalize_curvature = true;
+  const ForceBreakdown a = compute_forces(node, peak1, n1, 0.002, cfg);
+  const ForceBreakdown b = compute_forces(node, peak2, n2, 2.0, cfg);
+  EXPECT_NEAR(a.f1.x, b.f1.x, 1e-9);
+  EXPECT_NEAR(a.f2.x, b.f2.x, 1e-9);
+  EXPECT_NEAR(a.f2.y, b.f2.y, 1e-9);
+  EXPECT_NEAR(a.fs.x, b.fs.x, 1e-9);
+}
+
+TEST(ComputeForces, FlatWorldIsRepulsionOnly) {
+  // All-zero curvature: attraction vanishes even with normalisation (the
+  // scale clamp caps the product), leaving pure repulsion.
+  const std::vector<NeighborInfo> neighbors{{{3.0, 0.0}, 0.0}};
+  ForceConfig cfg;
+  cfg.rc = 10.0;
+  cfg.beta = 1.0;
+  const ForceBreakdown out =
+      compute_forces({0.0, 0.0}, std::nullopt, neighbors, 0.0, cfg);
+  EXPECT_EQ(out.f1, Vec2(0.0, 0.0));
+  EXPECT_EQ(out.f2, Vec2(0.0, 0.0));
+  EXPECT_LT(out.fs.x, 0.0);  // Pushed away from the neighbour.
+}
+
+TEST(ComputeForces, BalancedConfigurationHasZeroResultant) {
+  // Symmetric neighbours at distance Rc with equal weights and no peak:
+  // everything cancels.
+  const std::vector<NeighborInfo> neighbors{{{-10.0, 0.0}, 1.0},
+                                            {{10.0, 0.0}, 1.0}};
+  ForceConfig cfg;
+  cfg.rc = 10.0;
+  const ForceBreakdown out =
+      compute_forces({0.0, 0.0}, std::nullopt, neighbors, 1.0, cfg);
+  EXPECT_NEAR(out.fs.norm(), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace cps::core

@@ -1,0 +1,177 @@
+// Tests for the Foresighted Refinement Algorithm (core/fra.hpp).
+#include "core/fra.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/delta.hpp"
+#include "field/analytic_fields.hpp"
+#include "graph/geometric_graph.hpp"
+
+namespace cps::core {
+namespace {
+
+const num::Rect kRegion{0.0, 0.0, 100.0, 100.0};
+
+field::GaussianMixtureField test_field() {
+  // A GreenOrbs-like mixture: three bright patches over a dim base.
+  return field::GaussianMixtureField(0.5, {{{25.0, 30.0}, 3.0, 8.0},
+                                           {{70.0, 65.0}, 2.0, 12.0},
+                                           {{45.0, 80.0}, 4.0, 6.0}});
+}
+
+FraConfig fast_config() {
+  FraConfig cfg;
+  cfg.error_grid = 50;  // Faster than the paper's 100 for unit tests.
+  return cfg;
+}
+
+PlanRequest request(std::size_t k, double rc = 10.0) {
+  return PlanRequest{kRegion, k, rc};
+}
+
+TEST(Fra, ConfigValidation) {
+  FraConfig bad;
+  bad.error_grid = 1;
+  EXPECT_THROW(FraPlanner{bad}, std::invalid_argument);
+  bad = FraConfig{};
+  bad.curvature_radius = 0.0;
+  EXPECT_THROW(FraPlanner{bad}, std::invalid_argument);
+  FraPlanner ok{fast_config()};
+  EXPECT_THROW(ok.plan(test_field(), request(5, 0.0)),
+               std::invalid_argument);
+}
+
+TEST(Fra, ZeroBudgetIsEmpty) {
+  FraPlanner planner(fast_config());
+  EXPECT_TRUE(planner.plan(test_field(), request(0)).empty());
+}
+
+TEST(Fra, ProducesExactlyKDistinctPositionsInRegion) {
+  FraPlanner planner(fast_config());
+  const auto f = test_field();
+  const Deployment d = planner.plan(f, request(40));
+  ASSERT_EQ(d.size(), 40u);
+  std::set<std::pair<double, double>> unique;
+  for (const auto& p : d.positions) {
+    EXPECT_TRUE(kRegion.contains(p.x, p.y));
+    unique.insert({p.x, p.y});
+  }
+  EXPECT_EQ(unique.size(), 40u);
+}
+
+TEST(Fra, FirstSelectionIsGlobalMaxError) {
+  // With an empty triangulation (corners pinned to f), the largest local
+  // error on the mixture sits at the strongest off-plane feature; the
+  // first chosen point must carry the maximal score of all steps.
+  FraPlanner planner(fast_config());
+  const auto result = planner.plan_detailed(test_field(), request(10));
+  ASSERT_FALSE(result.steps.empty());
+  for (const auto& step : result.steps) {
+    EXPECT_LE(step.score, result.steps.front().score + 1e-12);
+  }
+}
+
+TEST(Fra, DeploymentIsConnected) {
+  FraPlanner planner(fast_config());
+  const Deployment d = planner.plan(test_field(), request(30));
+  EXPECT_TRUE(graph::GeometricGraph(d.positions, 10.0).is_connected());
+}
+
+TEST(Fra, ForesightOffCanDisconnect) {
+  // Pure greedy refinement chases the three separated bumps; with Rc = 10
+  // the result is (virtually always) a disconnected topology — which is
+  // exactly why the foresight step exists.
+  FraConfig cfg = fast_config();
+  cfg.foresight = false;
+  FraPlanner planner(cfg);
+  const Deployment d = planner.plan(test_field(), request(12));
+  EXPECT_FALSE(graph::GeometricGraph(d.positions, 10.0).is_connected());
+}
+
+TEST(Fra, RelayStepsAreFlaggedAndCounted) {
+  FraPlanner planner(fast_config());
+  const auto result = planner.plan_detailed(test_field(), request(30));
+  std::size_t flagged = 0;
+  for (const auto& s : result.steps) flagged += s.relay ? 1u : 0u;
+  EXPECT_EQ(flagged, result.relay_count);
+  EXPECT_GT(result.relay_count, 0u);  // Bumps are farther apart than Rc.
+  EXPECT_EQ(result.steps.size(), result.deployment.size());
+}
+
+TEST(Fra, DeltaImprovesWithBudget) {
+  FraPlanner planner(fast_config());
+  const auto f = test_field();
+  const DeltaMetric metric(kRegion, 50);
+  const auto corners = CornerPolicy::kFieldValue;  // OSD knows f.
+  const double d10 = metric.delta_of_deployment(
+      f, planner.plan(f, request(10)).positions, corners);
+  const double d60 = metric.delta_of_deployment(
+      f, planner.plan(f, request(60)).positions, corners);
+  EXPECT_LT(d60, d10);
+}
+
+TEST(Fra, BeatsRandomBaselineAtModestK) {
+  // The Fig. 7 headline: FRA's delta well under random scatter's for
+  // small/medium k.  Averaged over a few random seeds for stability.
+  const auto f = test_field();
+  const DeltaMetric metric(kRegion, 50);
+  FraPlanner fra(fast_config());
+  const auto corners = CornerPolicy::kFieldValue;  // OSD knows f.
+  const double fra_delta = metric.delta_of_deployment(
+      f, fra.plan(f, request(30)).positions, corners);
+  double random_delta = 0.0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    RandomPlanner random(seed);
+    random_delta += metric.delta_of_deployment(
+        f, random.plan(f, request(30)).positions, corners);
+  }
+  random_delta /= 5.0;
+  EXPECT_LT(fra_delta, random_delta);
+}
+
+TEST(Fra, SelectionMeasuresAllProduceValidPlans) {
+  const auto f = test_field();
+  for (const auto measure :
+       {SelectionMeasure::kLocalError, SelectionMeasure::kCurvature,
+        SelectionMeasure::kProduct, SelectionMeasure::kRandom}) {
+    FraConfig cfg = fast_config();
+    cfg.measure = measure;
+    cfg.error_grid = 30;  // Curvature grids are expensive; keep tests fast.
+    FraPlanner planner(cfg);
+    const Deployment d = planner.plan(f, request(15));
+    EXPECT_EQ(d.size(), 15u);
+    EXPECT_TRUE(graph::GeometricGraph(d.positions, 10.0).is_connected());
+  }
+}
+
+TEST(Fra, RandomMeasureIsSeedDeterministic) {
+  FraConfig cfg = fast_config();
+  cfg.measure = SelectionMeasure::kRandom;
+  cfg.seed = 123;
+  FraPlanner a(cfg);
+  FraPlanner b(cfg);
+  const auto f = test_field();
+  EXPECT_EQ(a.plan(f, request(10)).positions,
+            b.plan(f, request(10)).positions);
+}
+
+// Property sweep: connectivity holds across budgets (the paper's k range).
+class FraBudgetSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FraBudgetSweep, ConnectedAtEveryBudget) {
+  const std::size_t k = GetParam();
+  FraPlanner planner(fast_config());
+  const Deployment d = planner.plan(test_field(), request(k));
+  EXPECT_EQ(d.size(), k);
+  EXPECT_TRUE(graph::GeometricGraph(d.positions, 10.0).is_connected())
+      << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, FraBudgetSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 10u, 20u, 50u,
+                                           80u));
+
+}  // namespace
+}  // namespace cps::core

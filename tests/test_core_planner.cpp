@@ -1,0 +1,95 @@
+// Tests for baseline planners (core/planner.hpp).
+#include "core/planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "field/analytic_fields.hpp"
+#include "graph/geometric_graph.hpp"
+
+namespace cps::core {
+namespace {
+
+const num::Rect kRegion{0.0, 0.0, 100.0, 100.0};
+const field::ConstantField kFlat(0.0);
+
+PlanRequest request(std::size_t k, double rc = 10.0) {
+  return PlanRequest{kRegion, k, rc};
+}
+
+TEST(RandomPlanner, ProducesKPositionsInsideRegion) {
+  RandomPlanner planner(5);
+  const Deployment d = planner.plan(kFlat, request(50));
+  ASSERT_EQ(d.size(), 50u);
+  for (const auto& p : d.positions) {
+    EXPECT_TRUE(kRegion.contains(p.x, p.y));
+  }
+}
+
+TEST(RandomPlanner, DeterministicPerSeed) {
+  RandomPlanner a(9);
+  RandomPlanner b(9);
+  RandomPlanner c(10);
+  const auto da = a.plan(kFlat, request(20));
+  const auto db = b.plan(kFlat, request(20));
+  const auto dc = c.plan(kFlat, request(20));
+  EXPECT_EQ(da.positions, db.positions);
+  EXPECT_NE(da.positions, dc.positions);
+}
+
+TEST(RandomPlanner, ZeroBudget) {
+  RandomPlanner planner;
+  EXPECT_TRUE(planner.plan(kFlat, request(0)).empty());
+}
+
+TEST(GridPlanner, PerfectSquareLayout) {
+  const Deployment d = GridPlanner::make_grid(kRegion, 100);
+  ASSERT_EQ(d.size(), 100u);
+  // 10 x 10 at 10 m pitch, first node at the cell centre (5, 5).
+  EXPECT_EQ(d.positions[0], geo::Vec2(5.0, 5.0));
+  EXPECT_EQ(d.positions[1], geo::Vec2(15.0, 5.0));
+  EXPECT_EQ(d.positions[10], geo::Vec2(5.0, 15.0));
+  EXPECT_EQ(d.positions[99], geo::Vec2(95.0, 95.0));
+}
+
+TEST(GridPlanner, NonSquareBudgetsTruncateLastRow) {
+  const Deployment d = GridPlanner::make_grid(kRegion, 7);  // 3 cols, 3 rows.
+  ASSERT_EQ(d.size(), 7u);
+  for (const auto& p : d.positions) {
+    EXPECT_TRUE(kRegion.contains(p.x, p.y));
+  }
+}
+
+TEST(GridPlanner, SingleNodeAtCenterOfFirstCell) {
+  const Deployment d = GridPlanner::make_grid(kRegion, 1);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d.positions[0], geo::Vec2(50.0, 50.0));
+}
+
+TEST(GridPlanner, ZeroBudget) {
+  EXPECT_TRUE(GridPlanner::make_grid(kRegion, 0).empty());
+}
+
+TEST(GridPlanner, PaperGridIsConnectedAtRc10) {
+  // The CMA initial state (Fig. 8a): k = 100, Rc = 10 m.
+  const Deployment d = GridPlanner::make_grid(kRegion, 100);
+  EXPECT_TRUE(graph::GeometricGraph(d.positions, 10.0).is_connected());
+}
+
+TEST(GridPlanner, PlanMatchesMakeGrid) {
+  GridPlanner planner;
+  const auto via_plan = planner.plan(kFlat, request(25));
+  const auto direct = GridPlanner::make_grid(kRegion, 25);
+  EXPECT_EQ(via_plan.positions, direct.positions);
+}
+
+TEST(GridPlanner, NonSquareRegion) {
+  const num::Rect wide{0.0, 0.0, 200.0, 50.0};
+  const Deployment d = GridPlanner::make_grid(wide, 8);
+  ASSERT_EQ(d.size(), 8u);
+  for (const auto& p : d.positions) {
+    EXPECT_TRUE(wide.contains(p.x, p.y));
+  }
+}
+
+}  // namespace
+}  // namespace cps::core

@@ -1,0 +1,99 @@
+// Tests for the farthest-point coverage baseline
+// (core/planner.hpp::FarthestPointPlanner).
+#include <gtest/gtest.h>
+
+#include "core/delta.hpp"
+#include "core/planner.hpp"
+#include "field/analytic_fields.hpp"
+
+namespace cps::core {
+namespace {
+
+const num::Rect kRegion{0.0, 0.0, 100.0, 100.0};
+const field::ConstantField kFlat(0.0);
+
+TEST(FarthestPoint, Validation) {
+  EXPECT_THROW(FarthestPointPlanner{1}, std::invalid_argument);
+}
+
+TEST(FarthestPoint, StartsAtCenter) {
+  FarthestPointPlanner planner;
+  const auto d = planner.plan(kFlat, {kRegion, 1, 10.0});
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d.positions[0], geo::Vec2(50.0, 50.0));
+}
+
+TEST(FarthestPoint, SecondPickIsACorner) {
+  FarthestPointPlanner planner;
+  const auto d = planner.plan(kFlat, {kRegion, 2, 10.0});
+  ASSERT_EQ(d.size(), 2u);
+  const auto p = d.positions[1];
+  EXPECT_TRUE((p.x == 0.0 || p.x == 100.0) && (p.y == 0.0 || p.y == 100.0))
+      << p.x << "," << p.y;
+}
+
+TEST(FarthestPoint, ZeroBudget) {
+  FarthestPointPlanner planner;
+  EXPECT_TRUE(planner.plan(kFlat, {kRegion, 0, 10.0}).empty());
+}
+
+TEST(FarthestPoint, PositionsDistinctAndInRegion) {
+  FarthestPointPlanner planner;
+  const auto d = planner.plan(kFlat, {kRegion, 40, 10.0});
+  ASSERT_EQ(d.size(), 40u);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_TRUE(kRegion.contains(d.positions[i].x, d.positions[i].y));
+    for (std::size_t j = i + 1; j < d.size(); ++j) {
+      EXPECT_GT(geo::distance(d.positions[i], d.positions[j]), 1e-9);
+    }
+  }
+}
+
+TEST(FarthestPoint, MinPairwiseDistanceBeatsRandom) {
+  // The whole point of max-min placement: its packing radius dominates a
+  // random scatter's.
+  FarthestPointPlanner farthest;
+  RandomPlanner random(5);
+  const auto request = PlanRequest{kRegion, 25, 10.0};
+  const auto df = farthest.plan(kFlat, request);
+  const auto dr = random.plan(kFlat, request);
+  const auto min_dist = [](const Deployment& d) {
+    double best = 1e18;
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      for (std::size_t j = i + 1; j < d.size(); ++j) {
+        best = std::min(best, geo::distance(d.positions[i], d.positions[j]));
+      }
+    }
+    return best;
+  };
+  EXPECT_GT(min_dist(df), min_dist(dr));
+}
+
+TEST(FarthestPoint, CoverageBaselineBeatsRandomOnDelta) {
+  // Field-blind but evenly spread: on a structured field it should at
+  // least match random scatter, usually beat it.
+  const field::PeaksField peaks(kRegion);
+  const DeltaMetric metric(kRegion, 50);
+  const auto corners = CornerPolicy::kFieldValue;
+  FarthestPointPlanner farthest;
+  const double d_far = metric.delta_of_deployment(
+      peaks, farthest.plan(peaks, {kRegion, 36, 10.0}).positions, corners);
+  double d_rnd = 0.0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    RandomPlanner random(seed);
+    d_rnd += metric.delta_of_deployment(
+        peaks, random.plan(peaks, {kRegion, 36, 10.0}).positions, corners);
+  }
+  d_rnd /= 5.0;
+  EXPECT_LT(d_far, d_rnd);
+}
+
+TEST(FarthestPoint, DeterministicAcrossCalls) {
+  FarthestPointPlanner a;
+  FarthestPointPlanner b;
+  EXPECT_EQ(a.plan(kFlat, {kRegion, 20, 10.0}).positions,
+            b.plan(kFlat, {kRegion, 20, 10.0}).positions);
+}
+
+}  // namespace
+}  // namespace cps::core

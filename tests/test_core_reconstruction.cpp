@@ -1,0 +1,91 @@
+// Tests for surface reconstruction (core/reconstruction.hpp).
+#include "core/reconstruction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "field/analytic_fields.hpp"
+#include "numerics/rng.hpp"
+
+namespace cps::core {
+namespace {
+
+const num::Rect kRegion{0.0, 0.0, 100.0, 100.0};
+
+TEST(TakeSamples, SensesFieldAtPositions) {
+  const field::PlaneField f(1.0, 0.5, 0.0);
+  const std::vector<geo::Vec2> pts{{0.0, 0.0}, {10.0, 20.0}};
+  const auto samples = take_samples(f, pts);
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].position, pts[0]);
+  EXPECT_DOUBLE_EQ(samples[0].z, 1.0);
+  EXPECT_DOUBLE_EQ(samples[1].z, 6.0);
+}
+
+TEST(Reconstruct, EmptySamplesYieldsFlatSurface) {
+  const auto dt = reconstruct_surface({}, kRegion);
+  EXPECT_EQ(dt.vertex_count(), 4u);
+  EXPECT_DOUBLE_EQ(dt.interpolate({50.0, 50.0}), 0.0);
+}
+
+TEST(Reconstruct, FieldValueCornerPolicyNeedsReference) {
+  EXPECT_THROW(reconstruct_surface({}, kRegion, CornerPolicy::kFieldValue),
+               std::invalid_argument);
+}
+
+TEST(Reconstruct, FieldValueCornersMatchField) {
+  const field::PlaneField f(2.0, 0.1, 0.2);
+  const auto dt =
+      reconstruct_surface({}, kRegion, CornerPolicy::kFieldValue, &f);
+  for (int c = 0; c < geo::Delaunay::kCorners; ++c) {
+    EXPECT_DOUBLE_EQ(dt.vertex(c).z, f.value(dt.vertex(c).pos));
+  }
+  // With exact corners and a plane, the whole surface is exact.
+  EXPECT_NEAR(dt.interpolate({37.0, 83.0}), f.value(37.0, 83.0), 1e-12);
+}
+
+TEST(Reconstruct, NearestSampleCornersTakeClosestZ) {
+  // One sample near each of two corners; each corner must adopt the z of
+  // its nearest sample.
+  const std::vector<Sample> samples{{{5.0, 5.0}, 10.0},
+                                    {{95.0, 95.0}, -10.0}};
+  const auto dt = reconstruct_surface(samples, kRegion);
+  EXPECT_DOUBLE_EQ(dt.vertex(0).z, 10.0);   // (0, 0).
+  EXPECT_DOUBLE_EQ(dt.vertex(2).z, -10.0);  // (100, 100).
+}
+
+TEST(Reconstruct, SampleValuesReproducedAtPositions) {
+  num::Rng rng(3);
+  std::vector<Sample> samples;
+  for (int i = 0; i < 25; ++i) {
+    samples.push_back(Sample{{rng.uniform(1.0, 99.0), rng.uniform(1.0, 99.0)},
+                             rng.uniform(-5.0, 5.0)});
+  }
+  const auto dt = reconstruct_surface(samples, kRegion);
+  for (const auto& s : samples) {
+    EXPECT_NEAR(dt.interpolate(s.position), s.z, 1e-9);
+  }
+}
+
+TEST(Reconstruct, DuplicateSamplePositionsKeepLastValue) {
+  const std::vector<Sample> samples{{{50.0, 50.0}, 1.0},
+                                    {{50.0, 50.0}, 2.0}};
+  const auto dt = reconstruct_surface(samples, kRegion);
+  EXPECT_EQ(dt.vertex_count(), 5u);
+  EXPECT_NEAR(dt.interpolate({50.0, 50.0}), 2.0, 1e-12);
+}
+
+TEST(Reconstruct, CoversWholeRegion) {
+  num::Rng rng(7);
+  std::vector<Sample> samples;
+  for (int i = 0; i < 40; ++i) {
+    samples.push_back(Sample{{rng.uniform(0.0, 100.0),
+                              rng.uniform(0.0, 100.0)},
+                             0.0});
+  }
+  const auto dt = reconstruct_surface(samples, kRegion);
+  EXPECT_NEAR(dt.total_area(), kRegion.area(), 1e-6);
+  EXPECT_TRUE(dt.validate_topology());
+}
+
+}  // namespace
+}  // namespace cps::core

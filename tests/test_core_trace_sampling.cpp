@@ -1,0 +1,120 @@
+// Tests for CMA trace sampling (Section 7 future work: sampling along the
+// nodes' movement traces instead of points only).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/cma.hpp"
+#include "core/planner.hpp"
+#include "field/analytic_fields.hpp"
+#include "field/time_varying.hpp"
+
+namespace cps::core {
+namespace {
+
+const num::Rect kRegion{0.0, 0.0, 100.0, 100.0};
+
+field::StaticTimeField static_env() {
+  return field::StaticTimeField(std::make_shared<field::GaussianMixtureField>(
+      0.5, std::vector<field::GaussianBump>{{{30.0, 30.0}, 3.0, 8.0},
+                                            {{70.0, 60.0}, 2.5, 10.0}}));
+}
+
+CmaConfig tracing_config() {
+  CmaConfig cfg;
+  cfg.rc = 100.0 / 5.0 * 1.001;  // 25-node grid pitch.
+  cfg.trace_sampling = true;
+  cfg.lcm = LcmMode::kOff;  // Let nodes roam for meaningful traces.
+  return cfg;
+}
+
+TEST(TraceSampling, DisabledByDefault) {
+  const auto env = static_env();
+  CmaSimulation sim(env, kRegion, GridPlanner::make_grid(kRegion, 25).positions,
+                    CmaConfig{});
+  sim.run(5);
+  EXPECT_TRUE(sim.trace_samples().empty());
+}
+
+TEST(TraceSampling, LogsOneSamplePerNodePerSlot) {
+  const auto env = static_env();
+  CmaSimulation sim(env, kRegion, GridPlanner::make_grid(kRegion, 25).positions,
+                    tracing_config());
+  sim.run(4);
+  EXPECT_EQ(sim.trace_samples().size(), 4u * 25u);
+}
+
+TEST(TraceSampling, StalenessWindowPrunesOldSamples) {
+  const auto env = static_env();
+  CmaConfig cfg = tracing_config();
+  cfg.trace_staleness = 3.0;  // Keep only the last 3 minutes.
+  CmaSimulation sim(env, kRegion, GridPlanner::make_grid(kRegion, 25).positions,
+                    cfg);
+  sim.run(10);
+  // Slots logged at t = 9, 8, 7 (and 6 exactly at the horizon is pruned
+  // by the strict comparison only if older): window is (t-3, t] around
+  // the log times 7, 8, 9 -> 3 slots retained, plus boundary slot 6.
+  EXPECT_LE(sim.trace_samples().size(), 4u * 25u);
+  EXPECT_GE(sim.trace_samples().size(), 3u * 25u);
+}
+
+TEST(TraceSampling, SampleValuesMatchFieldAtLogTime) {
+  // On a static field every logged z equals the field at the position.
+  const auto env = static_env();
+  CmaSimulation sim(env, kRegion, GridPlanner::make_grid(kRegion, 16).positions,
+                    tracing_config());
+  sim.run(6);
+  for (const auto& s : sim.trace_samples()) {
+    EXPECT_DOUBLE_EQ(s.z, env.value(s.position, 0.0));
+  }
+}
+
+TEST(TraceSampling, TraceReconstructionAtLeastAsGoodAsPointOnStaticField) {
+  // On a static field the trace adds strictly more true information, so
+  // delta with the trace must not be (meaningfully) worse.
+  const auto env = static_env();
+  CmaSimulation sim(env, kRegion, GridPlanner::make_grid(kRegion, 25).positions,
+                    tracing_config());
+  sim.run(20);
+  const DeltaMetric metric(kRegion, 50);
+  const double point_only = sim.current_delta(metric);
+  const double with_trace = sim.current_delta_with_trace(metric);
+  EXPECT_LE(with_trace, point_only * 1.02);
+}
+
+TEST(TraceSampling, ImprovesDeltaAfterMovement) {
+  // After the swarm has moved, the trail left behind covers territory the
+  // instantaneous positions abandoned: trace reconstruction should win
+  // clearly on a static field.
+  const auto env = static_env();
+  CmaConfig cfg = tracing_config();
+  cfg.attraction_gain = 0.3;  // Encourage real movement.
+  cfg.trace_staleness = 30.0;
+  CmaSimulation sim(env, kRegion, GridPlanner::make_grid(kRegion, 25).positions,
+                    cfg);
+  sim.run(30);
+  const DeltaMetric metric(kRegion, 50);
+  EXPECT_LT(sim.current_delta_with_trace(metric),
+            sim.current_delta(metric));
+}
+
+TEST(TraceSampling, FresherSamplesWinAtDuplicatedPositions) {
+  // A node that returns to (or stays at) a position re-logs it; combined
+  // reconstruction must carry the newest value.  On a time-varying field
+  // the node's own current sample supersedes its stale trace entry.
+  const field::AnalyticTimeField env(
+      [](double, double, double t) { return t; });  // Uniform brightening.
+  CmaConfig cfg = tracing_config();
+  cfg.attraction_gain = 1e-9;  // Hold still: positions duplicate exactly.
+  cfg.force_tolerance = 1e6;   // Force balance everywhere -> no movement.
+  CmaSimulation sim(env, kRegion, GridPlanner::make_grid(kRegion, 9).positions,
+                    cfg);
+  sim.run(5);  // Now t = 5; trace holds z from t = 0..4; current z = 5.
+  const DeltaMetric metric(kRegion, 30);
+  // Exact reconstruction of the flat field z = 5 means delta ~ 0 despite
+  // the stale trace entries underneath.
+  EXPECT_NEAR(sim.current_delta_with_trace(metric), 0.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace cps::core

@@ -1,0 +1,238 @@
+// Tests for the incremental Delaunay triangulation (geometry/delaunay.hpp).
+//
+// The invariants checked here are the load-bearing ones for the paper's
+// pipeline: valid topology after arbitrary insertion sequences, the empty-
+// circumcircle property, exact region coverage (sum of areas == |A|), and
+// exact piecewise-linear interpolation on planar fields.
+#include "geometry/delaunay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numerics/rng.hpp"
+
+namespace cps::geo {
+namespace {
+
+const num::Rect kRegion{0.0, 0.0, 100.0, 100.0};
+
+TEST(Delaunay, SeedState) {
+  const Delaunay dt(kRegion);
+  EXPECT_EQ(dt.vertex_count(), 4u);
+  EXPECT_EQ(dt.triangle_count(), 2u);
+  EXPECT_TRUE(dt.validate_topology());
+  EXPECT_TRUE(dt.is_delaunay());
+  EXPECT_NEAR(dt.total_area(), kRegion.area(), 1e-9);
+}
+
+TEST(Delaunay, EmptyRegionThrows) {
+  EXPECT_THROW(Delaunay(num::Rect{0.0, 0.0, 0.0, 10.0}),
+               std::invalid_argument);
+  EXPECT_THROW(Delaunay(num::Rect{5.0, 5.0, 1.0, 10.0}),
+               std::invalid_argument);
+}
+
+TEST(Delaunay, SingleInteriorInsert) {
+  Delaunay dt(kRegion);
+  const InsertResult r = dt.insert({50.0, 50.0}, 7.0);
+  EXPECT_TRUE(r.inserted);
+  EXPECT_EQ(r.vertex, 4);
+  // Point on the seed diagonal: both seed triangles die, four appear.
+  EXPECT_EQ(dt.vertex_count(), 5u);
+  EXPECT_TRUE(dt.validate_topology());
+  EXPECT_TRUE(dt.is_delaunay());
+  EXPECT_NEAR(dt.total_area(), kRegion.area(), 1e-9);
+  EXPECT_DOUBLE_EQ(dt.vertex(4).z, 7.0);
+}
+
+TEST(Delaunay, OffDiagonalInsertSplitsOneTriangle) {
+  Delaunay dt(kRegion);
+  const InsertResult r = dt.insert({80.0, 20.0}, 1.0);
+  EXPECT_TRUE(r.inserted);
+  EXPECT_TRUE(dt.validate_topology());
+  EXPECT_NEAR(dt.total_area(), kRegion.area(), 1e-9);
+}
+
+TEST(Delaunay, InsertOutsideThrows) {
+  Delaunay dt(kRegion);
+  EXPECT_THROW(dt.insert({150.0, 50.0}, 0.0), std::invalid_argument);
+  EXPECT_THROW(dt.insert({50.0, -1.0}, 0.0), std::invalid_argument);
+}
+
+TEST(Delaunay, DuplicateInsertUpdatesZ) {
+  Delaunay dt(kRegion);
+  dt.insert({30.0, 40.0}, 1.0);
+  const std::size_t tris = dt.triangle_count();
+  const InsertResult r = dt.insert({30.0, 40.0}, 9.0);
+  EXPECT_FALSE(r.inserted);
+  EXPECT_EQ(r.vertex, 4);
+  EXPECT_EQ(dt.triangle_count(), tris);
+  EXPECT_DOUBLE_EQ(dt.vertex(4).z, 9.0);
+}
+
+TEST(Delaunay, DuplicateOfCornerUpdatesCorner) {
+  Delaunay dt(kRegion);
+  const InsertResult r = dt.insert({0.0, 0.0}, 3.5);
+  EXPECT_FALSE(r.inserted);
+  EXPECT_EQ(r.vertex, 0);
+  EXPECT_DOUBLE_EQ(dt.vertex(0).z, 3.5);
+}
+
+TEST(Delaunay, InsertOnRegionEdge) {
+  Delaunay dt(kRegion);
+  const InsertResult r = dt.insert({50.0, 0.0}, 2.0);
+  EXPECT_TRUE(r.inserted);
+  EXPECT_TRUE(dt.validate_topology());
+  EXPECT_TRUE(dt.is_delaunay());
+  EXPECT_NEAR(dt.total_area(), kRegion.area(), 1e-9);
+}
+
+TEST(Delaunay, InsertResultReportsCavity) {
+  Delaunay dt(kRegion);
+  const InsertResult r = dt.insert({25.0, 10.0}, 0.0);
+  ASSERT_TRUE(r.inserted);
+  EXPECT_FALSE(r.removed_triangles.empty());
+  EXPECT_FALSE(r.created_triangles.empty());
+  // Removed triangles are dead; created ones alive.
+  for (const int t : r.removed_triangles) EXPECT_FALSE(dt.triangle_alive(t));
+  for (const int t : r.created_triangles) EXPECT_TRUE(dt.triangle_alive(t));
+  // Euler bookkeeping for an interior cavity: created = removed + 2.
+  EXPECT_EQ(r.created_triangles.size(), r.removed_triangles.size() + 2);
+}
+
+TEST(Delaunay, LocateFindsContainingTriangle) {
+  Delaunay dt(kRegion);
+  dt.insert({20.0, 30.0}, 0.0);
+  dt.insert({70.0, 60.0}, 0.0);
+  dt.insert({40.0, 80.0}, 0.0);
+  for (const Vec2 p : {Vec2{10.0, 10.0}, Vec2{90.0, 90.0}, Vec2{50.0, 50.0},
+                       Vec2{0.0, 0.0}, Vec2{100.0, 100.0}}) {
+    const int tid = dt.locate(p);
+    EXPECT_TRUE(dt.triangle_alive(tid));
+    EXPECT_TRUE(dt.triangle_geometry(tid).contains(p, 1e-9));
+  }
+}
+
+TEST(Delaunay, LocateOutsideThrows) {
+  const Delaunay dt(kRegion);
+  EXPECT_THROW(dt.locate({-5.0, 50.0}), std::invalid_argument);
+}
+
+TEST(Delaunay, SetVertexZValidation) {
+  Delaunay dt(kRegion);
+  dt.set_vertex_z(0, 4.0);
+  EXPECT_DOUBLE_EQ(dt.vertex(0).z, 4.0);
+  EXPECT_THROW(dt.set_vertex_z(99, 0.0), std::out_of_range);
+}
+
+TEST(Delaunay, InterpolationExactOnPlane) {
+  // Pin the corners to a plane, insert points sampled from the same plane:
+  // DT(x, y) must reproduce the plane everywhere.
+  const auto plane = [](Vec2 p) { return 1.0 + 0.3 * p.x - 0.7 * p.y; };
+  Delaunay dt(kRegion);
+  for (int c = 0; c < Delaunay::kCorners; ++c) {
+    dt.set_vertex_z(c, plane(dt.vertex(c).pos));
+  }
+  num::Rng rng(5);
+  for (int i = 0; i < 40; ++i) {
+    const Vec2 p{rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)};
+    dt.insert(p, plane(p));
+  }
+  for (int i = 0; i < 200; ++i) {
+    const Vec2 q{rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)};
+    EXPECT_NEAR(dt.interpolate(q), plane(q), 1e-9);
+  }
+}
+
+TEST(Delaunay, InterpolateReproducesVertexValues) {
+  Delaunay dt(kRegion);
+  num::Rng rng(11);
+  std::vector<Vec2> pts;
+  std::vector<double> zs;
+  for (int i = 0; i < 30; ++i) {
+    pts.push_back({rng.uniform(1.0, 99.0), rng.uniform(1.0, 99.0)});
+    zs.push_back(rng.uniform(-5.0, 5.0));
+    dt.insert(pts.back(), zs.back());
+  }
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_NEAR(dt.interpolate(pts[i]), zs[i], 1e-9) << "vertex " << i;
+  }
+}
+
+TEST(Delaunay, GridInsertionHandlesCocircularPoints) {
+  // A regular lattice is the worst case for incircle ties; topology and
+  // coverage must survive, and the result must still be Delaunay up to
+  // cocircularity.
+  Delaunay dt(kRegion);
+  for (int i = 0; i <= 10; ++i) {
+    for (int j = 0; j <= 10; ++j) {
+      dt.insert({i * 10.0, j * 10.0}, static_cast<double>(i + j));
+    }
+  }
+  EXPECT_TRUE(dt.validate_topology());
+  EXPECT_TRUE(dt.is_delaunay());
+  EXPECT_NEAR(dt.total_area(), kRegion.area(), 1e-6);
+  // 11x11 lattice; the 4 corners merge with scaffolding vertices.
+  EXPECT_EQ(dt.vertex_count(), 4u + 121u - 4u + 4u - 4u);
+}
+
+TEST(Delaunay, AliveTrianglesConsistentWithCount) {
+  Delaunay dt(kRegion);
+  num::Rng rng(13);
+  for (int i = 0; i < 25; ++i) {
+    dt.insert({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)}, 0.0);
+  }
+  EXPECT_EQ(dt.alive_triangles().size(), dt.triangle_count());
+}
+
+// Property sweep: random insertion sequences of various sizes keep every
+// structural invariant.
+class DelaunayRandomSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DelaunayRandomSweep, InvariantsHoldAfterRandomInsertions) {
+  const int n = GetParam();
+  Delaunay dt(kRegion);
+  num::Rng rng(static_cast<std::uint64_t>(n) * 7919 + 3);
+  for (int i = 0; i < n; ++i) {
+    const Vec2 p{rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)};
+    dt.insert(p, rng.uniform(-1.0, 1.0));
+  }
+  EXPECT_TRUE(dt.validate_topology());
+  EXPECT_TRUE(dt.is_delaunay());
+  EXPECT_NEAR(dt.total_area(), kRegion.area(), 1e-6);
+  // Euler: for a triangulated convex region with V vertices (all on the
+  // boundary or inside), T = 2 * V_interior + V_boundary - 2.  We check the
+  // weaker but exact statement T <= 2V and V == 4 + inserted (all random
+  // doubles distinct with probability ~1).
+  EXPECT_EQ(dt.vertex_count(), 4u + static_cast<std::size_t>(n));
+  EXPECT_LE(dt.triangle_count(), 2 * dt.vertex_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DelaunayRandomSweep,
+                         ::testing::Values(1, 2, 3, 5, 10, 50, 200, 500));
+
+// Property sweep: clustered insertions (many near-duplicate points) are a
+// stress case for cavity construction.
+class DelaunayClusterSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DelaunayClusterSweep, TightClustersStayValid) {
+  const double spread = GetParam();
+  Delaunay dt(kRegion);
+  num::Rng rng(777);
+  for (int i = 0; i < 100; ++i) {
+    const Vec2 p{50.0 + rng.normal(0.0, spread),
+                 50.0 + rng.normal(0.0, spread)};
+    if (!kRegion.contains(p.x, p.y)) continue;
+    dt.insert(p, 0.0);
+  }
+  EXPECT_TRUE(dt.validate_topology());
+  EXPECT_TRUE(dt.is_delaunay());
+  EXPECT_NEAR(dt.total_area(), kRegion.area(), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Spreads, DelaunayClusterSweep,
+                         ::testing::Values(0.01, 0.1, 1.0, 10.0));
+
+}  // namespace
+}  // namespace cps::geo

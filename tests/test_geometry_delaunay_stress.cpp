@@ -1,0 +1,125 @@
+// Adversarial stress tests for the Delaunay triangulation: degenerate
+// configurations (cocircular rings, collinear runs, boundary chains) that
+// the filtered predicates and the cavity construction must survive.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "geometry/delaunay.hpp"
+#include "numerics/rng.hpp"
+
+namespace cps::geo {
+namespace {
+
+const num::Rect kRegion{0.0, 0.0, 100.0, 100.0};
+
+void expect_sound(const Delaunay& dt) {
+  EXPECT_TRUE(dt.validate_topology());
+  EXPECT_TRUE(dt.is_delaunay());
+  EXPECT_NEAR(dt.total_area(), kRegion.area(), 1e-6);
+}
+
+TEST(DelaunayStress, CocircularRing) {
+  // Many points on one circle: every quadruple is cocircular.
+  Delaunay dt(kRegion);
+  const int n = 24;
+  for (int i = 0; i < n; ++i) {
+    const double angle = 2.0 * std::numbers::pi * i / n;
+    dt.insert({50.0 + 30.0 * std::cos(angle), 50.0 + 30.0 * std::sin(angle)},
+              0.0);
+  }
+  expect_sound(dt);
+}
+
+TEST(DelaunayStress, TwoConcentricRings) {
+  Delaunay dt(kRegion);
+  for (const double radius : {15.0, 35.0}) {
+    for (int i = 0; i < 16; ++i) {
+      const double angle = 2.0 * std::numbers::pi * i / 16 + 0.1;
+      dt.insert({50.0 + radius * std::cos(angle),
+                 50.0 + radius * std::sin(angle)},
+                0.0);
+    }
+  }
+  expect_sound(dt);
+}
+
+TEST(DelaunayStress, CollinearRunThroughInterior) {
+  Delaunay dt(kRegion);
+  for (int i = 1; i < 40; ++i) {
+    dt.insert({i * 2.5, i * 2.5}, 0.0);  // Points on the main diagonal.
+  }
+  expect_sound(dt);
+}
+
+TEST(DelaunayStress, HorizontalAndVerticalRuns) {
+  Delaunay dt(kRegion);
+  for (int i = 1; i < 20; ++i) dt.insert({i * 5.0, 50.0}, 0.0);
+  for (int i = 1; i < 20; ++i) dt.insert({50.0, i * 5.0}, 0.0);
+  expect_sound(dt);
+}
+
+TEST(DelaunayStress, AllFourBordersPopulated) {
+  Delaunay dt(kRegion);
+  for (int i = 1; i < 10; ++i) {
+    const double s = i * 10.0;
+    dt.insert({s, 0.0}, 0.0);
+    dt.insert({s, 100.0}, 0.0);
+    dt.insert({0.0, s}, 0.0);
+    dt.insert({100.0, s}, 0.0);
+  }
+  expect_sound(dt);
+  // 4 corners + 36 border points.
+  EXPECT_EQ(dt.vertex_count(), 40u);
+}
+
+TEST(DelaunayStress, BorderPointsThenInterior) {
+  Delaunay dt(kRegion);
+  for (int i = 1; i < 10; ++i) dt.insert({i * 10.0, 0.0}, 0.0);
+  num::Rng rng(3);
+  for (int i = 0; i < 60; ++i) {
+    dt.insert({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)}, 0.0);
+  }
+  expect_sound(dt);
+}
+
+TEST(DelaunayStress, NearDuplicateJitterCluster) {
+  Delaunay dt(kRegion);
+  num::Rng rng(17);
+  for (int i = 0; i < 200; ++i) {
+    dt.insert({50.0 + rng.uniform(-1e-5, 1e-5),
+               50.0 + rng.uniform(-1e-5, 1e-5)},
+              0.0, /*duplicate_tol=*/1e-7);
+  }
+  EXPECT_TRUE(dt.validate_topology());
+  EXPECT_NEAR(dt.total_area(), kRegion.area(), 1e-6);
+}
+
+TEST(DelaunayStress, FineGridHammer) {
+  // 21 x 21 exact lattice: thousands of cocircular quadruples plus
+  // on-edge insertions everywhere.
+  Delaunay dt(kRegion);
+  for (int i = 0; i <= 20; ++i) {
+    for (int j = 0; j <= 20; ++j) {
+      dt.insert({i * 5.0, j * 5.0}, static_cast<double>(i * j));
+    }
+  }
+  expect_sound(dt);
+  // Interpolation at lattice points reproduces the samples.
+  EXPECT_NEAR(dt.interpolate({25.0, 35.0}), 5.0 * 7.0, 1e-9);
+}
+
+TEST(DelaunayStress, AlternatingExtremesOfZ) {
+  // Structural soundness is independent of z values.
+  Delaunay dt(kRegion);
+  num::Rng rng(29);
+  for (int i = 0; i < 100; ++i) {
+    dt.insert({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)},
+              (i % 2 == 0) ? 1e12 : -1e12);
+  }
+  expect_sound(dt);
+}
+
+}  // namespace
+}  // namespace cps::geo

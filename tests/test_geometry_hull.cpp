@@ -1,0 +1,112 @@
+// Tests for convex hull utilities (geometry/hull.hpp).
+#include "geometry/hull.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "geometry/predicates.hpp"
+#include "numerics/rng.hpp"
+
+namespace cps::geo {
+namespace {
+
+TEST(ConvexHull, DegenerateInputs) {
+  EXPECT_TRUE(convex_hull(std::vector<Vec2>{}).empty());
+  const std::vector<Vec2> one{{1.0, 2.0}};
+  EXPECT_EQ(convex_hull(one).size(), 1u);
+  const std::vector<Vec2> dup{{1.0, 2.0}, {1.0, 2.0}};
+  EXPECT_EQ(convex_hull(dup).size(), 1u);
+  const std::vector<Vec2> two{{0.0, 0.0}, {1.0, 1.0}};
+  EXPECT_EQ(convex_hull(two).size(), 2u);
+}
+
+TEST(ConvexHull, SquareWithInteriorPoint) {
+  const std::vector<Vec2> pts{{0.0, 0.0}, {10.0, 0.0}, {10.0, 10.0},
+                              {0.0, 10.0}, {5.0, 5.0}};
+  const auto hull = convex_hull(pts);
+  ASSERT_EQ(hull.size(), 4u);
+  // Interior point excluded; all corners present.
+  for (const Vec2 corner : {Vec2{0.0, 0.0}, Vec2{10.0, 0.0},
+                            Vec2{10.0, 10.0}, Vec2{0.0, 10.0}}) {
+    EXPECT_NE(std::find(hull.begin(), hull.end(), corner), hull.end());
+  }
+}
+
+TEST(ConvexHull, CollinearBoundaryPointsDropped) {
+  const std::vector<Vec2> pts{{0.0, 0.0}, {5.0, 0.0}, {10.0, 0.0},
+                              {10.0, 10.0}, {0.0, 10.0}};
+  const auto hull = convex_hull(pts);
+  EXPECT_EQ(hull.size(), 4u);
+  EXPECT_EQ(std::find(hull.begin(), hull.end(), Vec2(5.0, 0.0)), hull.end());
+}
+
+TEST(ConvexHull, AllCollinearReducesToEndpoints) {
+  const std::vector<Vec2> pts{{0.0, 0.0}, {1.0, 1.0}, {2.0, 2.0},
+                              {3.0, 3.0}};
+  const auto hull = convex_hull(pts);
+  // A fully collinear set has no 2-D hull; monotone chain leaves the two
+  // extremes.
+  EXPECT_EQ(hull.size(), 2u);
+}
+
+TEST(ConvexHull, OutputIsCounterClockwiseAndConvex) {
+  num::Rng rng(5);
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 100; ++i) {
+    pts.push_back({rng.uniform(0.0, 50.0), rng.uniform(0.0, 50.0)});
+  }
+  const auto hull = convex_hull(pts);
+  ASSERT_GE(hull.size(), 3u);
+  for (std::size_t i = 0; i < hull.size(); ++i) {
+    const Vec2 a = hull[i];
+    const Vec2 b = hull[(i + 1) % hull.size()];
+    const Vec2 c = hull[(i + 2) % hull.size()];
+    EXPECT_GT(orient2d(a, b, c), 0) << "turn " << i;
+  }
+}
+
+TEST(ConvexHull, ContainsEveryInputPoint) {
+  num::Rng rng(7);
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 60; ++i) {
+    pts.push_back({rng.uniform(0.0, 20.0), rng.uniform(0.0, 20.0)});
+  }
+  const auto hull = convex_hull(pts);
+  for (const auto& p : pts) {
+    for (std::size_t i = 0; i < hull.size(); ++i) {
+      const Vec2 a = hull[i];
+      const Vec2 b = hull[(i + 1) % hull.size()];
+      ASSERT_GE(orient2d(a, b, p), 0) << "point outside hull edge " << i;
+    }
+  }
+}
+
+TEST(PolygonArea, KnownShapes) {
+  const std::vector<Vec2> square{{0.0, 0.0}, {4.0, 0.0}, {4.0, 4.0},
+                                 {0.0, 4.0}};
+  EXPECT_DOUBLE_EQ(polygon_area(square), 16.0);
+  const std::vector<Vec2> triangle{{0.0, 0.0}, {6.0, 0.0}, {0.0, 8.0}};
+  EXPECT_DOUBLE_EQ(polygon_area(triangle), 24.0);
+  // Clockwise is negative.
+  const std::vector<Vec2> cw{{0.0, 0.0}, {0.0, 4.0}, {4.0, 4.0},
+                             {4.0, 0.0}};
+  EXPECT_DOUBLE_EQ(polygon_area(cw), -16.0);
+  EXPECT_DOUBLE_EQ(polygon_area(std::vector<Vec2>{}), 0.0);
+  EXPECT_DOUBLE_EQ(polygon_area(std::vector<Vec2>{{1.0, 1.0}, {2.0, 2.0}}),
+                   0.0);
+}
+
+TEST(PolygonArea, HullAreaBoundedByRegion) {
+  num::Rng rng(11);
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 80; ++i) {
+    pts.push_back({rng.uniform(0.0, 30.0), rng.uniform(0.0, 30.0)});
+  }
+  const double area = polygon_area(convex_hull(pts));
+  EXPECT_GT(area, 0.0);
+  EXPECT_LE(area, 900.0);
+}
+
+}  // namespace
+}  // namespace cps::geo

@@ -1,0 +1,120 @@
+// Tests for filtered geometric predicates (geometry/predicates.hpp).
+#include "geometry/predicates.hpp"
+
+#include <gtest/gtest.h>
+
+#include "numerics/rng.hpp"
+
+namespace cps::geo {
+namespace {
+
+TEST(Orient2d, BasicSigns) {
+  const Vec2 a{0.0, 0.0};
+  const Vec2 b{1.0, 0.0};
+  EXPECT_EQ(orient2d(a, b, {0.0, 1.0}), 1);   // Left turn: CCW.
+  EXPECT_EQ(orient2d(a, b, {0.0, -1.0}), -1);  // Right turn: CW.
+  EXPECT_EQ(orient2d(a, b, {2.0, 0.0}), 0);   // Collinear.
+}
+
+TEST(Orient2d, ValueMatchesSignedDoubleArea) {
+  const Vec2 a{0.0, 0.0};
+  const Vec2 b{4.0, 0.0};
+  const Vec2 c{0.0, 3.0};
+  EXPECT_DOUBLE_EQ(orient2d_value(a, b, c), 12.0);
+}
+
+TEST(Orient2d, CyclicInvariance) {
+  const Vec2 a{0.1, 0.2};
+  const Vec2 b{3.7, -1.1};
+  const Vec2 c{2.0, 5.5};
+  EXPECT_EQ(orient2d(a, b, c), orient2d(b, c, a));
+  EXPECT_EQ(orient2d(b, c, a), orient2d(c, a, b));
+  EXPECT_EQ(orient2d(a, b, c), -orient2d(b, a, c));
+}
+
+TEST(Orient2d, NearlyCollinearIsZero) {
+  // Points on a line up to double rounding: the filter must call this
+  // degenerate rather than flip-flopping.
+  const Vec2 a{0.0, 0.0};
+  const Vec2 b{1e8, 1e8};
+  const Vec2 c{5e7, 5e7};
+  EXPECT_EQ(orient2d(a, b, c), 0);
+}
+
+TEST(Orient2d, GridPointsExact) {
+  // Integer lattice inputs: results must be exact.
+  EXPECT_EQ(orient2d({0.0, 0.0}, {10.0, 0.0}, {5.0, 1.0}), 1);
+  EXPECT_EQ(orient2d({0.0, 0.0}, {10.0, 0.0}, {5.0, 0.0}), 0);
+  EXPECT_EQ(orient2d({3.0, 3.0}, {7.0, 7.0}, {11.0, 11.0}), 0);
+}
+
+TEST(Incircle, StrictInterior) {
+  // CCW unit-ish triangle; its circumcircle is centred at (0.5, 0.5).
+  const Vec2 a{0.0, 0.0};
+  const Vec2 b{1.0, 0.0};
+  const Vec2 c{0.0, 1.0};
+  EXPECT_EQ(incircle(a, b, c, {0.5, 0.5}), 1);
+  EXPECT_EQ(incircle(a, b, c, {5.0, 5.0}), -1);
+}
+
+TEST(Incircle, CocircularIsZero) {
+  // Four corners of a square are exactly cocircular.
+  const Vec2 a{0.0, 0.0};
+  const Vec2 b{1.0, 0.0};
+  const Vec2 c{1.0, 1.0};
+  EXPECT_EQ(incircle(a, b, c, {0.0, 1.0}), 0);
+}
+
+TEST(Incircle, PointOnEdgeChordIsInside) {
+  // Any interior point of a chord lies strictly inside the circle — this
+  // is what makes Bowyer-Watson handle on-edge insertions naturally.
+  const Vec2 a{0.0, 0.0};
+  const Vec2 b{2.0, 0.0};
+  const Vec2 c{1.0, 2.0};
+  EXPECT_EQ(incircle(a, b, c, {1.0, 0.0}), 1);
+}
+
+TEST(Incircle, VertexItselfIsOnCircle) {
+  const Vec2 a{0.0, 0.0};
+  const Vec2 b{2.0, 0.0};
+  const Vec2 c{1.0, 2.0};
+  EXPECT_EQ(incircle(a, b, c, a), 0);
+  EXPECT_EQ(incircle(a, b, c, b), 0);
+  EXPECT_EQ(incircle(a, b, c, c), 0);
+}
+
+// Property: incircle is consistent with an explicit circumcircle check on
+// random triangles/query points.
+TEST(Incircle, AgreesWithCircumcircleDistance) {
+  num::Rng rng(2024);
+  int checked = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    Vec2 a{rng.uniform(-10.0, 10.0), rng.uniform(-10.0, 10.0)};
+    Vec2 b{rng.uniform(-10.0, 10.0), rng.uniform(-10.0, 10.0)};
+    Vec2 c{rng.uniform(-10.0, 10.0), rng.uniform(-10.0, 10.0)};
+    if (orient2d(a, b, c) <= 0) std::swap(b, c);  // Force CCW.
+    if (orient2d(a, b, c) <= 0) continue;         // Degenerate: skip.
+    const Vec2 d{rng.uniform(-10.0, 10.0), rng.uniform(-10.0, 10.0)};
+
+    // Explicit circumcentre.
+    const double a2 = a.norm_sq();
+    const double b2 = b.norm_sq();
+    const double c2 = c.norm_sq();
+    const double det =
+        2.0 * (a.x * (b.y - c.y) + b.x * (c.y - a.y) + c.x * (a.y - b.y));
+    const Vec2 center{
+        (a2 * (b.y - c.y) + b2 * (c.y - a.y) + c2 * (a.y - b.y)) / det,
+        (a2 * (c.x - b.x) + b2 * (a.x - c.x) + c2 * (b.x - a.x)) / det};
+    const double r2 = distance_sq(center, a);
+    const double d2 = distance_sq(center, d);
+    if (std::abs(d2 - r2) < 1e-6 * r2) continue;  // Too close to call.
+
+    EXPECT_EQ(incircle(a, b, c, d), d2 < r2 ? 1 : -1)
+        << "trial " << trial;
+    ++checked;
+  }
+  EXPECT_GT(checked, 400);  // The skip paths must stay rare.
+}
+
+}  // namespace
+}  // namespace cps::geo

@@ -1,0 +1,118 @@
+// Tests for triangle utilities (geometry/triangle.hpp).
+#include "geometry/triangle.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cps::geo {
+namespace {
+
+const Triangle kRight({0.0, 0.0}, {4.0, 0.0}, {0.0, 3.0});
+
+TEST(Triangle, Areas) {
+  EXPECT_DOUBLE_EQ(kRight.signed_area(), 6.0);
+  EXPECT_DOUBLE_EQ(kRight.area(), 6.0);
+  const Triangle cw({0.0, 0.0}, {0.0, 3.0}, {4.0, 0.0});
+  EXPECT_DOUBLE_EQ(cw.signed_area(), -6.0);
+  EXPECT_DOUBLE_EQ(cw.area(), 6.0);
+}
+
+TEST(Triangle, VertexAccess) {
+  EXPECT_EQ(kRight.a(), Vec2(0.0, 0.0));
+  EXPECT_EQ(kRight.b(), Vec2(4.0, 0.0));
+  EXPECT_EQ(kRight.c(), Vec2(0.0, 3.0));
+  EXPECT_EQ(kRight.vertex(2), kRight.c());
+}
+
+TEST(Triangle, Degenerate) {
+  const Triangle line({0.0, 0.0}, {1.0, 1.0}, {2.0, 2.0});
+  EXPECT_TRUE(line.degenerate());
+  EXPECT_FALSE(kRight.degenerate());
+  const Triangle point({1.0, 1.0}, {1.0, 1.0}, {1.0, 1.0});
+  EXPECT_TRUE(point.degenerate());
+}
+
+TEST(Triangle, BarycentricAtVertices) {
+  const Barycentric w0 = kRight.barycentric(kRight.a());
+  EXPECT_NEAR(w0.w0, 1.0, 1e-12);
+  EXPECT_NEAR(w0.w1, 0.0, 1e-12);
+  EXPECT_NEAR(w0.w2, 0.0, 1e-12);
+  const Barycentric w2 = kRight.barycentric(kRight.c());
+  EXPECT_NEAR(w2.w2, 1.0, 1e-12);
+}
+
+TEST(Triangle, BarycentricSumsToOne) {
+  const Barycentric w = kRight.barycentric({1.0, 1.0});
+  EXPECT_NEAR(w.w0 + w.w1 + w.w2, 1.0, 1e-12);
+  EXPECT_TRUE(w.inside());
+}
+
+TEST(Triangle, BarycentricCentroid) {
+  const Barycentric w = kRight.barycentric(kRight.centroid());
+  EXPECT_NEAR(w.w0, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(w.w1, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(w.w2, 1.0 / 3.0, 1e-12);
+}
+
+TEST(Triangle, ContainsInteriorBoundaryExterior) {
+  EXPECT_TRUE(kRight.contains({1.0, 1.0}));
+  EXPECT_TRUE(kRight.contains({2.0, 0.0}));  // On an edge.
+  EXPECT_TRUE(kRight.contains({0.0, 0.0}));  // At a vertex.
+  EXPECT_FALSE(kRight.contains({4.0, 3.0}));
+  EXPECT_FALSE(kRight.contains({-0.1, 0.0}));
+}
+
+TEST(Triangle, CircumcircleRightTriangle) {
+  // For a right triangle the circumcentre is the hypotenuse midpoint.
+  const auto cc = kRight.circumcircle();
+  ASSERT_TRUE(cc.has_value());
+  EXPECT_NEAR(cc->center.x, 2.0, 1e-12);
+  EXPECT_NEAR(cc->center.y, 1.5, 1e-12);
+  EXPECT_NEAR(cc->radius_sq, 6.25, 1e-12);
+}
+
+TEST(Triangle, CircumcircleEquidistantFromVertices) {
+  const Triangle t({1.0, 2.0}, {5.0, 1.0}, {3.0, 7.0});
+  const auto cc = t.circumcircle();
+  ASSERT_TRUE(cc.has_value());
+  EXPECT_NEAR(distance_sq(cc->center, t.a()), cc->radius_sq, 1e-9);
+  EXPECT_NEAR(distance_sq(cc->center, t.b()), cc->radius_sq, 1e-9);
+  EXPECT_NEAR(distance_sq(cc->center, t.c()), cc->radius_sq, 1e-9);
+}
+
+TEST(Triangle, CircumcircleDegenerateIsNull) {
+  const Triangle line({0.0, 0.0}, {1.0, 1.0}, {2.0, 2.0});
+  EXPECT_FALSE(line.circumcircle().has_value());
+}
+
+TEST(Triangle, LongestEdge) {
+  EXPECT_DOUBLE_EQ(kRight.longest_edge(), 5.0);  // The hypotenuse.
+}
+
+TEST(InterpolateLinear, ExactOnPlane) {
+  // Values from z = 2 + 3x - y must be reproduced everywhere.
+  const auto plane = [](Vec2 p) { return 2.0 + 3.0 * p.x - p.y; };
+  const Triangle t({0.0, 0.0}, {4.0, 0.0}, {0.0, 3.0});
+  const double za = plane(t.a());
+  const double zb = plane(t.b());
+  const double zc = plane(t.c());
+  for (const Vec2 p : {Vec2{1.0, 1.0}, Vec2{0.5, 2.0}, Vec2{3.0, 0.5},
+                       t.centroid()}) {
+    EXPECT_NEAR(interpolate_linear(t, za, zb, zc, p), plane(p), 1e-12);
+  }
+}
+
+TEST(InterpolateLinear, VertexValuesReproduced) {
+  const Triangle t({0.0, 0.0}, {1.0, 0.0}, {0.0, 1.0});
+  EXPECT_NEAR(interpolate_linear(t, 7.0, -2.0, 5.0, t.a()), 7.0, 1e-12);
+  EXPECT_NEAR(interpolate_linear(t, 7.0, -2.0, 5.0, t.b()), -2.0, 1e-12);
+  EXPECT_NEAR(interpolate_linear(t, 7.0, -2.0, 5.0, t.c()), 5.0, 1e-12);
+}
+
+TEST(InterpolateLinear, LinearExtrapolationOutside) {
+  const Triangle t({0.0, 0.0}, {1.0, 0.0}, {0.0, 1.0});
+  // Plane z = x: at (2, 0), well outside, extrapolates to 2.
+  EXPECT_NEAR(interpolate_linear(t, 0.0, 1.0, 0.0, {2.0, 0.0}), 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace cps::geo

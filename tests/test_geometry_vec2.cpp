@@ -1,0 +1,91 @@
+// Tests for the plane vector type (geometry/vec2.hpp).
+#include "geometry/vec2.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+namespace cps::geo {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -1.0};
+  EXPECT_EQ(a + b, Vec2(4.0, 1.0));
+  EXPECT_EQ(a - b, Vec2(-2.0, 3.0));
+  EXPECT_EQ(a * 2.0, Vec2(2.0, 4.0));
+  EXPECT_EQ(2.0 * a, Vec2(2.0, 4.0));
+  EXPECT_EQ(a / 2.0, Vec2(0.5, 1.0));
+  EXPECT_EQ(-a, Vec2(-1.0, -2.0));
+}
+
+TEST(Vec2, CompoundAssignment) {
+  Vec2 v{1.0, 1.0};
+  v += {2.0, 3.0};
+  EXPECT_EQ(v, Vec2(3.0, 4.0));
+  v -= {1.0, 1.0};
+  EXPECT_EQ(v, Vec2(2.0, 3.0));
+  v *= 3.0;
+  EXPECT_EQ(v, Vec2(6.0, 9.0));
+}
+
+TEST(Vec2, DotAndCross) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.dot(b), 11.0);
+  EXPECT_DOUBLE_EQ(a.cross(b), -2.0);
+  EXPECT_DOUBLE_EQ(b.cross(a), 2.0);  // Antisymmetric.
+}
+
+TEST(Vec2, Norms) {
+  const Vec2 v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.norm_sq(), 25.0);
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+}
+
+TEST(Vec2, NormalizedUnitLength) {
+  const Vec2 v{3.0, 4.0};
+  const Vec2 u = v.normalized();
+  EXPECT_NEAR(u.norm(), 1.0, 1e-15);
+  EXPECT_NEAR(u.x, 0.6, 1e-15);
+  EXPECT_NEAR(u.y, 0.8, 1e-15);
+}
+
+TEST(Vec2, NormalizedZeroVectorIsZero) {
+  const Vec2 z{};
+  EXPECT_EQ(z.normalized(), Vec2(0.0, 0.0));
+}
+
+TEST(Vec2, RotationQuarterTurn) {
+  const Vec2 v{1.0, 0.0};
+  const Vec2 r = v.rotated(std::numbers::pi / 2.0);
+  EXPECT_NEAR(r.x, 0.0, 1e-15);
+  EXPECT_NEAR(r.y, 1.0, 1e-15);
+}
+
+TEST(Vec2, RotationPreservesNorm) {
+  const Vec2 v{2.0, -3.0};
+  EXPECT_NEAR(v.rotated(1.234).norm(), v.norm(), 1e-12);
+}
+
+TEST(Vec2, DistanceHelpers) {
+  const Vec2 a{0.0, 0.0};
+  const Vec2 b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(distance_sq(a, b), 25.0);
+}
+
+TEST(Vec2, LerpEndpointsAndMiddle) {
+  const Vec2 a{0.0, 0.0};
+  const Vec2 b{10.0, 20.0};
+  EXPECT_EQ(lerp(a, b, 0.0), a);
+  EXPECT_EQ(lerp(a, b, 1.0), b);
+  EXPECT_EQ(lerp(a, b, 0.5), Vec2(5.0, 10.0));
+}
+
+TEST(Vec2, Midpoint) {
+  EXPECT_EQ(midpoint({1.0, 2.0}, {3.0, 6.0}), Vec2(2.0, 4.0));
+}
+
+}  // namespace
+}  // namespace cps::geo

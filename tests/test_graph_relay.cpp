@@ -1,0 +1,102 @@
+// Tests for relay planning (graph/relay.hpp) — FRA's L(G, r) and P(G, i).
+#include "graph/relay.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/geometric_graph.hpp"
+#include "numerics/rng.hpp"
+
+namespace cps::graph {
+namespace {
+
+using geo::Vec2;
+
+TEST(RelaysForGap, Thresholds) {
+  EXPECT_EQ(relays_for_gap(5.0, 10.0), 0u);
+  EXPECT_EQ(relays_for_gap(10.0, 10.0), 0u);   // Exactly one hop.
+  EXPECT_EQ(relays_for_gap(10.1, 10.0), 1u);
+  EXPECT_EQ(relays_for_gap(20.0, 10.0), 1u);   // Exactly two hops.
+  EXPECT_EQ(relays_for_gap(20.5, 10.0), 2u);
+  EXPECT_EQ(relays_for_gap(95.0, 10.0), 9u);
+}
+
+TEST(RelaysForGap, InvalidRadiusThrows) {
+  EXPECT_THROW(relays_for_gap(5.0, 0.0), std::invalid_argument);
+}
+
+TEST(RelayPositions, EvenSpacingWithinHopLength) {
+  const Vec2 a{0.0, 0.0};
+  const Vec2 b{30.0, 0.0};
+  const auto relays = relay_positions(a, b, 2);
+  ASSERT_EQ(relays.size(), 2u);
+  EXPECT_NEAR(relays[0].x, 10.0, 1e-12);
+  EXPECT_NEAR(relays[1].x, 20.0, 1e-12);
+  // Chain hops are all <= gap / (count + 1).
+  EXPECT_NEAR(geo::distance(a, relays[0]), 10.0, 1e-12);
+  EXPECT_NEAR(geo::distance(relays[1], b), 10.0, 1e-12);
+}
+
+TEST(RelayPositions, ZeroRelays) {
+  EXPECT_TRUE(relay_positions({0.0, 0.0}, {1.0, 1.0}, 0).empty());
+}
+
+TEST(PlanRelays, AlreadyConnectedNeedsNothing) {
+  const std::vector<Vec2> pts{{0.0, 0.0}, {5.0, 0.0}, {10.0, 0.0}};
+  const RelayPlan plan = plan_relays(pts, 6.0);
+  EXPECT_EQ(plan.count, 0u);
+  EXPECT_TRUE(plan.positions.empty());
+}
+
+TEST(PlanRelays, TrivialInputs) {
+  EXPECT_EQ(plan_relays(std::vector<Vec2>{}, 5.0).count, 0u);
+  EXPECT_EQ(plan_relays(std::vector<Vec2>{{1.0, 1.0}}, 5.0).count, 0u);
+  EXPECT_THROW(plan_relays(std::vector<Vec2>{{0.0, 0.0}}, 0.0),
+               std::invalid_argument);
+}
+
+TEST(PlanRelays, TwoIslandsBridged) {
+  const std::vector<Vec2> pts{{0.0, 0.0}, {1.0, 0.0},
+                              {35.0, 0.0}, {36.0, 0.0}};
+  const RelayPlan plan = plan_relays(pts, 10.0);
+  // Gap 34 m -> ceil(3.4) - 1 = 3 relays.
+  EXPECT_EQ(plan.count, 3u);
+  ASSERT_EQ(plan.positions.size(), 3u);
+  // Plan + originals must form one component.
+  std::vector<Vec2> all = pts;
+  all.insert(all.end(), plan.positions.begin(), plan.positions.end());
+  EXPECT_TRUE(GeometricGraph(all, 10.0).is_connected());
+}
+
+TEST(PlanRelays, ThreeIslandsUseMstNotAllPairs) {
+  // Islands at 0, 30, 60 on a line: MST bridges 0-30 and 30-60 (2 + 2
+  // relays), never the 60 m 0-to-60 bridge.
+  const std::vector<Vec2> pts{{0.0, 0.0}, {30.0, 0.0}, {60.0, 0.0}};
+  const RelayPlan plan = plan_relays(pts, 10.0);
+  EXPECT_EQ(plan.count, 4u);
+}
+
+// Property: for random scatters, originals + planned relays are always one
+// connected network, and the relay count is minimal along each MST bridge.
+class PlanRelaysRandomSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlanRelaysRandomSweep, PlannedNetworkIsConnected) {
+  const int n = GetParam();
+  num::Rng rng(static_cast<std::uint64_t>(n) * 13 + 1);
+  const double rc = 10.0;
+  std::vector<Vec2> pts;
+  for (int i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)});
+  }
+  const RelayPlan plan = plan_relays(pts, rc);
+  EXPECT_EQ(plan.positions.size(), plan.count);
+  std::vector<Vec2> all = pts;
+  all.insert(all.end(), plan.positions.begin(), plan.positions.end());
+  EXPECT_TRUE(GeometricGraph(all, rc).is_connected())
+      << "n=" << n << " relays=" << plan.count;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PlanRelaysRandomSweep,
+                         ::testing::Values(2, 3, 5, 10, 20, 50, 100));
+
+}  // namespace
+}  // namespace cps::graph

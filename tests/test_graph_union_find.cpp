@@ -1,0 +1,87 @@
+// Tests for the disjoint-set forest (graph/union_find.hpp).
+#include "graph/union_find.hpp"
+
+#include <gtest/gtest.h>
+
+#include "numerics/rng.hpp"
+
+namespace cps::graph {
+namespace {
+
+TEST(UnionFind, InitiallyAllSingletons) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.size(), 5u);
+  EXPECT_EQ(uf.set_count(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(uf.find(i), i);
+    EXPECT_EQ(uf.set_size(i), 1u);
+  }
+}
+
+TEST(UnionFind, UniteMergesAndReports) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_FALSE(uf.unite(0, 1));  // Already merged.
+  EXPECT_TRUE(uf.connected(0, 1));
+  EXPECT_FALSE(uf.connected(0, 2));
+  EXPECT_EQ(uf.set_count(), 3u);
+  EXPECT_EQ(uf.set_size(1), 2u);
+}
+
+TEST(UnionFind, TransitiveConnectivity) {
+  UnionFind uf(6);
+  uf.unite(0, 1);
+  uf.unite(2, 3);
+  uf.unite(1, 2);
+  EXPECT_TRUE(uf.connected(0, 3));
+  EXPECT_FALSE(uf.connected(0, 4));
+  EXPECT_EQ(uf.set_count(), 3u);  // {0,1,2,3}, {4}, {5}.
+  EXPECT_EQ(uf.set_size(3), 4u);
+}
+
+TEST(UnionFind, ChainCollapsesToOneSet) {
+  const std::size_t n = 1000;
+  UnionFind uf(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) uf.unite(i, i + 1);
+  EXPECT_EQ(uf.set_count(), 1u);
+  EXPECT_TRUE(uf.connected(0, n - 1));
+  EXPECT_EQ(uf.set_size(0), n);
+}
+
+TEST(UnionFind, OutOfRangeThrows) {
+  UnionFind uf(3);
+  EXPECT_THROW(uf.find(3), std::out_of_range);
+  EXPECT_THROW(uf.unite(0, 5), std::out_of_range);
+}
+
+TEST(UnionFind, SetCountPlusMergesIsInvariant) {
+  // Every successful unite reduces set_count by exactly one.
+  num::Rng rng(3);
+  UnionFind uf(50);
+  std::size_t merges = 0;
+  for (int i = 0; i < 500; ++i) {
+    const auto a = static_cast<std::size_t>(rng.uniform_int(0, 49));
+    const auto b = static_cast<std::size_t>(rng.uniform_int(0, 49));
+    if (a == b) continue;
+    if (uf.unite(a, b)) ++merges;
+    ASSERT_EQ(uf.set_count() + merges, 50u);
+  }
+}
+
+TEST(UnionFind, SizesSumToTotal) {
+  num::Rng rng(9);
+  UnionFind uf(40);
+  for (int i = 0; i < 60; ++i) {
+    uf.unite(static_cast<std::size_t>(rng.uniform_int(0, 39)),
+             static_cast<std::size_t>(rng.uniform_int(0, 39)));
+  }
+  // Sum each root's size exactly once.
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < 40; ++i) {
+    if (uf.find(i) == i) total += uf.set_size(i);
+  }
+  EXPECT_EQ(total, 40u);
+}
+
+}  // namespace
+}  // namespace cps::graph

@@ -1,0 +1,128 @@
+// Tests for convergecast routing (net/routing.hpp).
+#include "net/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "numerics/rng.hpp"
+
+namespace cps::net {
+namespace {
+
+using geo::Vec2;
+
+graph::GeometricGraph chain(int n) {
+  std::vector<Vec2> pts;
+  for (int i = 0; i < n; ++i) pts.push_back({i * 5.0, 0.0});
+  return graph::GeometricGraph(pts, 6.0);
+}
+
+TEST(CollectionTree, BadSinkThrows) {
+  const auto g = chain(3);
+  EXPECT_THROW(CollectionTree(g, 3), std::out_of_range);
+}
+
+TEST(CollectionTree, ChainFromEndpoint) {
+  const auto g = chain(5);
+  const CollectionTree tree(g, 0);
+  EXPECT_EQ(tree.sink(), 0u);
+  EXPECT_EQ(tree.hops(0), 0u);
+  EXPECT_EQ(tree.hops(4), 4u);
+  EXPECT_EQ(tree.parent(0), CollectionTree::kNone);
+  EXPECT_EQ(tree.parent(3), 2u);
+  EXPECT_EQ(tree.depth(), 4u);
+  EXPECT_EQ(tree.transmissions_per_round(), 0u + 1 + 2 + 3 + 4);
+  EXPECT_EQ(tree.unreachable_count(), 0u);
+  // Every node's subtree includes itself; the sink's covers everyone.
+  EXPECT_EQ(tree.subtree_size(0), 5u);
+  EXPECT_EQ(tree.subtree_size(4), 1u);
+  EXPECT_EQ(tree.subtree_size(2), 3u);
+}
+
+TEST(CollectionTree, ChainFromMiddleHalvesDepth) {
+  const auto g = chain(5);
+  const CollectionTree tree(g, 2);
+  EXPECT_EQ(tree.depth(), 2u);
+  EXPECT_EQ(tree.transmissions_per_round(), 2u + 1 + 0 + 1 + 2);
+}
+
+TEST(CollectionTree, UnreachableNodesReported) {
+  std::vector<Vec2> pts{{0.0, 0.0}, {5.0, 0.0}, {90.0, 90.0}};
+  const graph::GeometricGraph g(pts, 6.0);
+  const CollectionTree tree(g, 0);
+  EXPECT_EQ(tree.unreachable_count(), 1u);
+  EXPECT_EQ(tree.hops(2), CollectionTree::kNone);
+  EXPECT_EQ(tree.parent(2), CollectionTree::kNone);
+  EXPECT_EQ(tree.subtree_size(2), 0u);
+  EXPECT_EQ(tree.subtree_size(0), 2u);
+}
+
+TEST(CollectionTree, ParentsAreOneHopCloser) {
+  num::Rng rng(5);
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 50; ++i) {
+    pts.push_back({rng.uniform(0.0, 60.0), rng.uniform(0.0, 60.0)});
+  }
+  const graph::GeometricGraph g(pts, 15.0);
+  const CollectionTree tree(g, 7);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (i == 7 || tree.hops(i) == CollectionTree::kNone) continue;
+    const std::size_t p = tree.parent(i);
+    ASSERT_NE(p, CollectionTree::kNone);
+    EXPECT_EQ(tree.hops(p) + 1, tree.hops(i));
+    EXPECT_TRUE(g.has_edge(i, p));
+  }
+}
+
+TEST(CollectionTree, SubtreeSizesSumAtSink) {
+  num::Rng rng(9);
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 30; ++i) {
+    pts.push_back({rng.uniform(0.0, 40.0), rng.uniform(0.0, 40.0)});
+  }
+  const graph::GeometricGraph g(pts, 15.0);
+  const CollectionTree tree(g, 0);
+  EXPECT_EQ(tree.subtree_size(0) + tree.unreachable_count(), pts.size());
+}
+
+TEST(BestSink, EmptyThrows) {
+  const std::vector<Vec2> none;
+  const graph::GeometricGraph g(none, 5.0);
+  EXPECT_THROW(best_sink(g), std::invalid_argument);
+}
+
+TEST(BestSink, ChainPicksTheMiddle) {
+  const auto g = chain(5);
+  EXPECT_EQ(best_sink(g), 2u);
+}
+
+TEST(BestSink, PrefersReachabilityOverCost) {
+  // A pair plus an isolated node: the best sink must come from the pair
+  // (1 unreachable) rather than the isolate (2 unreachable).
+  std::vector<Vec2> pts{{0.0, 0.0}, {5.0, 0.0}, {90.0, 90.0}};
+  const graph::GeometricGraph g(pts, 6.0);
+  EXPECT_LT(best_sink(g), 2u);
+}
+
+TEST(BestSink, NeverWorseThanAnyOtherSink) {
+  num::Rng rng(13);
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 25; ++i) {
+    pts.push_back({rng.uniform(0.0, 50.0), rng.uniform(0.0, 50.0)});
+  }
+  const graph::GeometricGraph g(pts, 14.0);
+  const std::size_t chosen = best_sink(g);
+  const CollectionTree best(g, chosen);
+  for (std::size_t sink = 0; sink < pts.size(); ++sink) {
+    const CollectionTree other(g, sink);
+    if (other.unreachable_count() < best.unreachable_count()) {
+      FAIL() << "sink " << sink << " reaches more nodes";
+    }
+    if (other.unreachable_count() == best.unreachable_count()) {
+      EXPECT_LE(best.transmissions_per_round(),
+                other.transmissions_per_round());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cps::net

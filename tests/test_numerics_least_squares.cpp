@@ -1,0 +1,157 @@
+// Tests for least squares and the quadric fit (numerics/least_squares.hpp).
+#include "numerics/least_squares.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "numerics/rng.hpp"
+
+namespace cps::num {
+namespace {
+
+TEST(LeastSquares, ExactlyDeterminedMatchesSolve) {
+  const Matrix a{{1.0, 2.0}, {3.0, -1.0}};
+  const std::vector<double> b{5.0, 1.0};
+  const auto x = least_squares(a, b);
+  EXPECT_NEAR(x[0], 1.0, 1e-10);
+  EXPECT_NEAR(x[1], 2.0, 1e-10);
+}
+
+TEST(LeastSquares, OverdeterminedConsistentSystem) {
+  // Three points on the line y = 2x + 1 -> exact fit.
+  const Matrix a{{0.0, 1.0}, {1.0, 1.0}, {2.0, 1.0}};
+  const std::vector<double> b{1.0, 3.0, 5.0};
+  const auto x = least_squares(a, b);
+  EXPECT_NEAR(x[0], 2.0, 1e-10);
+  EXPECT_NEAR(x[1], 1.0, 1e-10);
+}
+
+TEST(LeastSquares, MinimisesResidualOnInconsistentSystem) {
+  // Classic averaging: single parameter fit to {1, 2, 3} -> mean 2.
+  const Matrix a{{1.0}, {1.0}, {1.0}};
+  const auto x = least_squares(a, {1.0, 2.0, 3.0});
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+}
+
+TEST(LeastSquares, UnderdeterminedThrows) {
+  EXPECT_THROW(least_squares(Matrix(1, 2), {1.0}), std::invalid_argument);
+}
+
+TEST(LeastSquares, RankDeficientThrows) {
+  // Two identical columns.
+  const Matrix a{{1.0, 1.0}, {2.0, 2.0}, {3.0, 3.0}};
+  EXPECT_THROW(least_squares(a, {1.0, 2.0, 3.0}), std::domain_error);
+}
+
+TEST(LeastSquares, WrongRhsSizeThrows) {
+  EXPECT_THROW(least_squares(Matrix(3, 2), {1.0}), std::invalid_argument);
+}
+
+TEST(LeastSquares, QrAgreesWithNormalEquations) {
+  Rng rng(5);
+  Matrix a(20, 3);
+  std::vector<double> b(20);
+  for (std::size_t r = 0; r < 20; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) a(r, c) = rng.uniform(-2.0, 2.0);
+    b[r] = rng.uniform(-5.0, 5.0);
+  }
+  const auto x_qr = least_squares(a, b);
+  const auto x_ne = least_squares_normal(a, b);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(x_qr[i], x_ne[i], 1e-8);
+  }
+}
+
+TEST(QuadricFit, CurvatureFormulas) {
+  // Paper Eqns. 12-13: g1,2 = a + c -/+ sqrt((a-c)^2 + b^2).
+  const QuadricFit fit{2.0, 1.0, -1.0};
+  const double root = std::sqrt(9.0 + 1.0);
+  EXPECT_NEAR(fit.g1(), 1.0 - root, 1e-12);
+  EXPECT_NEAR(fit.g2(), 1.0 + root, 1e-12);
+  EXPECT_NEAR(fit.gaussian(), fit.g1() * fit.g2(), 1e-12);
+  EXPECT_NEAR(fit.gaussian(), 1.0 - 10.0, 1e-12);  // (a+c)^2-((a-c)^2+b^2)
+  EXPECT_NEAR(fit.mean(), 1.0, 1e-12);
+}
+
+TEST(QuadricFit, EvaluateMatchesPolynomial) {
+  const QuadricFit fit{1.0, -2.0, 0.5};
+  EXPECT_NEAR(fit.evaluate(2.0, 3.0), 4.0 - 12.0 + 4.5, 1e-12);
+}
+
+TEST(FitQuadric, TooFewSamplesThrows) {
+  const std::vector<QuadricSample> s{{0.0, 0.0, 0.0}, {1.0, 0.0, 1.0}};
+  EXPECT_THROW(fit_quadric(s), std::invalid_argument);
+}
+
+TEST(FitQuadric, DegenerateSamplesStayFinite) {
+  // All samples on the x axis: b and c are unidentifiable; the ridge term
+  // must still produce a finite fit with the right a.
+  std::vector<QuadricSample> s;
+  for (int i = -3; i <= 3; ++i) {
+    const double x = i;
+    s.push_back({x, 0.0, 2.0 * x * x});
+  }
+  const QuadricFit fit = fit_quadric(s);
+  EXPECT_TRUE(std::isfinite(fit.a));
+  EXPECT_TRUE(std::isfinite(fit.b));
+  EXPECT_TRUE(std::isfinite(fit.c));
+  EXPECT_NEAR(fit.a, 2.0, 1e-4);
+}
+
+// Property: the fit recovers exact quadric coefficients from disk samples.
+class QuadricRecovery
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(QuadricRecovery, RecoversCoefficients) {
+  const auto [a, b, c] = GetParam();
+  std::vector<QuadricSample> samples;
+  for (int i = -4; i <= 4; ++i) {
+    for (int j = -4; j <= 4; ++j) {
+      if (i * i + j * j > 16) continue;  // Disk mask, as a node senses.
+      const double x = 0.5 * i;
+      const double y = 0.5 * j;
+      samples.push_back({x, y, a * x * x + b * x * y + c * y * y});
+    }
+  }
+  const QuadricFit fit = fit_quadric(samples);
+  EXPECT_NEAR(fit.a, a, 1e-6);
+  EXPECT_NEAR(fit.b, b, 1e-6);
+  EXPECT_NEAR(fit.c, c, 1e-6);
+  // And the derived Gaussian curvature matches 4ac - b^2.
+  EXPECT_NEAR(fit.gaussian(), 4.0 * a * c - b * b, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Coefficients, QuadricRecovery,
+    ::testing::Values(std::make_tuple(1.0, 0.0, 1.0),
+                      std::make_tuple(-2.0, 0.0, -2.0),
+                      std::make_tuple(1.0, 1.0, -1.0),
+                      std::make_tuple(0.0, 2.0, 0.0),
+                      std::make_tuple(3.5, -1.25, 0.75),
+                      std::make_tuple(0.0, 0.0, 0.0),
+                      std::make_tuple(1e-3, 2e-3, -1e-3)));
+
+// Property: adding symmetric noise leaves coefficients near the truth.
+TEST(FitQuadric, RobustToSmallNoise) {
+  Rng rng(99);
+  std::vector<QuadricSample> samples;
+  for (int i = -5; i <= 5; ++i) {
+    for (int j = -5; j <= 5; ++j) {
+      const double x = i;
+      const double y = j;
+      const double z = 0.5 * x * x - 0.25 * x * y + y * y +
+                       rng.normal(0.0, 1e-3);
+      samples.push_back({x, y, z});
+    }
+  }
+  const QuadricFit fit = fit_quadric(samples);
+  EXPECT_NEAR(fit.a, 0.5, 1e-2);
+  EXPECT_NEAR(fit.b, -0.25, 1e-2);
+  EXPECT_NEAR(fit.c, 1.0, 1e-2);
+}
+
+}  // namespace
+}  // namespace cps::num

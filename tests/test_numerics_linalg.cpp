@@ -1,0 +1,185 @@
+// Tests for dense linear algebra (numerics/linalg.hpp).
+#include "numerics/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "numerics/rng.hpp"
+
+namespace cps::num {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(1, 2) = -4.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), -4.0);
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, HalfZeroDimensionThrows) {
+  EXPECT_THROW(Matrix(3, 0), std::invalid_argument);
+  EXPECT_THROW(Matrix(0, 3), std::invalid_argument);
+}
+
+TEST(Matrix, AtBoundsChecked) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(m.at(0, 2), std::out_of_range);
+  EXPECT_NO_THROW(m.at(1, 1));
+}
+
+TEST(Matrix, Identity) {
+  const Matrix id = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(id(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, Transpose) {
+  Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, Multiply) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MultiplyDimensionMismatchThrows) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_THROW(a * b, std::invalid_argument);
+}
+
+TEST(Matrix, AddSubtract) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{4.0, 3.0}, {2.0, 1.0}};
+  const Matrix s = a + b;
+  const Matrix d = a - b;
+  EXPECT_DOUBLE_EQ(s(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(s(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(d(0, 0), -3.0);
+  EXPECT_DOUBLE_EQ(d(1, 1), 3.0);
+}
+
+TEST(Matrix, ApplyVector) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const auto y = a.apply({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(Matrix, ApplyDimensionMismatchThrows) {
+  Matrix a(2, 2);
+  EXPECT_THROW(a.apply({1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
+TEST(Matrix, FrobeniusNorm) {
+  Matrix a{{3.0, 0.0}, {0.0, 4.0}};
+  EXPECT_DOUBLE_EQ(a.frobenius_norm(), 5.0);
+}
+
+TEST(Solve, KnownSystem) {
+  // x + 2y = 5, 3x - y = 1  ->  x = 1, y = 2.
+  const auto x = solve(Matrix{{1.0, 2.0}, {3.0, -1.0}}, {5.0, 1.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Solve, RequiresPivoting) {
+  // Leading zero forces a row swap.
+  const auto x = solve(Matrix{{0.0, 1.0}, {1.0, 0.0}}, {3.0, 7.0});
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Solve, SingularThrows) {
+  EXPECT_THROW(solve(Matrix{{1.0, 2.0}, {2.0, 4.0}}, {1.0, 2.0}),
+               std::domain_error);
+}
+
+TEST(Solve, NotSquareThrows) {
+  EXPECT_THROW(solve(Matrix(2, 3), {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Solve, WrongRhsSizeThrows) {
+  EXPECT_THROW(solve(Matrix::identity(2), {1.0, 2.0, 3.0}),
+               std::invalid_argument);
+}
+
+TEST(Determinant, KnownValues) {
+  EXPECT_NEAR(determinant(Matrix{{1.0, 2.0}, {3.0, 4.0}}), -2.0, 1e-12);
+  EXPECT_NEAR(determinant(Matrix::identity(4)), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(determinant(Matrix{{1.0, 2.0}, {2.0, 4.0}}), 0.0);
+}
+
+TEST(Inverse, RoundTrip) {
+  const Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  const Matrix prod = a * inverse(a);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      EXPECT_NEAR(prod(r, c), r == c ? 1.0 : 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(Inverse, SingularThrows) {
+  EXPECT_THROW(inverse(Matrix{{1.0, 1.0}, {1.0, 1.0}}), std::domain_error);
+}
+
+TEST(VectorOps, NormAndDot) {
+  EXPECT_DOUBLE_EQ(norm2({3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(dot({1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}), 32.0);
+  EXPECT_THROW(dot({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+// Property: for random well-conditioned systems, solve() residuals vanish.
+class SolveRandomSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolveRandomSweep, ResidualIsTiny) {
+  const int n = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n) * 101 + 7);
+  Matrix a(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      a(r, c) = rng.uniform(-1.0, 1.0);
+    }
+    a(r, r) += static_cast<double>(n);  // Diagonal dominance.
+  }
+  std::vector<double> b(static_cast<std::size_t>(n));
+  for (auto& v : b) v = rng.uniform(-10.0, 10.0);
+  const auto x = solve(a, b);
+  const auto ax = a.apply(x);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    EXPECT_NEAR(ax[i], b[i], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SolveRandomSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 32));
+
+}  // namespace
+}  // namespace cps::num

@@ -1,0 +1,109 @@
+// Tests for 2-D quadrature (numerics/quadrature.hpp).
+#include "numerics/quadrature.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace cps::num {
+namespace {
+
+const Rect kUnit{0.0, 0.0, 1.0, 1.0};
+
+TEST(Rect, Accessors) {
+  const Rect r{1.0, 2.0, 4.0, 7.0};
+  EXPECT_DOUBLE_EQ(r.width(), 3.0);
+  EXPECT_DOUBLE_EQ(r.height(), 5.0);
+  EXPECT_DOUBLE_EQ(r.area(), 15.0);
+  EXPECT_TRUE(r.contains(2.0, 3.0));
+  EXPECT_TRUE(r.contains(1.0, 2.0));  // Boundary inclusive.
+  EXPECT_FALSE(r.contains(0.5, 3.0));
+  EXPECT_FALSE(r.contains(2.0, 8.0));
+}
+
+TEST(Midpoint, ExactOnConstants) {
+  const double v = integrate_midpoint(
+      kUnit, [](double, double) { return 3.0; }, 4, 4);
+  EXPECT_NEAR(v, 3.0, 1e-14);
+}
+
+TEST(Midpoint, ExactOnPlanes) {
+  // Midpoint rule integrates linear functions exactly.
+  const double v = integrate_midpoint(
+      kUnit, [](double x, double y) { return 2.0 * x + 3.0 * y; }, 5, 7);
+  EXPECT_NEAR(v, 1.0 + 1.5, 1e-13);
+}
+
+TEST(Midpoint, ConvergesOnSmoothIntegrand) {
+  const auto g = [](double x, double y) {
+    return std::sin(std::numbers::pi * x) * std::sin(std::numbers::pi * y);
+  };
+  const double exact = 4.0 / (std::numbers::pi * std::numbers::pi);
+  const double coarse = integrate_midpoint(kUnit, g, 8, 8);
+  const double fine = integrate_midpoint(kUnit, g, 64, 64);
+  EXPECT_LT(std::abs(fine - exact), std::abs(coarse - exact));
+  EXPECT_NEAR(fine, exact, 1e-4);
+}
+
+TEST(Midpoint, SecondOrderConvergenceRate) {
+  const auto g = [](double x, double y) { return x * x * y * y; };
+  const double exact = 1.0 / 9.0;
+  const double e1 = std::abs(integrate_midpoint(kUnit, g, 10, 10) - exact);
+  const double e2 = std::abs(integrate_midpoint(kUnit, g, 20, 20) - exact);
+  // Halving h should cut the error by ~4x for C^2 integrands.
+  EXPECT_NEAR(e1 / e2, 4.0, 0.5);
+}
+
+TEST(Midpoint, NonUnitRegion) {
+  const Rect r{-2.0, 1.0, 2.0, 3.0};
+  const double v = integrate_midpoint(
+      r, [](double, double) { return 1.0; }, 3, 3);
+  EXPECT_NEAR(v, r.area(), 1e-13);
+}
+
+TEST(Midpoint, InvalidArgumentsThrow) {
+  EXPECT_THROW(integrate_midpoint(kUnit, [](double, double) { return 0.0; },
+                                  0, 4),
+               std::invalid_argument);
+  EXPECT_THROW(integrate_midpoint(Rect{1.0, 0.0, 0.0, 1.0},
+                                  [](double, double) { return 0.0; }, 4, 4),
+               std::invalid_argument);
+}
+
+TEST(Trapezoid, ExactOnPlanes) {
+  const double v = integrate_trapezoid(
+      kUnit, [](double x, double y) { return x - y + 1.0; }, 6, 6);
+  EXPECT_NEAR(v, 1.0, 1e-13);
+}
+
+TEST(Trapezoid, AgreesWithMidpointOnSmooth) {
+  const auto g = [](double x, double y) { return std::exp(x * y); };
+  const double m = integrate_midpoint(kUnit, g, 50, 50);
+  const double t = integrate_trapezoid(kUnit, g, 50, 50);
+  EXPECT_NEAR(m, t, 1e-3);
+}
+
+TEST(Trapezoid, InvalidArgumentsThrow) {
+  EXPECT_THROW(integrate_trapezoid(kUnit, [](double, double) { return 0.0; },
+                                   4, 0),
+               std::invalid_argument);
+}
+
+// Parameterized: the |f| integrand used by the delta metric (piecewise C^1
+// around the kink) still converges with resolution.
+class AbsIntegrandSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AbsIntegrandSweep, AbsKinkConverges) {
+  const std::size_t n = GetParam();
+  // Integral of |x - 0.5| over the unit square = 0.25.
+  const double v = integrate_midpoint(
+      kUnit, [](double x, double) { return std::abs(x - 0.5); }, n, n);
+  EXPECT_NEAR(v, 0.25, 1.0 / static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Resolutions, AbsIntegrandSweep,
+                         ::testing::Values(4u, 16u, 64u, 128u));
+
+}  // namespace
+}  // namespace cps::num

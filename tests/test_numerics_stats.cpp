@@ -1,0 +1,153 @@
+// Tests for statistics helpers (numerics/stats.hpp).
+#include "numerics/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "numerics/rng.hpp"
+
+namespace cps::num {
+namespace {
+
+TEST(RunningStats, EmptyState) {
+  const RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_TRUE(std::isinf(s.min()));
+  EXPECT_TRUE(std::isinf(s.max()));
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<double> data{1.0, 4.0, 2.0, 8.0, 5.0, 7.0};
+  RunningStats s;
+  for (const double x : data) s.add(x);
+  EXPECT_EQ(s.count(), data.size());
+  EXPECT_NEAR(s.mean(), 4.5, 1e-12);
+  // Sample variance with n-1 denominator.
+  double var = 0.0;
+  for (const double x : data) var += (x - 4.5) * (x - 4.5);
+  var /= static_cast<double>(data.size() - 1);
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(var), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 8.0);
+}
+
+TEST(RunningStats, SingleSampleVarianceIsZero) {
+  RunningStats s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng(3);
+  RunningStats whole;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    whole.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  RunningStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_NEAR(b.mean(), 1.5, 1e-12);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  const std::vector<double> data{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(data, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(data, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(data, 50.0), 25.0);
+}
+
+TEST(Percentile, UnsortedInputHandled) {
+  const std::vector<double> data{30.0, 10.0, 40.0, 20.0};
+  EXPECT_DOUBLE_EQ(percentile(data, 100.0), 40.0);
+}
+
+TEST(Percentile, Validation) {
+  EXPECT_THROW(percentile({}, 50.0), std::invalid_argument);
+  EXPECT_THROW(percentile(std::vector<double>{1.0}, -1.0),
+               std::invalid_argument);
+  EXPECT_THROW(percentile(std::vector<double>{1.0}, 101.0),
+               std::invalid_argument);
+}
+
+TEST(Mean, BasicAndValidation) {
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{1.0, 2.0, 3.0}), 2.0);
+  EXPECT_THROW(mean({}), std::invalid_argument);
+}
+
+TEST(Rmse, KnownValue) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{1.0, 4.0, 3.0};
+  EXPECT_NEAR(rmse(a, b), std::sqrt(4.0 / 3.0), 1e-12);
+}
+
+TEST(Rmse, Validation) {
+  EXPECT_THROW(rmse(std::vector<double>{1.0}, std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(rmse({}, {}), std::invalid_argument);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  const std::vector<double> a{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> up{2.0, 4.0, 6.0, 8.0};
+  const std::vector<double> down{8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson(a, up), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(a, down), -1.0, 1e-12);
+}
+
+TEST(Pearson, Validation) {
+  const std::vector<double> flat{1.0, 1.0, 1.0};
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_THROW(pearson(flat, v), std::invalid_argument);
+  EXPECT_THROW(pearson(std::vector<double>{1.0}, std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(ConvergenceIndex, FindsSettlingPoint) {
+  // Settles at index 3 within 5% of the final value.
+  const std::vector<double> series{10.0, 5.0, 2.0, 1.01, 1.0, 1.0, 1.0};
+  EXPECT_EQ(convergence_index(series, 0.05), 3u);
+}
+
+TEST(ConvergenceIndex, NeverSettled) {
+  const std::vector<double> series{4.0, 3.0, 2.0, 1.0};
+  // Each step is a >20% move relative to the final value 1.0, so only the
+  // last element is inside the band.
+  EXPECT_EQ(convergence_index(series, 0.05), 3u);
+}
+
+TEST(ConvergenceIndex, ConstantSeriesSettlesImmediately) {
+  const std::vector<double> series{2.0, 2.0, 2.0};
+  EXPECT_EQ(convergence_index(series, 0.01), 0u);
+}
+
+TEST(ConvergenceIndex, EmptySeries) {
+  EXPECT_EQ(convergence_index({}, 0.05), 0u);
+}
+
+}  // namespace
+}  // namespace cps::num

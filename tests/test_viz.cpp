@@ -1,0 +1,208 @@
+// Tests for rendering and exporters (viz/*).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "field/analytic_fields.hpp"
+#include "field/grid_field.hpp"
+#include "viz/ascii.hpp"
+#include "viz/exporters.hpp"
+#include "viz/series.hpp"
+
+namespace cps::viz {
+namespace {
+
+const num::Rect kRegion{0.0, 0.0, 100.0, 100.0};
+
+std::size_t count_lines(const std::string& s) {
+  std::size_t n = 0;
+  for (const char c : s) {
+    if (c == '\n') ++n;
+  }
+  return n;
+}
+
+TEST(RenderField, DimensionsWithBorder) {
+  const field::ConstantField f(1.0);
+  AsciiOptions opt;
+  opt.width = 20;
+  opt.height = 8;
+  const std::string out = render_field(f, kRegion, {}, opt);
+  EXPECT_EQ(count_lines(out), 10u);  // 8 rows + 2 border lines.
+  // Each body line: '|' + 20 chars + '|'.
+  const auto first_newline = out.find('\n');
+  EXPECT_EQ(first_newline, 22u);
+}
+
+TEST(RenderField, BorderlessDimensions) {
+  const field::ConstantField f(0.0);
+  AsciiOptions opt;
+  opt.width = 10;
+  opt.height = 4;
+  opt.border = false;
+  const std::string out = render_field(f, kRegion, {}, opt);
+  EXPECT_EQ(count_lines(out), 4u);
+}
+
+TEST(RenderField, GradientUsesRampExtremes) {
+  const field::PlaneField f(0.0, 1.0, 0.0);  // Bright to the east.
+  AsciiOptions opt;
+  opt.width = 30;
+  opt.height = 6;
+  opt.border = false;
+  const std::string out = render_field(f, kRegion, {}, opt);
+  EXPECT_NE(out.find(' '), std::string::npos);  // Low end of the ramp.
+  EXPECT_NE(out.find('@'), std::string::npos);  // High end of the ramp.
+}
+
+TEST(RenderField, NodeOverlayMarksPositions) {
+  const field::ConstantField f(0.0);
+  const std::vector<geo::Vec2> nodes{{50.0, 50.0}};
+  AsciiOptions opt;
+  opt.width = 11;
+  opt.height = 11;
+  const std::string out = render_field(f, kRegion, nodes, opt);
+  EXPECT_NE(out.find('o'), std::string::npos);
+}
+
+TEST(RenderField, FixedRangeSuppressesAutoScale) {
+  const field::ConstantField f(5.0);
+  AsciiOptions opt;
+  opt.width = 5;
+  opt.height = 3;
+  opt.border = false;
+  opt.range_min = 0.0;
+  opt.range_max = 10.0;
+  // 5.0 in [0, 10] is mid-ramp, not the extremes.
+  const std::string out = render_field(f, kRegion, {}, opt);
+  EXPECT_EQ(out.find('@'), std::string::npos);
+  EXPECT_EQ(out.find(' '), std::string::npos);
+}
+
+TEST(RenderField, Validation) {
+  const field::ConstantField f(0.0);
+  AsciiOptions opt;
+  opt.width = 1;
+  EXPECT_THROW(render_field(f, kRegion, {}, opt), std::invalid_argument);
+  EXPECT_THROW(render_field(f, num::Rect{0.0, 0.0, 0.0, 1.0}, {}, {}),
+               std::invalid_argument);
+}
+
+TEST(RenderTopology, MarksNodesOnDots) {
+  const std::vector<geo::Vec2> nodes{{0.0, 0.0}, {99.0, 99.0}};
+  AsciiOptions opt;
+  opt.width = 10;
+  opt.height = 10;
+  opt.border = false;
+  const std::string out = render_topology(kRegion, nodes, opt);
+  EXPECT_NE(out.find('o'), std::string::npos);
+  EXPECT_NE(out.find('.'), std::string::npos);
+}
+
+TEST(RenderTopology, OutOfRegionNodesIgnored) {
+  const std::vector<geo::Vec2> nodes{{500.0, 500.0}};
+  AsciiOptions opt;
+  opt.width = 6;
+  opt.height = 6;
+  opt.border = false;
+  const std::string out = render_topology(kRegion, nodes, opt);
+  EXPECT_EQ(out.find('o'), std::string::npos);
+}
+
+TEST(Exporters, CsvMatrixShape) {
+  field::GridField g(kRegion, 3, 2);
+  g.set(0, 0, 1.0);
+  g.set(2, 1, 6.5);
+  std::stringstream out;
+  write_csv_matrix(out, g);
+  std::string line;
+  std::getline(out, line);
+  EXPECT_EQ(line, "1,0,0");
+  std::getline(out, line);
+  EXPECT_EQ(line, "0,0,6.5");
+}
+
+TEST(Exporters, PositionsCsv) {
+  const std::vector<geo::Vec2> pts{{1.5, 2.5}, {3.0, 4.0}};
+  std::stringstream out;
+  write_positions_csv(out, pts);
+  std::string line;
+  std::getline(out, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(out, line);
+  EXPECT_EQ(line, "1.5,2.5");
+}
+
+TEST(Exporters, PgmHeaderAndSize) {
+  const field::GridField g(kRegion, 4, 3);
+  std::stringstream out;
+  write_pgm(out, g);
+  const std::string data = out.str();
+  EXPECT_EQ(data.rfind("P5\n4 3\n255\n", 0), 0u);
+  EXPECT_EQ(data.size(), std::string("P5\n4 3\n255\n").size() + 12u);
+}
+
+TEST(Exporters, PgmScalesToFullRange) {
+  field::GridField g(kRegion, 2, 2);
+  g.set(0, 0, -1.0);
+  g.set(1, 1, 3.0);
+  std::stringstream out;
+  write_pgm(out, g);
+  const std::string data = out.str();
+  const std::string body = data.substr(data.find("255\n") + 4);
+  ASSERT_EQ(body.size(), 4u);
+  // Max value -> 255, min -> 0 somewhere in the payload.
+  EXPECT_NE(body.find('\xff'), std::string::npos);
+  EXPECT_NE(body.find('\x00'), std::string::npos);
+}
+
+TEST(Exporters, FileErrorsThrow) {
+  const field::GridField g(kRegion, 2, 2);
+  EXPECT_THROW(write_csv_matrix_file("/nonexistent/x.csv", g),
+               std::runtime_error);
+  EXPECT_THROW(write_pgm_file("/nonexistent/x.pgm", g), std::runtime_error);
+}
+
+TEST(Series, FormatTableAlignsColumns) {
+  const std::vector<Series> cols{{"k", {1.0, 10.0}}, {"delta", {0.5, 0.25}}};
+  const std::string out = format_table(cols, 2);
+  std::stringstream ss(out);
+  std::string header;
+  std::getline(ss, header);
+  EXPECT_NE(header.find("k"), std::string::npos);
+  EXPECT_NE(header.find("delta"), std::string::npos);
+  std::string row;
+  std::getline(ss, row);
+  EXPECT_NE(row.find("1.00"), std::string::npos);
+  EXPECT_NE(row.find("0.50"), std::string::npos);
+}
+
+TEST(Series, FormatTableValidation) {
+  const std::vector<Series> ragged{{"a", {1.0}}, {"b", {1.0, 2.0}}};
+  EXPECT_THROW(format_table(ragged), std::invalid_argument);
+  EXPECT_EQ(format_table({}), "");
+}
+
+TEST(Series, SparklineShape) {
+  const std::vector<double> v{0.0, 1.0, 2.0, 3.0};
+  const std::string s = sparkline(v);
+  EXPECT_FALSE(s.empty());
+  EXPECT_EQ(sparkline({}), "");
+  // Monotone series: first glyph is the lowest block, last the highest.
+  EXPECT_EQ(s.substr(0, 3), "▁");
+  EXPECT_EQ(s.substr(s.size() - 3), "█");
+}
+
+TEST(Series, SummarizeContent) {
+  const std::vector<double> v{1.0, 3.0};
+  const std::string s = summarize("delta", v);
+  EXPECT_NE(s.find("delta:"), std::string::npos);
+  EXPECT_NE(s.find("min=1"), std::string::npos);
+  EXPECT_NE(s.find("max=3"), std::string::npos);
+  EXPECT_NE(s.find("mean=2"), std::string::npos);
+  EXPECT_NE(s.find("n=2"), std::string::npos);
+  EXPECT_NE(summarize("x", {}).find("(empty)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cps::viz
