@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_foresight.dir/bench_ablation_foresight.cpp.o"
+  "CMakeFiles/bench_ablation_foresight.dir/bench_ablation_foresight.cpp.o.d"
+  "bench_ablation_foresight"
+  "bench_ablation_foresight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_foresight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

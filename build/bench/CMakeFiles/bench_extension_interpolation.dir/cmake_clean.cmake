@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_interpolation.dir/bench_extension_interpolation.cpp.o"
+  "CMakeFiles/bench_extension_interpolation.dir/bench_extension_interpolation.cpp.o.d"
+  "bench_extension_interpolation"
+  "bench_extension_interpolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_interpolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

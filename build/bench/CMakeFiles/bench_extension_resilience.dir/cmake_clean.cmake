@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_resilience.dir/bench_extension_resilience.cpp.o"
+  "CMakeFiles/bench_extension_resilience.dir/bench_extension_resilience.cpp.o.d"
+  "bench_extension_resilience"
+  "bench_extension_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

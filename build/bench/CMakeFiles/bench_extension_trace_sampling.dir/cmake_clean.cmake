@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_trace_sampling.dir/bench_extension_trace_sampling.cpp.o"
+  "CMakeFiles/bench_extension_trace_sampling.dir/bench_extension_trace_sampling.cpp.o.d"
+  "bench_extension_trace_sampling"
+  "bench_extension_trace_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_trace_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

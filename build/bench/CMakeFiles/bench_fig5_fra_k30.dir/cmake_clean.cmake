@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_fra_k30.dir/bench_fig5_fra_k30.cpp.o"
+  "CMakeFiles/bench_fig5_fra_k30.dir/bench_fig5_fra_k30.cpp.o.d"
+  "bench_fig5_fra_k30"
+  "bench_fig5_fra_k30.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_fra_k30.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_fra_k100.dir/bench_fig6_fra_k100.cpp.o"
+  "CMakeFiles/bench_fig6_fra_k100.dir/bench_fig6_fra_k100.cpp.o.d"
+  "bench_fig6_fra_k100"
+  "bench_fig6_fra_k100.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_fra_k100.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

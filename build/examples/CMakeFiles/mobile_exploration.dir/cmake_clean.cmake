@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobile_exploration.dir/mobile_exploration.cpp.o"
+  "CMakeFiles/mobile_exploration.dir/mobile_exploration.cpp.o.d"
+  "mobile_exploration"
+  "mobile_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plume_tracking.dir/plume_tracking.cpp.o"
+  "CMakeFiles/plume_tracking.dir/plume_tracking.cpp.o.d"
+  "plume_tracking"
+  "plume_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plume_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

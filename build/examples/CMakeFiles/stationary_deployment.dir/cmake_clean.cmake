@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stationary_deployment.dir/stationary_deployment.cpp.o"
+  "CMakeFiles/stationary_deployment.dir/stationary_deployment.cpp.o.d"
+  "stationary_deployment"
+  "stationary_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stationary_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

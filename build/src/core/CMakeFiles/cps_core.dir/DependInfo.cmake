@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cma.cpp" "src/core/CMakeFiles/cps_core.dir/cma.cpp.o" "gcc" "src/core/CMakeFiles/cps_core.dir/cma.cpp.o.d"
+  "/root/repo/src/core/coverage.cpp" "src/core/CMakeFiles/cps_core.dir/coverage.cpp.o" "gcc" "src/core/CMakeFiles/cps_core.dir/coverage.cpp.o.d"
+  "/root/repo/src/core/curvature.cpp" "src/core/CMakeFiles/cps_core.dir/curvature.cpp.o" "gcc" "src/core/CMakeFiles/cps_core.dir/curvature.cpp.o.d"
+  "/root/repo/src/core/cwd.cpp" "src/core/CMakeFiles/cps_core.dir/cwd.cpp.o" "gcc" "src/core/CMakeFiles/cps_core.dir/cwd.cpp.o.d"
+  "/root/repo/src/core/delta.cpp" "src/core/CMakeFiles/cps_core.dir/delta.cpp.o" "gcc" "src/core/CMakeFiles/cps_core.dir/delta.cpp.o.d"
+  "/root/repo/src/core/forces.cpp" "src/core/CMakeFiles/cps_core.dir/forces.cpp.o" "gcc" "src/core/CMakeFiles/cps_core.dir/forces.cpp.o.d"
+  "/root/repo/src/core/fra.cpp" "src/core/CMakeFiles/cps_core.dir/fra.cpp.o" "gcc" "src/core/CMakeFiles/cps_core.dir/fra.cpp.o.d"
+  "/root/repo/src/core/interpolation.cpp" "src/core/CMakeFiles/cps_core.dir/interpolation.cpp.o" "gcc" "src/core/CMakeFiles/cps_core.dir/interpolation.cpp.o.d"
+  "/root/repo/src/core/planner.cpp" "src/core/CMakeFiles/cps_core.dir/planner.cpp.o" "gcc" "src/core/CMakeFiles/cps_core.dir/planner.cpp.o.d"
+  "/root/repo/src/core/reconstruction.cpp" "src/core/CMakeFiles/cps_core.dir/reconstruction.cpp.o" "gcc" "src/core/CMakeFiles/cps_core.dir/reconstruction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/cps_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/cps_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/field/CMakeFiles/cps_field.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cps_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cps_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

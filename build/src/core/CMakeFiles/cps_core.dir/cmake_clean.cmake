@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cps_core.dir/cma.cpp.o"
+  "CMakeFiles/cps_core.dir/cma.cpp.o.d"
+  "CMakeFiles/cps_core.dir/coverage.cpp.o"
+  "CMakeFiles/cps_core.dir/coverage.cpp.o.d"
+  "CMakeFiles/cps_core.dir/curvature.cpp.o"
+  "CMakeFiles/cps_core.dir/curvature.cpp.o.d"
+  "CMakeFiles/cps_core.dir/cwd.cpp.o"
+  "CMakeFiles/cps_core.dir/cwd.cpp.o.d"
+  "CMakeFiles/cps_core.dir/delta.cpp.o"
+  "CMakeFiles/cps_core.dir/delta.cpp.o.d"
+  "CMakeFiles/cps_core.dir/forces.cpp.o"
+  "CMakeFiles/cps_core.dir/forces.cpp.o.d"
+  "CMakeFiles/cps_core.dir/fra.cpp.o"
+  "CMakeFiles/cps_core.dir/fra.cpp.o.d"
+  "CMakeFiles/cps_core.dir/interpolation.cpp.o"
+  "CMakeFiles/cps_core.dir/interpolation.cpp.o.d"
+  "CMakeFiles/cps_core.dir/planner.cpp.o"
+  "CMakeFiles/cps_core.dir/planner.cpp.o.d"
+  "CMakeFiles/cps_core.dir/reconstruction.cpp.o"
+  "CMakeFiles/cps_core.dir/reconstruction.cpp.o.d"
+  "libcps_core.a"
+  "libcps_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cps_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

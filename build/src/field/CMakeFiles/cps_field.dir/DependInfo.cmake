@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/field/analytic_fields.cpp" "src/field/CMakeFiles/cps_field.dir/analytic_fields.cpp.o" "gcc" "src/field/CMakeFiles/cps_field.dir/analytic_fields.cpp.o.d"
+  "/root/repo/src/field/field_ops.cpp" "src/field/CMakeFiles/cps_field.dir/field_ops.cpp.o" "gcc" "src/field/CMakeFiles/cps_field.dir/field_ops.cpp.o.d"
+  "/root/repo/src/field/grid_field.cpp" "src/field/CMakeFiles/cps_field.dir/grid_field.cpp.o" "gcc" "src/field/CMakeFiles/cps_field.dir/grid_field.cpp.o.d"
+  "/root/repo/src/field/time_varying.cpp" "src/field/CMakeFiles/cps_field.dir/time_varying.cpp.o" "gcc" "src/field/CMakeFiles/cps_field.dir/time_varying.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/cps_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/cps_numerics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

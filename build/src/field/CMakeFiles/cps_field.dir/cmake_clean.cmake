@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cps_field.dir/analytic_fields.cpp.o"
+  "CMakeFiles/cps_field.dir/analytic_fields.cpp.o.d"
+  "CMakeFiles/cps_field.dir/field_ops.cpp.o"
+  "CMakeFiles/cps_field.dir/field_ops.cpp.o.d"
+  "CMakeFiles/cps_field.dir/grid_field.cpp.o"
+  "CMakeFiles/cps_field.dir/grid_field.cpp.o.d"
+  "CMakeFiles/cps_field.dir/time_varying.cpp.o"
+  "CMakeFiles/cps_field.dir/time_varying.cpp.o.d"
+  "libcps_field.a"
+  "libcps_field.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cps_field.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

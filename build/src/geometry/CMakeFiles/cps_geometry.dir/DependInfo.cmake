@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/delaunay.cpp" "src/geometry/CMakeFiles/cps_geometry.dir/delaunay.cpp.o" "gcc" "src/geometry/CMakeFiles/cps_geometry.dir/delaunay.cpp.o.d"
+  "/root/repo/src/geometry/hull.cpp" "src/geometry/CMakeFiles/cps_geometry.dir/hull.cpp.o" "gcc" "src/geometry/CMakeFiles/cps_geometry.dir/hull.cpp.o.d"
+  "/root/repo/src/geometry/predicates.cpp" "src/geometry/CMakeFiles/cps_geometry.dir/predicates.cpp.o" "gcc" "src/geometry/CMakeFiles/cps_geometry.dir/predicates.cpp.o.d"
+  "/root/repo/src/geometry/triangle.cpp" "src/geometry/CMakeFiles/cps_geometry.dir/triangle.cpp.o" "gcc" "src/geometry/CMakeFiles/cps_geometry.dir/triangle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numerics/CMakeFiles/cps_numerics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

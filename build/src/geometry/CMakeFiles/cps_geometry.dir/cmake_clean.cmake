@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cps_geometry.dir/delaunay.cpp.o"
+  "CMakeFiles/cps_geometry.dir/delaunay.cpp.o.d"
+  "CMakeFiles/cps_geometry.dir/hull.cpp.o"
+  "CMakeFiles/cps_geometry.dir/hull.cpp.o.d"
+  "CMakeFiles/cps_geometry.dir/predicates.cpp.o"
+  "CMakeFiles/cps_geometry.dir/predicates.cpp.o.d"
+  "CMakeFiles/cps_geometry.dir/triangle.cpp.o"
+  "CMakeFiles/cps_geometry.dir/triangle.cpp.o.d"
+  "libcps_geometry.a"
+  "libcps_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cps_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/connectivity.cpp" "src/graph/CMakeFiles/cps_graph.dir/connectivity.cpp.o" "gcc" "src/graph/CMakeFiles/cps_graph.dir/connectivity.cpp.o.d"
+  "/root/repo/src/graph/geometric_graph.cpp" "src/graph/CMakeFiles/cps_graph.dir/geometric_graph.cpp.o" "gcc" "src/graph/CMakeFiles/cps_graph.dir/geometric_graph.cpp.o.d"
+  "/root/repo/src/graph/mst.cpp" "src/graph/CMakeFiles/cps_graph.dir/mst.cpp.o" "gcc" "src/graph/CMakeFiles/cps_graph.dir/mst.cpp.o.d"
+  "/root/repo/src/graph/relay.cpp" "src/graph/CMakeFiles/cps_graph.dir/relay.cpp.o" "gcc" "src/graph/CMakeFiles/cps_graph.dir/relay.cpp.o.d"
+  "/root/repo/src/graph/union_find.cpp" "src/graph/CMakeFiles/cps_graph.dir/union_find.cpp.o" "gcc" "src/graph/CMakeFiles/cps_graph.dir/union_find.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/cps_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/cps_numerics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cps_graph.dir/connectivity.cpp.o"
+  "CMakeFiles/cps_graph.dir/connectivity.cpp.o.d"
+  "CMakeFiles/cps_graph.dir/geometric_graph.cpp.o"
+  "CMakeFiles/cps_graph.dir/geometric_graph.cpp.o.d"
+  "CMakeFiles/cps_graph.dir/mst.cpp.o"
+  "CMakeFiles/cps_graph.dir/mst.cpp.o.d"
+  "CMakeFiles/cps_graph.dir/relay.cpp.o"
+  "CMakeFiles/cps_graph.dir/relay.cpp.o.d"
+  "CMakeFiles/cps_graph.dir/union_find.cpp.o"
+  "CMakeFiles/cps_graph.dir/union_find.cpp.o.d"
+  "libcps_graph.a"
+  "libcps_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cps_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

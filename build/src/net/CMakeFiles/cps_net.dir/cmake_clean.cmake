@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cps_net.dir/radio.cpp.o"
+  "CMakeFiles/cps_net.dir/radio.cpp.o.d"
+  "CMakeFiles/cps_net.dir/routing.cpp.o"
+  "CMakeFiles/cps_net.dir/routing.cpp.o.d"
+  "libcps_net.a"
+  "libcps_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cps_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numerics/least_squares.cpp" "src/numerics/CMakeFiles/cps_numerics.dir/least_squares.cpp.o" "gcc" "src/numerics/CMakeFiles/cps_numerics.dir/least_squares.cpp.o.d"
+  "/root/repo/src/numerics/linalg.cpp" "src/numerics/CMakeFiles/cps_numerics.dir/linalg.cpp.o" "gcc" "src/numerics/CMakeFiles/cps_numerics.dir/linalg.cpp.o.d"
+  "/root/repo/src/numerics/noise.cpp" "src/numerics/CMakeFiles/cps_numerics.dir/noise.cpp.o" "gcc" "src/numerics/CMakeFiles/cps_numerics.dir/noise.cpp.o.d"
+  "/root/repo/src/numerics/quadrature.cpp" "src/numerics/CMakeFiles/cps_numerics.dir/quadrature.cpp.o" "gcc" "src/numerics/CMakeFiles/cps_numerics.dir/quadrature.cpp.o.d"
+  "/root/repo/src/numerics/rng.cpp" "src/numerics/CMakeFiles/cps_numerics.dir/rng.cpp.o" "gcc" "src/numerics/CMakeFiles/cps_numerics.dir/rng.cpp.o.d"
+  "/root/repo/src/numerics/stats.cpp" "src/numerics/CMakeFiles/cps_numerics.dir/stats.cpp.o" "gcc" "src/numerics/CMakeFiles/cps_numerics.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cps_numerics.dir/least_squares.cpp.o"
+  "CMakeFiles/cps_numerics.dir/least_squares.cpp.o.d"
+  "CMakeFiles/cps_numerics.dir/linalg.cpp.o"
+  "CMakeFiles/cps_numerics.dir/linalg.cpp.o.d"
+  "CMakeFiles/cps_numerics.dir/noise.cpp.o"
+  "CMakeFiles/cps_numerics.dir/noise.cpp.o.d"
+  "CMakeFiles/cps_numerics.dir/quadrature.cpp.o"
+  "CMakeFiles/cps_numerics.dir/quadrature.cpp.o.d"
+  "CMakeFiles/cps_numerics.dir/rng.cpp.o"
+  "CMakeFiles/cps_numerics.dir/rng.cpp.o.d"
+  "CMakeFiles/cps_numerics.dir/stats.cpp.o"
+  "CMakeFiles/cps_numerics.dir/stats.cpp.o.d"
+  "libcps_numerics.a"
+  "libcps_numerics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cps_numerics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcps_numerics.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cps_trace.dir/greenorbs.cpp.o"
+  "CMakeFiles/cps_trace.dir/greenorbs.cpp.o.d"
+  "CMakeFiles/cps_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/cps_trace.dir/trace_io.cpp.o.d"
+  "libcps_trace.a"
+  "libcps_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cps_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

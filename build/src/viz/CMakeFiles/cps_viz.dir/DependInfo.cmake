@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/viz/ascii.cpp" "src/viz/CMakeFiles/cps_viz.dir/ascii.cpp.o" "gcc" "src/viz/CMakeFiles/cps_viz.dir/ascii.cpp.o.d"
+  "/root/repo/src/viz/exporters.cpp" "src/viz/CMakeFiles/cps_viz.dir/exporters.cpp.o" "gcc" "src/viz/CMakeFiles/cps_viz.dir/exporters.cpp.o.d"
+  "/root/repo/src/viz/series.cpp" "src/viz/CMakeFiles/cps_viz.dir/series.cpp.o" "gcc" "src/viz/CMakeFiles/cps_viz.dir/series.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/field/CMakeFiles/cps_field.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/cps_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/cps_numerics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cps_viz.dir/ascii.cpp.o"
+  "CMakeFiles/cps_viz.dir/ascii.cpp.o.d"
+  "CMakeFiles/cps_viz.dir/exporters.cpp.o"
+  "CMakeFiles/cps_viz.dir/exporters.cpp.o.d"
+  "CMakeFiles/cps_viz.dir/series.cpp.o"
+  "CMakeFiles/cps_viz.dir/series.cpp.o.d"
+  "libcps_viz.a"
+  "libcps_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cps_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

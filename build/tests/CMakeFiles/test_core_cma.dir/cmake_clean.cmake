@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_cma.dir/test_core_cma.cpp.o"
+  "CMakeFiles/test_core_cma.dir/test_core_cma.cpp.o.d"
+  "test_core_cma"
+  "test_core_cma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_cma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

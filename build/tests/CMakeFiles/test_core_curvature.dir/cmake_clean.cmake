@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_curvature.dir/test_core_curvature.cpp.o"
+  "CMakeFiles/test_core_curvature.dir/test_core_curvature.cpp.o.d"
+  "test_core_curvature"
+  "test_core_curvature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_curvature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_cwd.dir/test_core_cwd.cpp.o"
+  "CMakeFiles/test_core_cwd.dir/test_core_cwd.cpp.o.d"
+  "test_core_cwd"
+  "test_core_cwd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_cwd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

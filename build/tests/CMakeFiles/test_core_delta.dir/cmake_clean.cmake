@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_delta.dir/test_core_delta.cpp.o"
+  "CMakeFiles/test_core_delta.dir/test_core_delta.cpp.o.d"
+  "test_core_delta"
+  "test_core_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

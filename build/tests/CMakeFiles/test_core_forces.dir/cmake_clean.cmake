@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_forces.dir/test_core_forces.cpp.o"
+  "CMakeFiles/test_core_forces.dir/test_core_forces.cpp.o.d"
+  "test_core_forces"
+  "test_core_forces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_forces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_fra.dir/test_core_fra.cpp.o"
+  "CMakeFiles/test_core_fra.dir/test_core_fra.cpp.o.d"
+  "test_core_fra"
+  "test_core_fra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_fra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_interpolation.dir/test_core_interpolation.cpp.o"
+  "CMakeFiles/test_core_interpolation.dir/test_core_interpolation.cpp.o.d"
+  "test_core_interpolation"
+  "test_core_interpolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_interpolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_planner_extra.dir/test_core_planner_extra.cpp.o"
+  "CMakeFiles/test_core_planner_extra.dir/test_core_planner_extra.cpp.o.d"
+  "test_core_planner_extra"
+  "test_core_planner_extra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_planner_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_trace_sampling.dir/test_core_trace_sampling.cpp.o"
+  "CMakeFiles/test_core_trace_sampling.dir/test_core_trace_sampling.cpp.o.d"
+  "test_core_trace_sampling"
+  "test_core_trace_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_trace_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

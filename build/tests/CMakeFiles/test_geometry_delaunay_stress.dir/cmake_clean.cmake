@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geometry_delaunay_stress.dir/test_geometry_delaunay_stress.cpp.o"
+  "CMakeFiles/test_geometry_delaunay_stress.dir/test_geometry_delaunay_stress.cpp.o.d"
+  "test_geometry_delaunay_stress"
+  "test_geometry_delaunay_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geometry_delaunay_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

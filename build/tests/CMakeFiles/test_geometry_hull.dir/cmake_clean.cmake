@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geometry_hull.dir/test_geometry_hull.cpp.o"
+  "CMakeFiles/test_geometry_hull.dir/test_geometry_hull.cpp.o.d"
+  "test_geometry_hull"
+  "test_geometry_hull.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geometry_hull.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

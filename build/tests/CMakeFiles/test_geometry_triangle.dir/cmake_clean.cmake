@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geometry_triangle.dir/test_geometry_triangle.cpp.o"
+  "CMakeFiles/test_geometry_triangle.dir/test_geometry_triangle.cpp.o.d"
+  "test_geometry_triangle"
+  "test_geometry_triangle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geometry_triangle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

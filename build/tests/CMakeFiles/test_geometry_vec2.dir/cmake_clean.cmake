@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geometry_vec2.dir/test_geometry_vec2.cpp.o"
+  "CMakeFiles/test_geometry_vec2.dir/test_geometry_vec2.cpp.o.d"
+  "test_geometry_vec2"
+  "test_geometry_vec2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geometry_vec2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

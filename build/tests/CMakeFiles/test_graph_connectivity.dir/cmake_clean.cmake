@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_connectivity.dir/test_graph_connectivity.cpp.o"
+  "CMakeFiles/test_graph_connectivity.dir/test_graph_connectivity.cpp.o.d"
+  "test_graph_connectivity"
+  "test_graph_connectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_connectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

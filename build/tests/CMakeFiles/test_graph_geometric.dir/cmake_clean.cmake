@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_geometric.dir/test_graph_geometric.cpp.o"
+  "CMakeFiles/test_graph_geometric.dir/test_graph_geometric.cpp.o.d"
+  "test_graph_geometric"
+  "test_graph_geometric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_geometric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_mst.dir/test_graph_mst.cpp.o"
+  "CMakeFiles/test_graph_mst.dir/test_graph_mst.cpp.o.d"
+  "test_graph_mst"
+  "test_graph_mst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_mst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

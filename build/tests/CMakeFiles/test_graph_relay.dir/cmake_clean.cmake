@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_relay.dir/test_graph_relay.cpp.o"
+  "CMakeFiles/test_graph_relay.dir/test_graph_relay.cpp.o.d"
+  "test_graph_relay"
+  "test_graph_relay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_relay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_routing.dir/test_net_routing.cpp.o"
+  "CMakeFiles/test_net_routing.dir/test_net_routing.cpp.o.d"
+  "test_net_routing"
+  "test_net_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_numerics_least_squares.dir/test_numerics_least_squares.cpp.o"
+  "CMakeFiles/test_numerics_least_squares.dir/test_numerics_least_squares.cpp.o.d"
+  "test_numerics_least_squares"
+  "test_numerics_least_squares.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_numerics_least_squares.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

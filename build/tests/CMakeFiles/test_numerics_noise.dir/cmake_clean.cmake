@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_numerics_noise.dir/test_numerics_noise.cpp.o"
+  "CMakeFiles/test_numerics_noise.dir/test_numerics_noise.cpp.o.d"
+  "test_numerics_noise"
+  "test_numerics_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_numerics_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_numerics_quadrature.dir/test_numerics_quadrature.cpp.o"
+  "CMakeFiles/test_numerics_quadrature.dir/test_numerics_quadrature.cpp.o.d"
+  "test_numerics_quadrature"
+  "test_numerics_quadrature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_numerics_quadrature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
