@@ -13,6 +13,7 @@
 
 int main() {
   using namespace cps;
+  bench::ObsSession obs_session("ablation_beta");
   bench::print_header("Ablation B", "CMA beta sweep (Eqn. 18)");
 
   const auto env = bench::canonical_field();

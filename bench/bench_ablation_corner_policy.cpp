@@ -15,6 +15,7 @@
 
 int main() {
   using namespace cps;
+  bench::ObsSession obs_session("ablation_corner_policy");
   bench::print_header("Ablation D", "corner policy: nearest-sample vs field");
 
   const auto env = bench::canonical_field();

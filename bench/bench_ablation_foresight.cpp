@@ -15,6 +15,7 @@
 
 int main() {
   using namespace cps;
+  bench::ObsSession obs_session("ablation_foresight");
   bench::print_header("Ablation A", "FRA foresight on/off vs delta");
 
   const auto env = bench::canonical_field();

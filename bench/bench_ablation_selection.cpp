@@ -13,6 +13,7 @@
 
 int main() {
   using namespace cps;
+  bench::ObsSession obs_session("ablation_selection");
   bench::print_header("Ablation C", "FRA selection measure comparison");
 
   const auto env = bench::canonical_field();

@@ -15,6 +15,7 @@
 
 int main() {
   using namespace cps;
+  bench::ObsSession obs_session("extension_baselines");
   bench::print_header("Extension G", "baseline panel: delta + robustness");
 
   const auto env = bench::canonical_field();

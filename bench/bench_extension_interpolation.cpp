@@ -13,6 +13,7 @@
 
 int main() {
   using namespace cps;
+  bench::ObsSession obs_session("extension_interpolation");
   bench::print_header("Extension E",
                       "interpolators: Delaunay vs IDW vs nearest");
 

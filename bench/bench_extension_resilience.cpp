@@ -31,6 +31,7 @@ std::vector<cps::geo::Vec2> survivors(
 
 int main() {
   using namespace cps;
+  bench::ObsSession obs_session("extension_resilience");
   bench::print_header("Extension H", "node-failure resilience");
 
   const auto env = bench::canonical_field();

@@ -39,6 +39,7 @@ double run(const cps::field::TimeVaryingField& env, double staleness,
 
 int main() {
   using namespace cps;
+  bench::ObsSession obs_session("extension_trace_sampling");
   bench::print_header("Extension F",
                       "point vs trace sampling for mobile nodes");
 

@@ -22,6 +22,7 @@
 
 int main() {
   using namespace cps;
+  bench::ObsSession obs_session("fig10_delta_vs_time");
   bench::print_header("Fig. 10", "delta vs time, CMA 10:00 -> 10:45");
 
   const auto env = bench::canonical_field();

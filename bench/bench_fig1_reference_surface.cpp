@@ -15,6 +15,7 @@
 
 int main() {
   using namespace cps;
+  bench::ObsSession obs_session("fig1_reference_surface");
   bench::print_header("Fig. 1", "referential light surface at 10:00");
 
   const auto env = bench::canonical_field();

@@ -16,6 +16,7 @@
 
 int main() {
   using namespace cps;
+  bench::ObsSession obs_session("fig3_cwd_vs_uniform");
   bench::print_header("Fig. 3",
                       "uniform vs curvature-weighted, 16 nodes on peaks");
 

@@ -15,6 +15,7 @@
 
 int main() {
   using namespace cps;
+  bench::ObsSession obs_session("fig5_fra_k30");
   bench::print_header("Fig. 5", "FRA rebuilt surface, k = 30, Rc = 10");
 
   const auto env = bench::canonical_field();
@@ -23,8 +24,11 @@ int main() {
 
   core::FraConfig cfg;  // error_grid = 100, the paper's lattice.
   core::FraPlanner planner(cfg);
-  const core::FraResult result = planner.plan_detailed(
-      frame, core::PlanRequest{bench::kRegion, 30, bench::kRc});
+  const core::FraResult result = [&] {
+    CPS_TIMER("bench.fig5.plan");
+    return planner.plan_detailed(
+        frame, core::PlanRequest{bench::kRegion, 30, bench::kRc});
+  }();
 
   const graph::GeometricGraph topology(result.deployment.positions,
                                        bench::kRc);
@@ -35,15 +39,21 @@ int main() {
               topology.is_connected() ? "yes" : "NO",
               bench::render(frame, result.deployment.positions).c_str());
 
-  const auto dt = core::reconstruct_surface(
-      core::take_samples(frame, result.deployment.positions), bench::kRegion,
-      core::CornerPolicy::kFieldValue, &frame);
+  const auto dt = [&] {
+    CPS_TIMER("bench.fig5.reconstruct");
+    return core::reconstruct_surface(
+        core::take_samples(frame, result.deployment.positions),
+        bench::kRegion, core::CornerPolicy::kFieldValue, &frame);
+  }();
   const field::AnalyticField rebuilt(
       [&dt](double x, double y) { return dt.interpolate({x, y}); });
   std::printf("(b) rebuilt virtual surface:\n%s\n",
               bench::render(rebuilt).c_str());
 
-  const double delta = metric.delta(frame, dt);
+  const double delta = [&] {
+    CPS_TIMER("bench.fig5.delta");
+    return metric.delta(frame, dt);
+  }();
   std::printf("delta = %.1f (mean abs error %.3f KLux per m^2)\n", delta,
               metric.mean_abs_error(delta));
   std::printf("paper expectation: general shape rebuilt, detail "

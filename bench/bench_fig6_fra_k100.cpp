@@ -14,6 +14,7 @@
 
 int main() {
   using namespace cps;
+  bench::ObsSession obs_session("fig6_fra_k100");
   bench::print_header("Fig. 6", "FRA rebuilt surface, k = 100, Rc = 10");
 
   const auto env = bench::canonical_field();

@@ -15,6 +15,7 @@
 
 int main() {
   using namespace cps;
+  bench::ObsSession obs_session("fig7_delta_vs_k");
   bench::print_header("Fig. 7", "delta vs k (1..200), FRA vs random");
 
   const auto env = bench::canonical_field();

@@ -41,6 +41,7 @@ void show_snapshot(const char* figure, const cps::core::CmaSimulation& sim,
 
 int main() {
   using namespace cps;
+  bench::ObsSession obs_session("fig8_9_cma_snapshots");
   bench::print_header("Figs. 8-9", "CMA snapshots, 100 mobile nodes");
 
   const auto env = bench::canonical_field();

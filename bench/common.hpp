@@ -9,13 +9,16 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <string>
 
 #include "core/delta.hpp"
 #include "core/planner.hpp"
 #include "field/field.hpp"
 #include "numerics/quadrature.hpp"
+#include "obs/obs.hpp"
 #include "trace/greenorbs.hpp"
 #include "viz/ascii.hpp"
 
@@ -53,6 +56,71 @@ inline std::string output_dir() {
                       ec.message().c_str());
   return dir;
 }
+
+/// Arms the obs layer for one bench run and writes its artefacts on exit:
+///
+///  * `<output_dir>/<name>_metrics.json` — the full metrics registry
+///    (per-phase wall-time histograms from the CPS_TIMER scopes, plus the
+///    FRA/CMA/geometry/net counters), always written.
+///  * the file named by env CPS_TRACE_OUT (Chrome trace JSON; open in
+///    chrome://tracing or https://ui.perfetto.dev), only when the variable
+///    is set.  CPS_TRACE_JSONL names an optional JSONL sidecar stream.
+///
+/// Construct it first thing in main() so every instrumented phase lands in
+/// the sidecar.  Under CPS_OBS=OFF builds the sidecar still appears but
+/// carries only whatever non-macro instrumentation ran (typically empty
+/// sections) — the bench itself is then measurement-free by construction.
+class ObsSession {
+ public:
+  explicit ObsSession(std::string name) : name_(std::move(name)) {
+    obs::set_enabled(true);
+    obs::registry().reset();
+    obs::trace().clear();
+  }
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  ~ObsSession() { finish(); }
+
+  /// Idempotent; called by the destructor.
+  void finish() {
+    if (finished_) return;
+    finished_ = true;
+    const std::string metrics_path =
+        output_dir() + "/" + name_ + "_metrics.json";
+    std::ofstream metrics(metrics_path);
+    if (metrics) {
+      obs::registry().write_json(metrics);
+      std::printf("metrics sidecar: %s\n", metrics_path.c_str());
+    } else {
+      std::printf("note: cannot write %s\n", metrics_path.c_str());
+    }
+    write_trace_if_requested("CPS_TRACE_OUT", /*jsonl=*/false);
+    write_trace_if_requested("CPS_TRACE_JSONL", /*jsonl=*/true);
+  }
+
+ private:
+  void write_trace_if_requested(const char* env, bool jsonl) {
+    const char* path = std::getenv(env);
+    if (path == nullptr || *path == '\0') return;
+    std::ofstream out(path);
+    if (!out) {
+      std::printf("note: cannot write %s\n", path);
+      return;
+    }
+    if (jsonl) {
+      obs::trace().write_jsonl(out);
+    } else {
+      obs::trace().write_chrome_json(out);
+    }
+    std::printf("trace (%s): %s\n", jsonl ? "jsonl" : "chrome://tracing",
+                path);
+  }
+
+  std::string name_;
+  bool finished_ = false;
+};
 
 inline void print_header(const char* figure, const char* description) {
   std::printf("==============================================================\n");

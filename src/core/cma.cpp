@@ -7,6 +7,7 @@
 #include "core/curvature.hpp"
 #include "core/reconstruction.hpp"
 #include "graph/geometric_graph.hpp"
+#include "obs/obs.hpp"
 
 namespace cps::core {
 
@@ -46,6 +47,8 @@ void CmaSimulation::clamp_to_region(geo::Vec2& p) const noexcept {
 }
 
 void CmaSimulation::step() {
+  CPS_TIMER("core.cma.step_total");
+  CPS_COUNT("core.cma.steps", 1);
   const std::size_t n = positions_.size();
   const field::FieldSlice now(*environment_, time_);
 
@@ -53,15 +56,19 @@ void CmaSimulation::step() {
   std::vector<double> gaussian_abs(n, 0.0);
   std::vector<double> mean_abs(n, 0.0);
   std::vector<std::optional<PeakInfo>> peaks(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const SensingPatch patch(now, positions_[i], config_.rs,
-                             config_.sample_spacing);
-    gaussian_abs[i] = std::abs(patch.gaussian());
-    mean_abs[i] = patch.mean_abs_gaussian();
-    if (const auto peak = patch.peak_curvature()) {
-      geo::Vec2 pos = peak->position;
-      clamp_to_region(pos);  // Never steer a node through the fence.
-      peaks[i] = PeakInfo{pos, peak->gaussian_abs};
+  {
+    CPS_TIMER("core.cma.sense");
+    for (std::size_t i = 0; i < n; ++i) {
+      const SensingPatch patch(now, positions_[i], config_.rs,
+                               config_.sample_spacing);
+      gaussian_abs[i] = std::abs(patch.gaussian());
+      mean_abs[i] = patch.mean_abs_gaussian();
+      CPS_HIST("core.cma.fit_residual", patch.rms_residual());
+      if (const auto peak = patch.peak_curvature()) {
+        geo::Vec2 pos = peak->position;
+        clamp_to_region(pos);  // Never steer a node through the fence.
+        peaks[i] = PeakInfo{pos, peak->gaussian_abs};
+      }
     }
   }
 
@@ -80,20 +87,23 @@ void CmaSimulation::step() {
   }
 
   // --- 2. Beacon round (Table 2 lines 4-5). ---
-  for (std::size_t i = 0; i < n; ++i) {
-    Message beacon;
-    beacon.kind = Message::Kind::kBeacon;
-    beacon.position = positions_[i];
-    beacon.gaussian_abs = gaussian_abs[i];
-    bus_.broadcast(i, std::move(beacon));
-  }
-  bus_.step();
   std::vector<std::vector<NeighborInfo>> tables(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (const auto& delivery : bus_.inbox(i)) {
-      if (delivery.message.kind != Message::Kind::kBeacon) continue;
-      tables[i].push_back(NeighborInfo{delivery.message.position,
-                                       delivery.message.gaussian_abs});
+  {
+    CPS_TIMER("core.cma.beacon_round");
+    for (std::size_t i = 0; i < n; ++i) {
+      Message beacon;
+      beacon.kind = Message::Kind::kBeacon;
+      beacon.position = positions_[i];
+      beacon.gaussian_abs = gaussian_abs[i];
+      bus_.broadcast(i, std::move(beacon));
+    }
+    bus_.step();
+    for (std::size_t i = 0; i < n; ++i) {
+      for (const auto& delivery : bus_.inbox(i)) {
+        if (delivery.message.kind != Message::Kind::kBeacon) continue;
+        tables[i].push_back(NeighborInfo{delivery.message.position,
+                                         delivery.message.gaussian_abs});
+      }
     }
   }
 
@@ -105,18 +115,25 @@ void CmaSimulation::step() {
   force_config.attraction_gain = config_.attraction_gain;
   force_config.repulsion_equilibrium = config_.repulsion_equilibrium;
   std::vector<geo::Vec2> destination = positions_;
-  for (std::size_t i = 0; i < n; ++i) {
-    const ForceBreakdown forces = compute_forces(
-        positions_[i], peaks[i], tables[i], mean_abs[i], force_config);
-    last_forces_[i] = forces;
-    const double magnitude = forces.fs.norm();
-    if (magnitude <= config_.force_tolerance) continue;  // stop(ni).
-    // Table 2 line 16 points the destination Rs along Fs; the gain maps
-    // force units to metres and the sensing radius caps the ambition.
-    const double reach =
-        std::min(config_.rs, magnitude * config_.force_gain);
-    destination[i] = positions_[i] + forces.fs.normalized() * reach;
-    clamp_to_region(destination[i]);
+  {
+    CPS_TIMER("core.cma.forces");
+    for (std::size_t i = 0; i < n; ++i) {
+      const ForceBreakdown forces = compute_forces(
+          positions_[i], peaks[i], tables[i], mean_abs[i], force_config);
+      last_forces_[i] = forces;
+      CPS_HIST("core.cma.force_f1", forces.f1.norm());
+      CPS_HIST("core.cma.force_f2", forces.f2.norm());
+      CPS_HIST("core.cma.force_fr", forces.fr.norm());
+      CPS_HIST("core.cma.force_fs", forces.fs.norm());
+      const double magnitude = forces.fs.norm();
+      if (magnitude <= config_.force_tolerance) continue;  // stop(ni).
+      // Table 2 line 16 points the destination Rs along Fs; the gain maps
+      // force units to metres and the sensing radius caps the ambition.
+      const double reach =
+          std::min(config_.rs, magnitude * config_.force_gain);
+      destination[i] = positions_[i] + forces.fs.normalized() * reach;
+      clamp_to_region(destination[i]);
+    }
   }
 
   // --- 4. tell round + LCM (Table 2 lines 17-21, Fig. 4). ---
@@ -127,19 +144,22 @@ void CmaSimulation::step() {
   const double told_step =
       config_.velocity * config_.dt *
       (config_.lcm == LcmMode::kStrict ? config_.speed_fraction : 1.0);
-  for (std::size_t i = 0; i < n; ++i) {
-    Message tell;
-    tell.kind = Message::Kind::kTell;
-    tell.position = positions_[i];
-    const geo::Vec2 leg = destination[i] - positions_[i];
-    const double len = leg.norm();
-    tell.destination = len <= told_step
-                           ? destination[i]
-                           : positions_[i] + leg * (told_step / len);
-    tell.table = tables[i];
-    bus_.broadcast(i, std::move(tell));
+  {
+    CPS_TIMER("core.cma.tell_round");
+    for (std::size_t i = 0; i < n; ++i) {
+      Message tell;
+      tell.kind = Message::Kind::kTell;
+      tell.position = positions_[i];
+      const geo::Vec2 leg = destination[i] - positions_[i];
+      const double len = leg.norm();
+      tell.destination = len <= told_step
+                             ? destination[i]
+                             : positions_[i] + leg * (told_step / len);
+      tell.table = tables[i];
+      bus_.broadcast(i, std::move(tell));
+    }
+    bus_.step();
   }
-  bus_.step();
 
   // The LCM variants (see LcmMode).  Strict mode trades speed for a
   // provable per-slot connectivity invariant; paper mode is the literal
@@ -150,28 +170,42 @@ void CmaSimulation::step() {
   std::vector<geo::Vec2> final_target = destination;
   last_chases_ = 0;
 
-  if (config_.lcm == LcmMode::kStrict) {
-    apply_strict_lcm(tables, destination, max_step, final_target);
-  } else if (config_.lcm == LcmMode::kPaper) {
-    apply_paper_lcm(destination, final_target);
+  {
+    CPS_TIMER("core.cma.lcm");
+    if (config_.lcm == LcmMode::kStrict) {
+      apply_strict_lcm(tables, destination, max_step, final_target);
+    } else if (config_.lcm == LcmMode::kPaper) {
+      apply_paper_lcm(destination, final_target);
+    }
   }
 
   // --- 5. Move toward the resolved targets, capped by the speed limit. ---
   last_max_move_ = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const geo::Vec2 leg = final_target[i] - positions_[i];
-    const double len = leg.norm();
-    geo::Vec2 next = len <= max_step
-                         ? final_target[i]
-                         : positions_[i] + leg * (max_step / len);
-    clamp_to_region(next);
-    const double moved = geo::distance(positions_[i], next);
-    last_max_move_ = std::max(last_max_move_, moved);
-    distance_traveled_[i] += moved;
-    total_distance_ += moved;
-    positions_[i] = next;
-    bus_.set_position(i, positions_[i]);
+  {
+    CPS_TIMER("core.cma.move");
+    for (std::size_t i = 0; i < n; ++i) {
+      const geo::Vec2 leg = final_target[i] - positions_[i];
+      const double len = leg.norm();
+      geo::Vec2 next = len <= max_step
+                           ? final_target[i]
+                           : positions_[i] + leg * (max_step / len);
+      clamp_to_region(next);
+      const double moved = geo::distance(positions_[i], next);
+      last_max_move_ = std::max(last_max_move_, moved);
+      distance_traveled_[i] += moved;
+      total_distance_ += moved;
+      positions_[i] = next;
+      bus_.set_position(i, positions_[i]);
+    }
   }
+
+  // Per-round trajectory (the Figs. 8-10 quantities): LCM interventions,
+  // the largest single move, and the cumulative energy proxy.
+  CPS_COUNT("core.cma.lcm_chases", last_chases_);
+  CPS_HIST("core.cma.max_move", last_max_move_);
+  CPS_GAUGE("core.cma.total_distance", total_distance_);
+  CPS_TRACE_COUNTER("core.cma.lcm_chases", last_chases_);
+  CPS_TRACE_COUNTER("core.cma.max_move", last_max_move_);
 
   time_ += config_.dt;
   ++steps_run_;

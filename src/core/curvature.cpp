@@ -56,6 +56,12 @@ SensingPatch::SensingPatch(const field::Field& f, geo::Vec2 center,
                                     s.z - z_center});
   }
   fit_ = num::fit_quadric(qs);
+  double sq_sum = 0.0;
+  for (const auto& s : qs) {
+    const double r = s.dz - fit_.evaluate(s.dx, s.dy);
+    sq_sum += r * r;
+  }
+  rms_residual_ = std::sqrt(sq_sum / static_cast<double>(qs.size()));
 
   // Finite-difference Gaussian curvature on interior lattice points.  For a
   // graph surface z(x, y), G's numerator is zxx * zyy - zxy^2; the paper's

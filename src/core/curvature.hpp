@@ -61,6 +61,11 @@ class SensingPatch {
   /// core/forces.hpp).
   double mean_abs_gaussian() const noexcept { return mean_abs_gaussian_; }
 
+  /// RMS residual of the quadric fit over the sensed samples — how well
+  /// the local surface actually is a quadric.  Large residuals mean the
+  /// curvature estimate (and the forces derived from it) is extrapolating.
+  double rms_residual() const noexcept { return rms_residual_; }
+
  private:
   geo::Vec2 center_;
   double radius_;
@@ -69,6 +74,7 @@ class SensingPatch {
   num::QuadricFit fit_;
   std::optional<Peak> peak_;
   double mean_abs_gaussian_ = 0.0;
+  double rms_residual_ = 0.0;
 };
 
 /// Region-level curvature queries against a known field — the centralised

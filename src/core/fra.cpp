@@ -9,6 +9,7 @@
 #include "geometry/delaunay.hpp"
 #include "graph/relay.hpp"
 #include "numerics/rng.hpp"
+#include "obs/obs.hpp"
 
 namespace cps::core {
 namespace {
@@ -52,6 +53,7 @@ FraResult FraPlanner::plan_detailed(const field::Field& reference,
   FraResult result;
   if (request.k == 0) return result;
 
+  CPS_TIMER("core.fra.plan_total");
   const num::Rect& region = request.region;
   geo::Delaunay dt(region);
   for (int c = 0; c < geo::Delaunay::kCorners; ++c) {
@@ -65,18 +67,22 @@ FraResult FraPlanner::plan_detailed(const field::Field& reference,
   candidates.reserve(n * n);
   const double dx = region.width() / static_cast<double>(n - 1);
   const double dy = region.height() / static_cast<double>(n - 1);
-  for (std::size_t j = 0; j < n; ++j) {
-    for (std::size_t i = 0; i < n; ++i) {
-      Candidate c;
-      c.pos = {region.x0 + static_cast<double>(i) * dx,
-               region.y0 + static_cast<double>(j) * dy};
-      c.f_value = reference.value(c.pos);
-      candidates.push_back(c);
+  {
+    CPS_TIMER("core.fra.sense_lattice");
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t i = 0; i < n; ++i) {
+        Candidate c;
+        c.pos = {region.x0 + static_cast<double>(i) * dx,
+                 region.y0 + static_cast<double>(j) * dy};
+        c.f_value = reference.value(c.pos);
+        candidates.push_back(c);
+      }
     }
   }
 
   if (config_.measure == SelectionMeasure::kCurvature ||
       config_.measure == SelectionMeasure::kProduct) {
+    CPS_TIMER("core.fra.curvature_pass");
     const CurvatureEstimator estimator(config_.curvature_radius);
     for (auto& c : candidates) {
       c.curvature = std::abs(estimator.gaussian_at(reference, c.pos));
@@ -87,11 +93,14 @@ FraResult FraPlanner::plan_detailed(const field::Field& reference,
   // insertion adds a bounded number of triangle slots.
   std::vector<std::vector<std::size_t>> buckets(dt.triangle_slots() +
                                                 6 * request.k + 16);
-  for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
-    auto& c = candidates[ci];
-    c.triangle = dt.locate(c.pos);
-    c.error = std::abs(c.f_value - interpolate_in(dt, c.triangle, c.pos));
-    buckets[static_cast<std::size_t>(c.triangle)].push_back(ci);
+  {
+    CPS_TIMER("core.fra.initial_bucketing");
+    for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
+      auto& c = candidates[ci];
+      c.triangle = dt.locate(c.pos);
+      c.error = std::abs(c.f_value - interpolate_in(dt, c.triangle, c.pos));
+      buckets[static_cast<std::size_t>(c.triangle)].push_back(ci);
+    }
   }
   // Lattice corners coincide with scaffolding vertices: error 0, but mark
   // them used so kRandom never wastes a node on them.
@@ -130,10 +139,13 @@ FraResult FraPlanner::plan_detailed(const field::Field& reference,
       result.steps.push_back(FraStep{p, 0.0, true});
       ++result.relay_count;
     }
+    CPS_COUNT("core.fra.relays_inserted", count);
     return count;
   };
 
+  CPS_TIMER("core.fra.refine_loop");
   while (selected.size() < request.k) {
+    CPS_COUNT("core.fra.iterations", 1);
     // Foresight (Table 1 lines 5-8): when the remaining budget is no more
     // than the relay count needed for connectivity, spend it on relays.
     // On top of the paper's trigger, candidate selection below only
@@ -146,6 +158,8 @@ FraResult FraPlanner::plan_detailed(const field::Field& reference,
       const std::size_t remaining = request.k - selected.size();
       const graph::RelayPlan plan = graph::plan_relays(selected, request.rc);
       if (plan.count >= remaining) {
+        CPS_COUNT("core.fra.foresight_triggers", 1);
+        CPS_TRACE_INSTANT("core.fra.foresight_trigger");
         place_relays(remaining);
         break;
       }
@@ -216,6 +230,12 @@ FraResult FraPlanner::plan_detailed(const field::Field& reference,
             : 0.0;
     selected.push_back(chosen.pos);
     result.steps.push_back(FraStep{chosen.pos, score, false});
+    // Per-iteration trajectory the paper's Figs. 5-7 discussion is about:
+    // the refinement error at the point just judged worst, and how the
+    // triangulation grows around it.
+    CPS_HIST("core.fra.selected_score", score);
+    CPS_TRACE_COUNTER("core.fra.max_local_error", chosen.error);
+    CPS_TRACE_COUNTER("core.fra.triangle_count", dt.triangle_count());
 
     const geo::InsertResult ins = dt.insert(chosen.pos, chosen.f_value);
     if (!ins.inserted) continue;  // Coincided with a vertex; z updated.
@@ -248,8 +268,11 @@ FraResult FraPlanner::plan_detailed(const field::Field& reference,
       c.error = std::abs(c.f_value - interpolate_in(dt, c.triangle, c.pos));
       buckets[static_cast<std::size_t>(c.triangle)].push_back(ci);
     }
+    CPS_COUNT("core.fra.candidates_rebucketed", displaced.size());
   }
 
+  CPS_GAUGE("core.fra.triangle_count", dt.triangle_count());
+  CPS_GAUGE("core.fra.vertex_count", dt.vertex_count());
   result.deployment.positions = std::move(selected);
   return result;
 }

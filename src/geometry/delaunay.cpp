@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "geometry/predicates.hpp"
+#include "obs/obs.hpp"
 
 namespace cps::geo {
 namespace {
@@ -81,10 +82,12 @@ void Delaunay::set_vertex_z(int id, double z) {
 int Delaunay::walk_from(int start, Vec2 p) const {
   int current = start;
   int previous = -1;
+  CPS_COUNT("geometry.delaunay.locates", 1);
   // A straight walk over a Delaunay triangulation of a convex region
   // terminates; the step cap only guards against degenerate adjacency bugs.
   const std::size_t max_steps = 4 * triangles_.size() + 16;
   for (std::size_t step = 0; step < max_steps; ++step) {
+    CPS_COUNT("geometry.delaunay.walk_steps", 1);
     const auto& t = triangles_[static_cast<std::size_t>(current)];
     int next = -1;
     bool inside = true;
@@ -158,6 +161,7 @@ bool Delaunay::in_cavity(int tri, Vec2 p) const {
     return cavity_state_[static_cast<std::size_t>(tri)] == 1;
   }
   const auto& t = triangles_[static_cast<std::size_t>(tri)];
+  CPS_COUNT("geometry.delaunay.incircle_calls", 1);
   const bool in =
       incircle(vertices_[static_cast<std::size_t>(t.v[0])].pos,
                vertices_[static_cast<std::size_t>(t.v[1])].pos,
@@ -287,6 +291,13 @@ InsertResult Delaunay::insert(Vec2 p, double z, double duplicate_tol) {
   }
 
   for (const int tid : cavity) free_triangle(tid);
+
+  // Bowyer-Watson re-triangulates cavities instead of flipping edges; the
+  // cavity size is the flip-count equivalent (a cavity of c triangles
+  // replaced by a fan of c + 2 corresponds to c - 1 Lawson flips).
+  CPS_COUNT("geometry.delaunay.inserts", 1);
+  CPS_COUNT("geometry.delaunay.cavity_triangles", cavity.size());
+  CPS_COUNT("geometry.delaunay.created_triangles", created.size());
 
   locate_hint_ = created.empty() ? locate_hint_ : created.front();
   result.vertex = new_vertex;

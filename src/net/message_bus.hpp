@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "net/radio.hpp"
+#include "obs/obs.hpp"
 
 namespace cps::net {
 
@@ -50,6 +51,7 @@ class MessageBus {
       throw std::out_of_range("MessageBus::broadcast");
     }
     ++total_broadcasts_;
+    CPS_COUNT("net.bus.messages_sent", 1);
     outbox_.push_back(Pending{from, positions_[from], std::move(message)});
   }
 
@@ -64,7 +66,14 @@ class MessageBus {
       for (NodeId to = 0; to < positions_.size(); ++to) {
         if (to == pending.from) continue;
         if (radio_.transmit(pending.sent_from, positions_[to])) {
+          CPS_COUNT("net.bus.deliveries", 1);
           inboxes_[to].push_back(Delivery<M>{pending.from, pending.message});
+        } else {
+          // A failed transmission to an in-range receiver is a radio loss;
+          // out-of-range receivers are not delivery failures.
+          CPS_COUNT("net.bus.delivery_failures",
+                    radio_.in_range(pending.sent_from, positions_[to]) ? 1
+                                                                       : 0);
         }
       }
     }

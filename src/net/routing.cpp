@@ -4,6 +4,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace cps::net {
 
 CollectionTree::CollectionTree(const graph::GeometricGraph& g,
@@ -42,8 +44,11 @@ CollectionTree::CollectionTree(const graph::GeometricGraph& g,
     } else {
       depth_ = std::max(depth_, hops_[i]);
       total_hops_ += hops_[i];
+      if (i != sink) CPS_HIST("net.routing.hops", hops_[i]);
     }
   }
+  CPS_COUNT("net.routing.trees_built", 1);
+  CPS_COUNT("net.routing.unreachable_nodes", unreachable_);
 
   // Accumulate subtree sizes bottom-up (reverse BFS order).
   for (auto it = order.rbegin(); it != order.rend(); ++it) {

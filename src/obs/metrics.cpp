@@ -1,0 +1,285 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+
+namespace cps::obs {
+namespace {
+
+// Environment override applied once at load time, so benches run under
+// `CPS_OBS_ENABLE=1 ./bench_x` without touching the code.
+const bool g_env_applied = [] {
+  init_from_env();
+  return true;
+}();
+
+}  // namespace
+
+bool init_from_env() {
+  if (const char* e = std::getenv("CPS_OBS_ENABLE")) {
+    set_enabled(e[0] != '\0' && e[0] != '0');
+  }
+  return enabled();
+}
+
+// --- Histogram -----------------------------------------------------------
+
+std::size_t Histogram::bucket_index(double v) noexcept {
+  if (!(v > 0.0) || std::isinf(v)) {
+    // Non-positive, NaN -> underflow bucket; +inf -> overflow bucket.
+    return std::isinf(v) && v > 0.0 ? kBucketCount - 1 : 0;
+  }
+  int exp = 0;
+  const double mantissa = std::frexp(v, &exp);  // v = mantissa * 2^exp.
+  // v lies in (2^(exp-1), 2^exp) for mantissa in (0.5, 1); exactly 2^k has
+  // mantissa 0.5 and belongs to the bucket whose upper bound it is.
+  const int power = mantissa == 0.5 ? exp - 1 : exp;
+  const long idx = static_cast<long>(power) + kUnderflowExponent;
+  return static_cast<std::size_t>(
+      std::clamp<long>(idx, 0, static_cast<long>(kBucketCount) - 1));
+}
+
+double Histogram::bucket_upper_bound(std::size_t i) noexcept {
+  if (i >= kBucketCount - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::ldexp(1.0, static_cast<int>(i) - kUnderflowExponent);
+}
+
+void Histogram::observe(double v) noexcept {
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t n =
+      count_.fetch_add(1, std::memory_order_relaxed) + 1;
+  double s = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(s, s + v, std::memory_order_relaxed)) {
+  }
+  if (n == 1) {
+    min_.store(v, std::memory_order_relaxed);
+    max_.store(v, std::memory_order_relaxed);
+    return;
+  }
+  double lo = min_.load(std::memory_order_relaxed);
+  while (v < lo &&
+         !min_.compare_exchange_weak(lo, v, std::memory_order_relaxed)) {
+  }
+  double hi = max_.load(std::memory_order_relaxed);
+  while (v > hi &&
+         !max_.compare_exchange_weak(hi, v, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::quantile(double q) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(n);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    seen += bucket(i);
+    if (static_cast<double>(seen) >= rank) {
+      // Clamp the estimate into the observed range so tiny samples do not
+      // report a bucket bound far beyond any real observation.
+      return std::min(std::max(bucket_upper_bound(i), min()), max());
+    }
+  }
+  return max();
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+// --- Registry ------------------------------------------------------------
+
+namespace {
+
+struct MetricSlot {
+  MetricKind kind;
+  // unique_ptr keeps addresses stable across map rehash/rebalance.
+  std::unique_ptr<Counter> counter;
+  std::unique_ptr<Gauge> gauge;
+  std::unique_ptr<Histogram> histogram;
+};
+
+void write_json_escaped(std::ostream& out, std::string_view s) {
+  // Metric names are validated to a JSON-safe charset; escape defensively
+  // anyway so a future relaxation cannot corrupt the sidecar.
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+}
+
+}  // namespace
+
+struct Registry::Impl {
+  mutable std::mutex mutex;
+  // Ordered map: snapshot/JSON output is deterministic without a sort.
+  std::map<std::string, MetricSlot, std::less<>> metrics;
+
+  MetricSlot& slot(std::string_view name, MetricKind kind) {
+    if (!valid_name(name)) {
+      throw std::invalid_argument(
+          "obs: metric name must be non-empty [a-z0-9_.] in "
+          "layer.component.metric form: '" +
+          std::string(name) + "'");
+    }
+    std::lock_guard lock(mutex);
+    auto it = metrics.find(name);
+    if (it == metrics.end()) {
+      MetricSlot fresh;
+      fresh.kind = kind;
+      switch (kind) {
+        case MetricKind::kCounter:
+          fresh.counter = std::make_unique<Counter>();
+          break;
+        case MetricKind::kGauge:
+          fresh.gauge = std::make_unique<Gauge>();
+          break;
+        case MetricKind::kHistogram:
+          fresh.histogram = std::make_unique<Histogram>();
+          break;
+      }
+      it = metrics.emplace(std::string(name), std::move(fresh)).first;
+    } else if (it->second.kind != kind) {
+      throw std::invalid_argument("obs: metric '" + std::string(name) +
+                                  "' already registered with another kind");
+    }
+    return it->second;
+  }
+};
+
+Registry::Registry() : impl_(new Impl) {}
+Registry::~Registry() { delete impl_; }
+
+Registry& Registry::instance() {
+  static Registry r;
+  return r;
+}
+
+bool Registry::valid_name(std::string_view name) noexcept {
+  if (name.empty() || name.front() == '.' || name.back() == '.') return false;
+  bool has_dot = false;
+  char prev = '\0';
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '_' || c == '.';
+    if (!ok) return false;
+    if (c == '.') {
+      if (prev == '.') return false;
+      has_dot = true;
+    }
+    prev = c;
+  }
+  return has_dot;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  return *impl_->slot(name, MetricKind::kCounter).counter;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  return *impl_->slot(name, MetricKind::kGauge).gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  return *impl_->slot(name, MetricKind::kHistogram).histogram;
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard lock(impl_->mutex);
+  return impl_->metrics.size();
+}
+
+void Registry::reset() {
+  std::lock_guard lock(impl_->mutex);
+  for (auto& [name, slot] : impl_->metrics) {
+    switch (slot.kind) {
+      case MetricKind::kCounter: slot.counter->reset(); break;
+      case MetricKind::kGauge: slot.gauge->reset(); break;
+      case MetricKind::kHistogram: slot.histogram->reset(); break;
+    }
+  }
+}
+
+void Registry::write_json(std::ostream& out) const {
+  std::lock_guard lock(impl_->mutex);
+  const auto section = [&](MetricKind kind, const char* label,
+                           bool trailing_comma) {
+    out << "  \"" << label << "\": {";
+    bool first = true;
+    for (const auto& [name, slot] : impl_->metrics) {
+      if (slot.kind != kind) continue;
+      if (!first) out << ',';
+      first = false;
+      out << "\n    \"";
+      write_json_escaped(out, name);
+      out << "\": ";
+      switch (kind) {
+        case MetricKind::kCounter:
+          out << slot.counter->value();
+          break;
+        case MetricKind::kGauge:
+          out << slot.gauge->value();
+          break;
+        case MetricKind::kHistogram: {
+          const Histogram& h = *slot.histogram;
+          out << "{\"count\": " << h.count() << ", \"sum\": " << h.sum()
+              << ", \"min\": " << h.min() << ", \"max\": " << h.max()
+              << ", \"mean\": " << h.mean()
+              << ", \"p50\": " << h.quantile(0.5)
+              << ", \"p90\": " << h.quantile(0.9)
+              << ", \"p99\": " << h.quantile(0.99) << ", \"buckets\": [";
+          bool first_bucket = true;
+          for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+            const std::uint64_t n = h.bucket(i);
+            if (n == 0) continue;
+            if (!first_bucket) out << ", ";
+            first_bucket = false;
+            const double ub = Histogram::bucket_upper_bound(i);
+            out << "[";
+            if (std::isinf(ub)) {
+              out << "\"inf\"";  // JSON has no Infinity literal.
+            } else {
+              out << ub;
+            }
+            out << ", " << n << "]";
+          }
+          out << "]}";
+          break;
+        }
+      }
+    }
+    out << (first ? "}" : "\n  }") << (trailing_comma ? "," : "") << "\n";
+  };
+  out << "{\n";
+  section(MetricKind::kCounter, "counters", true);
+  section(MetricKind::kGauge, "gauges", true);
+  section(MetricKind::kHistogram, "histograms", false);
+  out << "}\n";
+}
+
+Counter& counter(std::string_view name) {
+  return Registry::instance().counter(name);
+}
+
+Gauge& gauge(std::string_view name) {
+  return Registry::instance().gauge(name);
+}
+
+Histogram& histogram(std::string_view name) {
+  return Registry::instance().histogram(name);
+}
+
+}  // namespace cps::obs

@@ -1,0 +1,180 @@
+// Process-wide metrics registry: counters, gauges, histograms.
+//
+// The observability substrate the ROADMAP's perf PRs stand on — you cannot
+// speed up a hot path you cannot measure.  Design constraints:
+//
+//  * Named metrics, scheme "layer.component.metric" (lower-case,
+//    [a-z0-9_.]); the registry rejects anything else so dashboards and
+//    sidecar JSON stay greppable.
+//  * Registration is slow-path (mutex + map) and happens once per call
+//    site; the hot path is a relaxed atomic add behind the runtime enable
+//    flag.  The CPS_* macros in obs/obs.hpp cache the looked-up reference
+//    in a function-local static, so an instrumented loop pays one branch
+//    plus one atomic increment when enabled and one branch when not.
+//  * Metrics are never unregistered: references handed out stay valid for
+//    the process lifetime (reset() zeroes values, never frees).
+//  * Histograms use fixed log-scale (power-of-two) buckets so merging and
+//    percentile estimates need no per-histogram configuration.
+//
+// The registry compiles unconditionally — only the instrumentation macros
+// vanish under CPS_OBS=OFF — so tools (bench sidecars, tests) can always
+// link against it.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace cps::obs {
+
+// --- Runtime enable flag -------------------------------------------------
+
+namespace detail {
+inline std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+/// True when instrumentation should record.  Relaxed load: a torn-epoch
+/// metric around a toggle is acceptable, a fence in every hot path is not.
+inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+inline void set_enabled(bool on) noexcept {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+/// Reads CPS_OBS_ENABLE from the environment ("0"/empty = off, anything
+/// else = on) and applies it.  Returns the resulting flag.
+bool init_from_env();
+
+// --- Metric types --------------------------------------------------------
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins scalar.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Histogram over fixed log-scale buckets.
+///
+/// Bucket i spans (ub(i-1), ub(i)] with ub(i) = 2^(i - kUnderflowExponent);
+/// bucket 0 additionally absorbs everything <= 2^-kUnderflowExponent
+/// (including non-positive values) and the last bucket everything beyond
+/// 2^(kBucketCount - 1 - kUnderflowExponent), so observe() never loses a
+/// sample.  With 64 buckets anchored at 2^-20 the covered range is roughly
+/// 1e-6 .. 8.8e12 — microsecond timers up to ~100 days, metres, counts.
+class Histogram {
+ public:
+  static constexpr std::size_t kBucketCount = 64;
+  static constexpr int kUnderflowExponent = 20;
+
+  void observe(double v) noexcept;
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  double min() const noexcept { return min_.load(std::memory_order_relaxed); }
+  double max() const noexcept { return max_.load(std::memory_order_relaxed); }
+  double mean() const noexcept {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+  }
+  std::uint64_t bucket(std::size_t i) const {
+    return buckets_.at(i).load(std::memory_order_relaxed);
+  }
+
+  /// Index of the bucket observe(v) lands in.
+  static std::size_t bucket_index(double v) noexcept;
+
+  /// Inclusive upper bound of bucket i (+inf for the last bucket).
+  static double bucket_upper_bound(std::size_t i) noexcept;
+
+  /// Estimated q-quantile (q in [0, 1]) from the bucket upper bounds; 0
+  /// when empty.  Upper-bound biased, as bucketed estimates are.
+  double quantile(double q) const noexcept;
+
+  void reset() noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+// --- Registry ------------------------------------------------------------
+
+/// Process-wide name -> metric table.  Lookup is mutex-guarded; returned
+/// references are stable for the process lifetime.
+class Registry {
+ public:
+  /// The singleton instance (tests may construct standalone registries).
+  static Registry& instance();
+
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Finds or creates the named metric.  Throws std::invalid_argument when
+  /// the name violates the "layer.component.metric" scheme or is already
+  /// registered with a different kind.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  std::size_t size() const;
+
+  /// Zeroes every metric's value; registrations (and references) survive.
+  void reset();
+
+  /// Serialises all metrics as one JSON object, names sorted, shaped
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count,
+  /// sum, min, max, mean, p50, p90, p99, buckets: [[ub, n], ...]}}}.
+  void write_json(std::ostream& out) const;
+
+  /// True when `name` follows the naming scheme (non-empty, [a-z0-9_.],
+  /// no leading/trailing/doubled dots, at least one dot).
+  static bool valid_name(std::string_view name) noexcept;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Singleton shorthands — what the CPS_* macros expand to.
+inline Registry& registry() { return Registry::instance(); }
+Counter& counter(std::string_view name);
+Gauge& gauge(std::string_view name);
+Histogram& histogram(std::string_view name);
+
+}  // namespace cps::obs

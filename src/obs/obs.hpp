@@ -1,0 +1,91 @@
+// Instrumentation macros — the only obs API hot paths should touch.
+//
+// Two independent switches:
+//  * CPS_OBS (CMake option, default ON) defines CPS_OBS_ENABLED; with the
+//    option OFF every macro below compiles to nothing, so instrumented
+//    code is byte-identical to uninstrumented code.
+//  * obs::set_enabled(true) (or env CPS_OBS_ENABLE=1) arms recording at
+//    runtime; while disarmed each macro costs one relaxed atomic load and
+//    a predictable branch.
+//
+// Counter/gauge/histogram macros resolve the metric name once per call
+// site (function-local static reference into the registry), so steady
+// state is branch + atomic op.  Names must be string literals in
+// layer.component.metric form ("geometry.delaunay.incircle_calls").
+//
+// The registry/trace classes themselves (obs/metrics.hpp, obs/trace.hpp,
+// obs/timer.hpp) compile unconditionally; gate only the hot-path macros.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+#include "obs/trace.hpp"
+
+#if defined(CPS_OBS_ENABLED)
+
+#define CPS_OBS_CONCAT_IMPL(a, b) a##b
+#define CPS_OBS_CONCAT(a, b) CPS_OBS_CONCAT_IMPL(a, b)
+
+/// Times the enclosing scope into histogram `name` (µs) + a trace slice.
+#define CPS_TIMER(name) \
+  ::cps::obs::ScopedTimer CPS_OBS_CONCAT(cps_obs_timer_, __LINE__)(name)
+
+/// Adds `n` to counter `name`.  `n` is evaluated only when obs is armed.
+#define CPS_COUNT(name, n)                                              \
+  do {                                                                  \
+    if (::cps::obs::enabled()) {                                        \
+      static ::cps::obs::Counter& CPS_OBS_CONCAT(cps_obs_m_,            \
+                                                 __LINE__) =            \
+          ::cps::obs::counter(name);                                    \
+      CPS_OBS_CONCAT(cps_obs_m_, __LINE__)                              \
+          .add(static_cast<std::uint64_t>(n));                          \
+    }                                                                   \
+  } while (0)
+
+/// Sets gauge `name` to `v`.
+#define CPS_GAUGE(name, v)                                              \
+  do {                                                                  \
+    if (::cps::obs::enabled()) {                                        \
+      static ::cps::obs::Gauge& CPS_OBS_CONCAT(cps_obs_m_, __LINE__) =  \
+          ::cps::obs::gauge(name);                                      \
+      CPS_OBS_CONCAT(cps_obs_m_, __LINE__)                              \
+          .set(static_cast<double>(v));                                 \
+    }                                                                   \
+  } while (0)
+
+/// Observes `v` into histogram `name`.
+#define CPS_HIST(name, v)                                               \
+  do {                                                                  \
+    if (::cps::obs::enabled()) {                                        \
+      static ::cps::obs::Histogram& CPS_OBS_CONCAT(cps_obs_m_,          \
+                                                   __LINE__) =          \
+          ::cps::obs::histogram(name);                                  \
+      CPS_OBS_CONCAT(cps_obs_m_, __LINE__)                              \
+          .observe(static_cast<double>(v));                             \
+    }                                                                   \
+  } while (0)
+
+/// Emits a trace counter sample (a numeric timeline track in Perfetto).
+#define CPS_TRACE_COUNTER(name, v)                                      \
+  do {                                                                  \
+    if (::cps::obs::enabled()) {                                        \
+      ::cps::obs::trace().counter(name, static_cast<double>(v));        \
+    }                                                                   \
+  } while (0)
+
+/// Emits an instant trace marker.
+#define CPS_TRACE_INSTANT(name)                                         \
+  do {                                                                  \
+    if (::cps::obs::enabled()) ::cps::obs::trace().instant(name);       \
+  } while (0)
+
+#else  // !CPS_OBS_ENABLED — everything vanishes.
+
+#define CPS_TIMER(name) ((void)0)
+#define CPS_COUNT(name, n) ((void)0)
+#define CPS_GAUGE(name, v) ((void)0)
+#define CPS_HIST(name, v) ((void)0)
+#define CPS_TRACE_COUNTER(name, v) ((void)0)
+#define CPS_TRACE_INSTANT(name) ((void)0)
+
+#endif  // CPS_OBS_ENABLED

@@ -1,0 +1,42 @@
+// RAII scoped timers.
+//
+// A ScopedTimer measures the wall time of its enclosing scope and, on
+// exit, (a) observes the duration in microseconds into the histogram named
+// after it and (b) emits a Chrome 'X' (complete) trace event, so nested
+// timers render as nested slices on the trace timeline.  When
+// obs::enabled() is false at construction the timer records nothing and
+// costs one branch.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace cps::obs {
+
+class ScopedTimer {
+ public:
+  /// `name` must outlive the recorder (use a string literal); it is both
+  /// the histogram metric name and the trace slice label, so it must
+  /// follow the layer.component.metric scheme.
+  explicit ScopedTimer(const char* name) noexcept {
+    if (!enabled()) return;
+    name_ = name;
+    start_us_ = now_us();
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (name_ == nullptr) return;
+    const std::int64_t dur = now_us() - start_us_;
+    histogram(name_).observe(static_cast<double>(dur));
+    trace().complete(name_, start_us_, dur);
+  }
+
+ private:
+  const char* name_ = nullptr;  // nullptr = inactive (obs was off).
+  std::int64_t start_us_ = 0;
+};
+
+}  // namespace cps::obs

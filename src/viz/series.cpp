@@ -1,11 +1,20 @@
 #include "viz/series.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <iomanip>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
 namespace cps::viz {
+namespace {
+
+/// NaN placeholder for tabular output; libstdc++ would print "nan"/"-nan"
+/// which breaks column scanning and downstream CSV diffing.
+constexpr const char* kNanCell = "-";
+
+}  // namespace
 
 std::string format_table(std::span<const Series> columns, int precision) {
   if (columns.empty()) return "";
@@ -22,9 +31,13 @@ std::string format_table(std::span<const Series> columns, int precision) {
     widths[c] = columns[c].name.size();
     cells[c].reserve(n);
     for (const double v : columns[c].values) {
-      std::ostringstream ss;
-      ss << std::fixed << std::setprecision(precision) << v;
-      cells[c].push_back(ss.str());
+      if (std::isnan(v)) {
+        cells[c].push_back(kNanCell);
+      } else {
+        std::ostringstream ss;
+        ss << std::fixed << std::setprecision(precision) << v;
+        cells[c].push_back(ss.str());
+      }
       widths[c] = std::max(widths[c], cells[c].back().size());
     }
   }
@@ -48,14 +61,26 @@ std::string sparkline(std::span<const double> values) {
   static const char* kLevels[] = {"▁", "▂", "▃", "▄",
                                   "▅", "▆", "▇", "█"};
   if (values.empty()) return "";
-  const double lo = *std::min_element(values.begin(), values.end());
-  const double hi = *std::max_element(values.begin(), values.end());
+  // Scale on the finite values only; NaN (and the all-NaN series) must not
+  // poison the range — casting NaN to an index is undefined behaviour.
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const double v : values) {
+    if (std::isnan(v)) continue;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const bool any_finite = lo <= hi;
   const double span = hi > lo ? hi - lo : 1.0;
   std::string out;
   for (const double v : values) {
+    if (std::isnan(v) || !any_finite) {
+      out += "·";  // Placeholder glyph, same cell width as the blocks.
+      continue;
+    }
     const double norm = (v - lo) / span;
-    const auto idx =
-        std::min<std::size_t>(7, static_cast<std::size_t>(norm * 8.0));
+    const auto idx = std::min<std::size_t>(
+        7, static_cast<std::size_t>(std::max(norm, 0.0) * 8.0));
     out += kLevels[idx];
   }
   return out;
@@ -69,17 +94,25 @@ std::string summarize(const std::string& name,
     out << " (empty)";
     return out.str();
   }
-  double lo = values[0];
-  double hi = values[0];
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
   double sum = 0.0;
+  std::size_t finite = 0;
   for (const double v : values) {
+    if (std::isnan(v)) continue;
     lo = std::min(lo, v);
     hi = std::max(hi, v);
     sum += v;
+    ++finite;
+  }
+  if (finite == 0) {
+    out << " (all-nan) n=" << values.size();
+    return out.str();
   }
   out << std::setprecision(6) << " min=" << lo << " max=" << hi
-      << " mean=" << sum / static_cast<double>(values.size())
+      << " mean=" << sum / static_cast<double>(finite)
       << " n=" << values.size();
+  if (finite < values.size()) out << " nan=" << values.size() - finite;
   return out.str();
 }
 

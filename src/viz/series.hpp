@@ -16,13 +16,17 @@ struct Series {
 
 /// Formats columns as an aligned text table.  All series must have the same
 /// length (std::invalid_argument otherwise).  `precision` applies to every
-/// value.
+/// value.  An empty column list yields ""; NaN cells render as "-".
 std::string format_table(std::span<const Series> columns, int precision = 4);
 
-/// Unicode sparkline (8 levels) of a series; empty input yields "".
+/// Unicode sparkline (8 levels) of a series; empty input yields "".  NaN
+/// values render as "·" and are excluded from the scale (an all-NaN series
+/// is all placeholders).
 std::string sparkline(std::span<const double> values);
 
-/// "name: min=... max=... mean=..." one-line summary.
+/// "name: min=... max=... mean=..." one-line summary.  NaN values are
+/// skipped for the statistics and reported as a "nan=<count>" suffix;
+/// empty input yields "(empty)", all-NaN input "(all-nan)".
 std::string summarize(const std::string& name,
                       std::span<const double> values);
 

@@ -1,0 +1,313 @@
+// Tests for the observability layer (obs/*): registry semantics, histogram
+// bucketing, scoped-timer nesting, trace output well-formedness, and the
+// cost contract of the CPS_* macros while recording is disabled.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <new>
+#include <sstream>
+#include <string>
+
+#include "obs/obs.hpp"
+
+// --- Global allocation counter for the zero-allocation contract ----------
+//
+// Replacing global operator new/delete in the test binary lets us assert
+// that disabled instrumentation macros never touch the heap.
+
+namespace {
+std::atomic<std::size_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace cps::obs {
+namespace {
+
+/// Arms/disarms recording for one test and restores the previous state.
+class EnabledScope {
+ public:
+  explicit EnabledScope(bool on) : previous_(enabled()) { set_enabled(on); }
+  ~EnabledScope() { set_enabled(previous_); }
+
+ private:
+  bool previous_;
+};
+
+TEST(Registry, SameNameReturnsSameMetric) {
+  Counter& a = counter("test.registry.counter_identity");
+  Counter& b = counter("test.registry.counter_identity");
+  EXPECT_EQ(&a, &b);
+  Histogram& h1 = histogram("test.registry.hist_identity");
+  Histogram& h2 = histogram("test.registry.hist_identity");
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(Registry, KindMismatchThrows) {
+  counter("test.registry.kind_clash");
+  EXPECT_THROW(gauge("test.registry.kind_clash"), std::invalid_argument);
+  EXPECT_THROW(histogram("test.registry.kind_clash"), std::invalid_argument);
+}
+
+TEST(Registry, NameSchemeEnforced) {
+  EXPECT_TRUE(Registry::valid_name("layer.component.metric"));
+  EXPECT_TRUE(Registry::valid_name("core.fra.plan_total"));
+  EXPECT_FALSE(Registry::valid_name(""));
+  EXPECT_FALSE(Registry::valid_name("nodots"));
+  EXPECT_FALSE(Registry::valid_name(".leading.dot"));
+  EXPECT_FALSE(Registry::valid_name("trailing.dot."));
+  EXPECT_FALSE(Registry::valid_name("doubled..dot"));
+  EXPECT_FALSE(Registry::valid_name("Upper.Case"));
+  EXPECT_FALSE(Registry::valid_name("spa ce.metric"));
+  EXPECT_THROW(counter("BAD NAME"), std::invalid_argument);
+}
+
+TEST(Registry, ResetZeroesButKeepsRegistrations) {
+  Counter& c = counter("test.registry.reset_counter");
+  c.add(5);
+  Gauge& g = gauge("test.registry.reset_gauge");
+  g.set(2.5);
+  registry().reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0.0);
+  // The same reference is still live and usable.
+  c.add(1);
+  EXPECT_EQ(counter("test.registry.reset_counter").value(), 1u);
+}
+
+TEST(Registry, JsonSnapshotContainsMetrics) {
+  counter("test.json.some_counter").add(7);
+  gauge("test.json.some_gauge").set(1.5);
+  histogram("test.json.some_hist").observe(3.0);
+  std::ostringstream out;
+  registry().write_json(out);
+  const std::string s = out.str();
+  EXPECT_EQ(s.front(), '{');
+  EXPECT_NE(s.find("\"counters\""), std::string::npos);
+  EXPECT_NE(s.find("\"test.json.some_counter\": 7"), std::string::npos);
+  EXPECT_NE(s.find("\"test.json.some_gauge\": 1.5"), std::string::npos);
+  EXPECT_NE(s.find("\"test.json.some_hist\""), std::string::npos);
+  // Balanced braces/brackets — the cheap well-formedness invariant.
+  long braces = 0;
+  long brackets = 0;
+  for (const char ch : s) {
+    braces += ch == '{' ? 1 : ch == '}' ? -1 : 0;
+    brackets += ch == '[' ? 1 : ch == ']' ? -1 : 0;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(Histogram, BucketBoundaries) {
+  // ub(i) = 2^(i - 20); bucket i spans (ub(i-1), ub(i)].
+  EXPECT_EQ(Histogram::bucket_upper_bound(20), 1.0);
+  EXPECT_EQ(Histogram::bucket_upper_bound(21), 2.0);
+  EXPECT_EQ(Histogram::bucket_upper_bound(19), 0.5);
+  EXPECT_TRUE(std::isinf(
+      Histogram::bucket_upper_bound(Histogram::kBucketCount - 1)));
+
+  // Exact powers of two land in the bucket they bound.
+  EXPECT_EQ(Histogram::bucket_index(1.0), 20u);
+  EXPECT_EQ(Histogram::bucket_index(2.0), 21u);
+  EXPECT_EQ(Histogram::bucket_index(0.5), 19u);
+  // Just above a bound rolls into the next bucket.
+  EXPECT_EQ(Histogram::bucket_index(1.0000001), 21u);
+  EXPECT_EQ(Histogram::bucket_index(1.5), 21u);
+  // Underflow and pathological inputs collapse into bucket 0.
+  EXPECT_EQ(Histogram::bucket_index(0.0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(-3.0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(std::ldexp(1.0, -30)), 0u);
+  EXPECT_EQ(Histogram::bucket_index(
+                std::numeric_limits<double>::quiet_NaN()),
+            0u);
+  // Overflow saturates into the last bucket.
+  EXPECT_EQ(Histogram::bucket_index(std::ldexp(1.0, 60)),
+            Histogram::kBucketCount - 1);
+  EXPECT_EQ(Histogram::bucket_index(
+                std::numeric_limits<double>::infinity()),
+            Histogram::kBucketCount - 1);
+
+  // Every bucket index is consistent with its bounds.
+  for (std::size_t i = 1; i + 1 < Histogram::kBucketCount; ++i) {
+    const double ub = Histogram::bucket_upper_bound(i);
+    EXPECT_EQ(Histogram::bucket_index(ub), i) << "at bucket " << i;
+    EXPECT_EQ(Histogram::bucket_index(ub * 1.0000001), i + 1)
+        << "above bucket " << i;
+  }
+}
+
+TEST(Histogram, StatsAndQuantiles) {
+  Histogram h;
+  EXPECT_EQ(h.quantile(0.5), 0.0);  // Empty.
+  h.observe(1.0);
+  h.observe(2.0);
+  h.observe(4.0);
+  h.observe(1000.0);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 1007.0);
+  EXPECT_EQ(h.min(), 1.0);
+  EXPECT_EQ(h.max(), 1000.0);
+  EXPECT_EQ(h.mean(), 1007.0 / 4.0);
+  EXPECT_LE(h.quantile(0.5), 4.0);
+  EXPECT_GE(h.quantile(0.5), 1.0);
+  EXPECT_EQ(h.quantile(1.0), 1000.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+}
+
+TEST(Timer, RecordsHistogramAndNestedTraceSlices) {
+  EnabledScope armed(true);
+  trace().clear();
+  Histogram& outer = histogram("test.timer.outer");
+  Histogram& inner = histogram("test.timer.inner");
+  outer.reset();
+  inner.reset();
+  {
+    ScopedTimer t_outer("test.timer.outer");
+    {
+      ScopedTimer t_inner("test.timer.inner");
+    }
+  }
+  EXPECT_EQ(outer.count(), 1u);
+  EXPECT_EQ(inner.count(), 1u);
+
+  const auto events = trace().snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Scope exit order: inner closes (and records) first.
+  const TraceEvent& ev_inner = events[0];
+  const TraceEvent& ev_outer = events[1];
+  EXPECT_STREQ(ev_inner.name, "test.timer.inner");
+  EXPECT_STREQ(ev_outer.name, "test.timer.outer");
+  EXPECT_EQ(ev_inner.phase, 'X');
+  EXPECT_EQ(ev_outer.phase, 'X');
+  // The inner slice nests inside the outer slice on the timeline.
+  EXPECT_GE(ev_inner.ts_us, ev_outer.ts_us);
+  EXPECT_LE(ev_inner.ts_us + ev_inner.dur_us,
+            ev_outer.ts_us + ev_outer.dur_us);
+}
+
+TEST(Trace, ChromeJsonAndJsonlWellFormed) {
+  EnabledScope armed(true);
+  trace().clear();
+  trace().counter("test.trace.some_counter", 42.0);
+  trace().instant("test.trace.some_marker");
+  {
+    ScopedTimer t("test.trace.some_slice");
+  }
+
+  std::ostringstream chrome;
+  trace().write_chrome_json(chrome);
+  const std::string cj = chrome.str();
+  EXPECT_EQ(cj.rfind("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [", 0),
+            0u);
+  EXPECT_NE(cj.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(cj.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(cj.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(cj.find("\"args\": {\"value\": 42}"), std::string::npos);
+  long braces = 0;
+  long brackets = 0;
+  for (const char ch : cj) {
+    braces += ch == '{' ? 1 : ch == '}' ? -1 : 0;
+    brackets += ch == '[' ? 1 : ch == ']' ? -1 : 0;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+
+  std::ostringstream jsonl;
+  trace().write_jsonl(jsonl);
+  std::istringstream lines(jsonl.str());
+  std::string line;
+  std::size_t line_count = 0;
+  while (std::getline(lines, line)) {
+    ++line_count;
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+  EXPECT_EQ(line_count, 3u);
+  trace().clear();
+}
+
+TEST(Trace, CapacityCapDropsAndCounts) {
+  EnabledScope armed(true);
+  trace().clear();
+  trace().set_capacity(8);
+  for (int i = 0; i < 100; ++i) trace().instant("test.trace.flood");
+  trace().flush_current_thread();
+  EXPECT_EQ(trace().snapshot().size(), 8u);
+  EXPECT_EQ(trace().dropped(), 92u);
+  trace().set_capacity(1u << 20);
+  trace().clear();
+}
+
+TEST(Macros, DisabledRecordsNothing) {
+  EnabledScope disarmed(false);
+  Counter& c = counter("test.macros.untouched");
+  c.reset();
+  CPS_COUNT("test.macros.untouched", 3);
+  CPS_TRACE_COUNTER("test.macros.trace_untouched", 1.0);
+  CPS_TRACE_INSTANT("test.macros.marker_untouched");
+  {
+    CPS_TIMER("test.macros.timer_untouched");
+  }
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Macros, ZeroAllocationWhileDisabled) {
+  EnabledScope disarmed(false);
+  const std::size_t before = g_alloc_count.load();
+  for (int i = 0; i < 10000; ++i) {
+    CPS_COUNT("test.alloc.counter", 1);
+    CPS_GAUGE("test.alloc.gauge", 1.5);
+    CPS_HIST("test.alloc.hist", 2.5);
+    CPS_TRACE_COUNTER("test.alloc.trace", 3.5);
+    CPS_TRACE_INSTANT("test.alloc.marker");
+    CPS_TIMER("test.alloc.timer");
+  }
+  EXPECT_EQ(g_alloc_count.load(), before);
+}
+
+TEST(Macros, EnabledRecords) {
+#if defined(CPS_OBS_ENABLED)
+  EnabledScope armed(true);
+  Counter& c = counter("test.macros.armed_counter");
+  c.reset();
+  CPS_COUNT("test.macros.armed_counter", 2);
+  CPS_COUNT("test.macros.armed_counter", 3);
+  EXPECT_EQ(c.value(), 5u);
+  Histogram& h = histogram("test.macros.armed_hist");
+  h.reset();
+  CPS_HIST("test.macros.armed_hist", 1.25);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.sum(), 1.25);
+#else
+  // Compiled out: the macros must not record even while armed.
+  EnabledScope armed(true);
+  Counter& c = counter("test.macros.armed_counter");
+  c.reset();
+  CPS_COUNT("test.macros.armed_counter", 2);
+  EXPECT_EQ(c.value(), 0u);
+#endif
+}
+
+}  // namespace
+}  // namespace cps::obs

@@ -1,6 +1,7 @@
 // Tests for rendering and exporters (viz/*).
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 #include "field/analytic_fields.hpp"
@@ -181,6 +182,39 @@ TEST(Series, FormatTableValidation) {
   const std::vector<Series> ragged{{"a", {1.0}}, {"b", {1.0, 2.0}}};
   EXPECT_THROW(format_table(ragged), std::invalid_argument);
   EXPECT_EQ(format_table({}), "");
+}
+
+TEST(Series, FormatTableNanRendersPlaceholder) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<Series> cols{{"delta", {1.0, nan, 3.0}}};
+  const std::string out = format_table(cols, 2);
+  EXPECT_EQ(out.find("nan"), std::string::npos);
+  EXPECT_NE(out.find('-'), std::string::npos);
+  EXPECT_NE(out.find("1.00"), std::string::npos);
+  EXPECT_NE(out.find("3.00"), std::string::npos);
+}
+
+TEST(Series, SparklineNanRendersPlaceholder) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::string mixed = sparkline(std::vector<double>{0.0, nan, 1.0});
+  EXPECT_NE(mixed.find("·"), std::string::npos);
+  EXPECT_NE(mixed.find("▁"), std::string::npos);
+  EXPECT_NE(mixed.find("█"), std::string::npos);
+  // All-NaN series: placeholders only, no block glyphs, no crash.
+  const std::string all_nan = sparkline(std::vector<double>{nan, nan});
+  EXPECT_EQ(all_nan.find("▁"), std::string::npos);
+  EXPECT_EQ(all_nan, "··");
+}
+
+TEST(Series, SummarizeSkipsNan) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::string s = summarize("x", std::vector<double>{1.0, nan, 3.0});
+  EXPECT_NE(s.find("min=1"), std::string::npos);
+  EXPECT_NE(s.find("max=3"), std::string::npos);
+  EXPECT_NE(s.find("mean=2"), std::string::npos);
+  EXPECT_NE(s.find("nan=1"), std::string::npos);
+  EXPECT_NE(summarize("x", std::vector<double>{nan}).find("(all-nan)"),
+            std::string::npos);
 }
 
 TEST(Series, SparklineShape) {
