@@ -11,9 +11,10 @@
 #include "core/cma.hpp"
 #include "viz/series.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cps;
   bench::ObsSession obs_session("ablation_beta");
+  bench::configure_threads(argc, argv);
   bench::print_header("Ablation B", "CMA beta sweep (Eqn. 18)");
 
   const auto env = bench::canonical_field();

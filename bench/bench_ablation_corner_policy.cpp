@@ -13,9 +13,10 @@
 #include "core/fra.hpp"
 #include "viz/series.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cps;
   bench::ObsSession obs_session("ablation_corner_policy");
+  bench::configure_threads(argc, argv);
   bench::print_header("Ablation D", "corner policy: nearest-sample vs field");
 
   const auto env = bench::canonical_field();

@@ -13,9 +13,10 @@
 #include "graph/geometric_graph.hpp"
 #include "viz/series.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cps;
   bench::ObsSession obs_session("ablation_foresight");
+  bench::configure_threads(argc, argv);
   bench::print_header("Ablation A", "FRA foresight on/off vs delta");
 
   const auto env = bench::canonical_field();

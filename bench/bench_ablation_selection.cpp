@@ -11,9 +11,10 @@
 #include "core/fra.hpp"
 #include "viz/series.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cps;
   bench::ObsSession obs_session("ablation_selection");
+  bench::configure_threads(argc, argv);
   bench::print_header("Ablation C", "FRA selection measure comparison");
 
   const auto env = bench::canonical_field();

@@ -13,9 +13,10 @@
 #include "graph/connectivity.hpp"
 #include "viz/series.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cps;
   bench::ObsSession obs_session("extension_baselines");
+  bench::configure_threads(argc, argv);
   bench::print_header("Extension G", "baseline panel: delta + robustness");
 
   const auto env = bench::canonical_field();

@@ -11,9 +11,10 @@
 #include "core/interpolation.hpp"
 #include "viz/series.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cps;
   bench::ObsSession obs_session("extension_interpolation");
+  bench::configure_threads(argc, argv);
   bench::print_header("Extension E",
                       "interpolators: Delaunay vs IDW vs nearest");
 

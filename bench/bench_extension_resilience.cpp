@@ -29,9 +29,10 @@ std::vector<cps::geo::Vec2> survivors(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cps;
   bench::ObsSession obs_session("extension_resilience");
+  bench::configure_threads(argc, argv);
   bench::print_header("Extension H", "node-failure resilience");
 
   const auto env = bench::canonical_field();

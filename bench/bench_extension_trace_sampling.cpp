@@ -37,9 +37,10 @@ double run(const cps::field::TimeVaryingField& env, double staleness,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cps;
   bench::ObsSession obs_session("extension_trace_sampling");
+  bench::configure_threads(argc, argv);
   bench::print_header("Extension F",
                       "point vs trace sampling for mobile nodes");
 

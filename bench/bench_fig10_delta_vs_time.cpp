@@ -20,9 +20,10 @@
 #include "numerics/stats.hpp"
 #include "viz/series.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cps;
   bench::ObsSession obs_session("fig10_delta_vs_time");
+  bench::configure_threads(argc, argv);
   bench::print_header("Fig. 10", "delta vs time, CMA 10:00 -> 10:45");
 
   const auto env = bench::canonical_field();

@@ -13,9 +13,10 @@
 #include "viz/exporters.hpp"
 #include "viz/series.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cps;
   bench::ObsSession obs_session("fig1_reference_surface");
+  bench::configure_threads(argc, argv);
   bench::print_header("Fig. 1", "referential light surface at 10:00");
 
   const auto env = bench::canonical_field();

@@ -14,9 +14,10 @@
 #include "field/analytic_fields.hpp"
 #include "viz/exporters.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cps;
   bench::ObsSession obs_session("fig3_cwd_vs_uniform");
+  bench::configure_threads(argc, argv);
   bench::print_header("Fig. 3",
                       "uniform vs curvature-weighted, 16 nodes on peaks");
 

@@ -13,9 +13,10 @@
 #include "graph/geometric_graph.hpp"
 #include "viz/exporters.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cps;
   bench::ObsSession obs_session("fig5_fra_k30");
+  bench::configure_threads(argc, argv);
   bench::print_header("Fig. 5", "FRA rebuilt surface, k = 30, Rc = 10");
 
   const auto env = bench::canonical_field();

@@ -12,9 +12,10 @@
 #include "graph/geometric_graph.hpp"
 #include "viz/exporters.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cps;
   bench::ObsSession obs_session("fig6_fra_k100");
+  bench::configure_threads(argc, argv);
   bench::print_header("Fig. 6", "FRA rebuilt surface, k = 100, Rc = 10");
 
   const auto env = bench::canonical_field();

@@ -13,9 +13,10 @@
 #include "core/fra.hpp"
 #include "viz/series.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cps;
   bench::ObsSession obs_session("fig7_delta_vs_k");
+  bench::configure_threads(argc, argv);
   bench::print_header("Fig. 7", "delta vs k (1..200), FRA vs random");
 
   const auto env = bench::canonical_field();

@@ -39,9 +39,10 @@ void show_snapshot(const char* figure, const cps::core::CmaSimulation& sim,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cps;
   bench::ObsSession obs_session("fig8_9_cma_snapshots");
+  bench::configure_threads(argc, argv);
   bench::print_header("Figs. 8-9", "CMA snapshots, 100 mobile nodes");
 
   const auto env = bench::canonical_field();

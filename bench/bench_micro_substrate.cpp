@@ -6,6 +6,11 @@
 // (FRA's foresight), and trace evaluation.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string>
+
+#include "parallel/thread_pool.hpp"
+
 #include "core/curvature.hpp"
 #include "core/delta.hpp"
 #include "core/fra.hpp"
@@ -142,3 +147,28 @@ void BM_FraPlanK30(benchmark::State& state) {
 BENCHMARK(BM_FraPlanK30);
 
 }  // namespace
+
+// Custom main (instead of benchmark_main): strip our --threads flag from
+// argv before google-benchmark sees it, arm the pool, then run.
+int main(int argc, char** argv) {
+  long threads = 0;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      threads = std::atol(argv[++i]);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = std::atol(arg.c_str() + 10);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  cps::par::set_thread_count(
+      threads < 0 ? 0 : static_cast<std::size_t>(threads));
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -19,6 +19,7 @@
 #include "field/field.hpp"
 #include "numerics/quadrature.hpp"
 #include "obs/obs.hpp"
+#include "parallel/thread_pool.hpp"
 #include "trace/greenorbs.hpp"
 #include "viz/ascii.hpp"
 
@@ -121,6 +122,27 @@ class ObsSession {
   std::string name_;
   bool finished_ = false;
 };
+
+/// Parses `--threads N` / `--threads=N` and arms the process-wide worker
+/// pool (0 or absent = auto: env CPS_THREADS, else hardware concurrency).
+/// Call it right after constructing ObsSession — the session's registry
+/// reset would otherwise drop the pool-size gauge recorded here, and the
+/// sidecar should always say how many workers produced its numbers.
+inline void configure_threads(int argc, char** argv) {
+  long threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      threads = std::atol(argv[++i]);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = std::atol(arg.c_str() + 10);
+    }
+  }
+  par::set_thread_count(threads < 0 ? 0
+                                    : static_cast<std::size_t>(threads));
+  CPS_GAUGE("parallel.pool.threads", par::thread_count());
+  std::printf("threads: %zu\n", par::thread_count());
+}
 
 inline void print_header(const char* figure, const char* description) {
   std::printf("==============================================================\n");

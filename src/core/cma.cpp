@@ -8,6 +8,7 @@
 #include "core/reconstruction.hpp"
 #include "graph/geometric_graph.hpp"
 #include "obs/obs.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace cps::core {
 
@@ -58,18 +59,24 @@ void CmaSimulation::step() {
   std::vector<std::optional<PeakInfo>> peaks(n);
   {
     CPS_TIMER("core.cma.sense");
-    for (std::size_t i = 0; i < n; ++i) {
-      const SensingPatch patch(now, positions_[i], config_.rs,
-                               config_.sample_spacing);
-      gaussian_abs[i] = std::abs(patch.gaussian());
-      mean_abs[i] = patch.mean_abs_gaussian();
-      CPS_HIST("core.cma.fit_residual", patch.rms_residual());
-      if (const auto peak = patch.peak_curvature()) {
-        geo::Vec2 pos = peak->position;
-        clamp_to_region(pos);  // Never steer a node through the fence.
-        peaks[i] = PeakInfo{pos, peak->gaussian_abs};
-      }
-    }
+    // Each node's patch fit reads only the (const-thread-safe) field and
+    // writes only its own slots, so Sense(Rs) is a parallel map.  A patch
+    // fit is ~100 field samples plus a least-squares solve: grain 1.
+    par::parallel_for(
+        n,
+        [&](std::size_t i) {
+          const SensingPatch patch(now, positions_[i], config_.rs,
+                                   config_.sample_spacing);
+          gaussian_abs[i] = std::abs(patch.gaussian());
+          mean_abs[i] = patch.mean_abs_gaussian();
+          CPS_HIST("core.cma.fit_residual", patch.rms_residual());
+          if (const auto peak = patch.peak_curvature()) {
+            geo::Vec2 pos = peak->position;
+            clamp_to_region(pos);  // Never steer a node through the fence.
+            peaks[i] = PeakInfo{pos, peak->gaussian_abs};
+          }
+        },
+        /*grain=*/1);
   }
 
   // Trace sampling (Section 7 future work): log this slot's measurement
@@ -117,23 +124,29 @@ void CmaSimulation::step() {
   std::vector<geo::Vec2> destination = positions_;
   {
     CPS_TIMER("core.cma.forces");
-    for (std::size_t i = 0; i < n; ++i) {
-      const ForceBreakdown forces = compute_forces(
-          positions_[i], peaks[i], tables[i], mean_abs[i], force_config);
-      last_forces_[i] = forces;
-      CPS_HIST("core.cma.force_f1", forces.f1.norm());
-      CPS_HIST("core.cma.force_f2", forces.f2.norm());
-      CPS_HIST("core.cma.force_fr", forces.fr.norm());
-      CPS_HIST("core.cma.force_fs", forces.fs.norm());
-      const double magnitude = forces.fs.norm();
-      if (magnitude <= config_.force_tolerance) continue;  // stop(ni).
-      // Table 2 line 16 points the destination Rs along Fs; the gain maps
-      // force units to metres and the sensing radius caps the ambition.
-      const double reach =
-          std::min(config_.rs, magnitude * config_.force_gain);
-      destination[i] = positions_[i] + forces.fs.normalized() * reach;
-      clamp_to_region(destination[i]);
-    }
+    // Pure per-node computation over this slot's frozen tables; writes
+    // are per-index (last_forces_[i], destination[i]) — parallel map.
+    par::parallel_for(
+        n,
+        [&](std::size_t i) {
+          const ForceBreakdown forces = compute_forces(
+              positions_[i], peaks[i], tables[i], mean_abs[i], force_config);
+          last_forces_[i] = forces;
+          CPS_HIST("core.cma.force_f1", forces.f1.norm());
+          CPS_HIST("core.cma.force_f2", forces.f2.norm());
+          CPS_HIST("core.cma.force_fr", forces.fr.norm());
+          CPS_HIST("core.cma.force_fs", forces.fs.norm());
+          const double magnitude = forces.fs.norm();
+          if (magnitude <= config_.force_tolerance) return;  // stop(ni).
+          // Table 2 line 16 points the destination Rs along Fs; the gain
+          // maps force units to metres and the sensing radius caps the
+          // ambition.
+          const double reach =
+              std::min(config_.rs, magnitude * config_.force_gain);
+          destination[i] = positions_[i] + forces.fs.normalized() * reach;
+          clamp_to_region(destination[i]);
+        },
+        /*grain=*/16);
   }
 
   // --- 4. tell round + LCM (Table 2 lines 17-21, Fig. 4). ---

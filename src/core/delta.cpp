@@ -3,7 +3,19 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "parallel/thread_pool.hpp"
+
 namespace cps::core {
+namespace {
+
+double interpolate_in(const geo::Delaunay& dt, int tri, geo::Vec2 p) {
+  const auto& t = dt.triangle(tri);
+  return geo::interpolate_linear(dt.triangle_geometry(tri),
+                                 dt.vertex(t.v[0]).z, dt.vertex(t.v[1]).z,
+                                 dt.vertex(t.v[2]).z, p);
+}
+
+}  // namespace
 
 DeltaMetric::DeltaMetric(const num::Rect& region, std::size_t resolution)
     : region_(region), resolution_(resolution) {
@@ -16,18 +28,31 @@ DeltaMetric::DeltaMetric(const num::Rect& region, std::size_t resolution)
 double DeltaMetric::delta(const field::Field& reference,
                           const geo::Delaunay& dt) const {
   // Manual midpoint loop (rather than integrate_midpoint) so consecutive
-  // locate() calls walk from the previous cell's triangle — row-coherent
-  // queries make each walk O(1).
+  // point locations walk from the previous cell's triangle — row-coherent
+  // queries make each walk O(1).  The sweep runs in parallel over whole
+  // rows via locate_from (the shared-hint-free walk): each chunk threads
+  // its own hint, and partial sums are combined in ascending chunk order,
+  // so any given thread count reproduces the same bits.
   const double hx = region_.width() / static_cast<double>(resolution_);
   const double hy = region_.height() / static_cast<double>(resolution_);
-  double sum = 0.0;
-  for (std::size_t j = 0; j < resolution_; ++j) {
-    const double y = region_.y0 + (static_cast<double>(j) + 0.5) * hy;
-    for (std::size_t i = 0; i < resolution_; ++i) {
-      const double x = region_.x0 + (static_cast<double>(i) + 0.5) * hx;
-      sum += std::abs(reference.value(x, y) - dt.interpolate({x, y}));
-    }
-  }
+  const double sum = par::parallel_reduce(
+      resolution_, 0.0,
+      [&](std::size_t row_begin, std::size_t row_end) {
+        double s = 0.0;
+        int hint = -1;
+        for (std::size_t j = row_begin; j < row_end; ++j) {
+          const double y = region_.y0 + (static_cast<double>(j) + 0.5) * hy;
+          for (std::size_t i = 0; i < resolution_; ++i) {
+            const double x =
+                region_.x0 + (static_cast<double>(i) + 0.5) * hx;
+            hint = dt.locate_from({x, y}, hint);
+            s += std::abs(reference.value(x, y) -
+                          interpolate_in(dt, hint, {x, y}));
+          }
+        }
+        return s;
+      },
+      [](double a, double b) { return a + b; }, /*grain=*/4);
   return sum * hx * hy;
 }
 
@@ -48,10 +73,26 @@ double DeltaMetric::delta_of_deployment(const field::Field& reference,
 
 double DeltaMetric::delta_between(const field::Field& a,
                                   const field::Field& b) const {
-  return num::integrate_midpoint(
-      region_,
-      [&](double x, double y) { return std::abs(a.value(x, y) - b.value(x, y)); },
-      resolution_, resolution_);
+  // Same grid and accumulation order as num::integrate_midpoint, but
+  // row-parallel: fields are pure reads, chunk partials combine in order.
+  const double hx = region_.width() / static_cast<double>(resolution_);
+  const double hy = region_.height() / static_cast<double>(resolution_);
+  const double sum = par::parallel_reduce(
+      resolution_, 0.0,
+      [&](std::size_t row_begin, std::size_t row_end) {
+        double s = 0.0;
+        for (std::size_t j = row_begin; j < row_end; ++j) {
+          const double y = region_.y0 + (static_cast<double>(j) + 0.5) * hy;
+          for (std::size_t i = 0; i < resolution_; ++i) {
+            const double x =
+                region_.x0 + (static_cast<double>(i) + 0.5) * hx;
+            s += std::abs(a.value(x, y) - b.value(x, y));
+          }
+        }
+        return s;
+      },
+      [](double a_, double b_) { return a_ + b_; }, /*grain=*/4);
+  return sum * hx * hy;
 }
 
 double DeltaMetric::mean_abs_error(double delta_value) const noexcept {

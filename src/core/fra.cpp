@@ -10,6 +10,8 @@
 #include "graph/relay.hpp"
 #include "numerics/rng.hpp"
 #include "obs/obs.hpp"
+#include "parallel/spatial_hash.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace cps::core {
 namespace {
@@ -30,6 +32,43 @@ double interpolate_in(const geo::Delaunay& dt, int tri, geo::Vec2 p) {
                                  dt.vertex(t.v[0]).z, dt.vertex(t.v[1]).z,
                                  dt.vertex(t.v[2]).z, p);
 }
+
+/// Grid-accelerated maintenance of "distance from each candidate to the
+/// nearest already-placed node".  A per-cell maximum of the maintained
+/// distances lets note_added() skip every cell the new node cannot
+/// improve: min-possible |candidate - p| >= max distance in the cell
+/// implies no member's minimum can drop.  Values are the exact same
+/// std::min-folded doubles the dense O(n) refresh produced.
+class NearestNetGrid {
+ public:
+  NearestNetGrid(std::span<const geo::Vec2> points, double cell_size)
+      : hash_(points, cell_size),
+        cell_max_(std::max<std::size_t>(hash_.cell_count(), 1),
+                  std::numeric_limits<double>::infinity()) {}
+
+  void note_added(geo::Vec2 p, std::span<const geo::Vec2> points,
+                  std::vector<double>& dist) {
+    std::size_t scanned = 0;
+    for (std::size_t c = 0; c < hash_.cell_count(); ++c) {
+      double& cell_max = cell_max_[c];
+      // inf * inf == inf keeps never-touched cells scannable.
+      if (hash_.cell_distance_sq(p, c) >= cell_max * cell_max) continue;
+      double new_max = 0.0;
+      for (const std::uint32_t id : hash_.cell_members(c)) {
+        double& d = dist[id];
+        d = std::min(d, geo::distance(points[id], p));
+        new_max = std::max(new_max, d);
+        ++scanned;
+      }
+      cell_max = new_max;
+    }
+    CPS_COUNT("core.fra.dist_refresh_scanned", scanned);
+  }
+
+ private:
+  par::SpatialHash hash_;
+  std::vector<double> cell_max_;
+};
 
 }  // namespace
 
@@ -63,30 +102,32 @@ FraResult FraPlanner::plan_detailed(const field::Field& reference,
   // Candidate lattice (the paper's sqrt(A) x sqrt(A) positions), bucketed
   // by containing triangle.
   const std::size_t n = config_.error_grid;
-  std::vector<Candidate> candidates;
-  candidates.reserve(n * n);
+  std::vector<Candidate> candidates(n * n);
   const double dx = region.width() / static_cast<double>(n - 1);
   const double dy = region.height() / static_cast<double>(n - 1);
   {
     CPS_TIMER("core.fra.sense_lattice");
-    for (std::size_t j = 0; j < n; ++j) {
-      for (std::size_t i = 0; i < n; ++i) {
-        Candidate c;
-        c.pos = {region.x0 + static_cast<double>(i) * dx,
-                 region.y0 + static_cast<double>(j) * dy};
-        c.f_value = reference.value(c.pos);
-        candidates.push_back(c);
-      }
-    }
+    // Field implementations are const-thread-safe by contract (see
+    // field/field.hpp), so the lattice sense is a plain parallel map.
+    par::parallel_for(n * n, [&](std::size_t idx) {
+      Candidate& c = candidates[idx];
+      c.pos = {region.x0 + static_cast<double>(idx % n) * dx,
+               region.y0 + static_cast<double>(idx / n) * dy};
+      c.f_value = reference.value(c.pos);
+    });
   }
 
   if (config_.measure == SelectionMeasure::kCurvature ||
       config_.measure == SelectionMeasure::kProduct) {
     CPS_TIMER("core.fra.curvature_pass");
     const CurvatureEstimator estimator(config_.curvature_radius);
-    for (auto& c : candidates) {
-      c.curvature = std::abs(estimator.gaussian_at(reference, c.pos));
-    }
+    par::parallel_for(
+        candidates.size(),
+        [&](std::size_t ci) {
+          candidates[ci].curvature =
+              std::abs(estimator.gaussian_at(reference, candidates[ci].pos));
+        },
+        /*grain=*/64);  // A quadric fit per index: keep chunks small.
   }
 
   // Triangle -> candidate-index buckets; sized generously since each
@@ -95,18 +136,42 @@ FraResult FraPlanner::plan_detailed(const field::Field& reference,
                                                 6 * request.k + 16);
   {
     CPS_TIMER("core.fra.initial_bucketing");
+    // Located in parallel over whole lattice rows: a row's first
+    // candidate sits on the region border, where exactly one triangle
+    // contains it, so a chunk's fresh (-1) walk start reaches the same
+    // triangle the serial hint chain would — parallel assignment is
+    // bit-identical to serial even for candidates exactly on shared
+    // edges (the seed diagonal).  Bucket fill stays serial, in index
+    // order.
+    par::parallel_for_chunks(
+        n,
+        [&](std::size_t row_begin, std::size_t row_end) {
+          int hint = -1;
+          for (std::size_t j = row_begin; j < row_end; ++j) {
+            for (std::size_t i = 0; i < n; ++i) {
+              auto& c = candidates[j * n + i];
+              c.triangle = dt.locate_from(c.pos, hint);
+              hint = c.triangle;
+              c.error =
+                  std::abs(c.f_value - interpolate_in(dt, c.triangle, c.pos));
+            }
+          }
+        },
+        /*grain=*/4);
     for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
-      auto& c = candidates[ci];
-      c.triangle = dt.locate(c.pos);
-      c.error = std::abs(c.f_value - interpolate_in(dt, c.triangle, c.pos));
-      buckets[static_cast<std::size_t>(c.triangle)].push_back(ci);
+      buckets[static_cast<std::size_t>(candidates[ci].triangle)].push_back(
+          ci);
     }
   }
   // Lattice corners coincide with scaffolding vertices: error 0, but mark
-  // them used so kRandom never wastes a node on them.
+  // them used so kRandom never wastes a node on them.  The tolerance is
+  // relative to the lattice pitch — an absolute 1e-9 vanishes against
+  // large-coordinate regions (where x0 + (n-1) * dx lands ulps away from
+  // x1) and the duplicate corner then wastes a node.
+  const double corner_tol = 1e-6 * std::min(dx, dy);
   for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
     for (int v = 0; v < geo::Delaunay::kCorners; ++v) {
-      if (geo::distance(candidates[ci].pos, dt.vertex(v).pos) < 1e-9) {
+      if (geo::distance(candidates[ci].pos, dt.vertex(v).pos) < corner_tol) {
         candidates[ci].used = true;
       }
     }
@@ -118,14 +183,58 @@ FraResult FraPlanner::plan_detailed(const field::Field& reference,
 
   // Distance from each candidate to the nearest already-placed node,
   // maintained incrementally: the foresight step uses it to price a
-  // candidate's worst-case connection cost in O(1).
+  // candidate's worst-case connection cost in O(1).  The refresh is
+  // grid-pruned (NearestNetGrid) instead of a dense O(n^2-lattice) scan.
   std::vector<double> dist_to_net(candidates.size(),
                                   std::numeric_limits<double>::infinity());
+  std::vector<geo::Vec2> candidate_positions(candidates.size());
+  for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
+    candidate_positions[ci] = candidates[ci].pos;
+  }
+  // ~4 lattice pitches per cell: coarse enough that the cell loop is
+  // cheap, fine enough that the per-cell max prunes sharply once the
+  // network densifies.
+  NearestNetGrid net_grid(candidate_positions,
+                          4.0 * std::max(dx, dy));
   const auto note_added = [&](geo::Vec2 p) {
-    for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
-      dist_to_net[ci] =
-          std::min(dist_to_net[ci], geo::distance(candidates[ci].pos, p));
+    net_grid.note_added(p, candidate_positions, dist_to_net);
+  };
+
+  // Garland-Heckbert update: only candidates whose triangle died need
+  // re-location (among the fan of new triangles) and error refresh.
+  // Every insertion — refinement pick or foresight relay — must pass
+  // through here: a skipped rebucket leaves candidates keyed to dead
+  // (later recycled) triangle slots with stale errors, silently
+  // corrupting subsequent selections.
+  const auto rebucket_after = [&](const geo::InsertResult& ins) {
+    if (!ins.inserted) return;
+    if (buckets.size() < dt.triangle_slots()) {
+      buckets.resize(dt.triangle_slots() * 2);
     }
+    std::vector<std::size_t> displaced;
+    for (const int dead : ins.removed_triangles) {
+      auto& bucket = buckets[static_cast<std::size_t>(dead)];
+      displaced.insert(displaced.end(), bucket.begin(), bucket.end());
+      bucket.clear();
+    }
+    for (const std::size_t ci : displaced) {
+      auto& c = candidates[ci];
+      c.triangle = -1;
+      for (const int fresh : ins.created_triangles) {
+        if (dt.triangle_geometry(fresh).contains(c.pos)) {
+          c.triangle = fresh;
+          break;
+        }
+      }
+      if (c.triangle == -1) {
+        // Numerical corner case: the point sits exactly on the cavity
+        // boundary; a full locate resolves it.
+        c.triangle = dt.locate(c.pos);
+      }
+      c.error = std::abs(c.f_value - interpolate_in(dt, c.triangle, c.pos));
+      buckets[static_cast<std::size_t>(c.triangle)].push_back(ci);
+    }
+    CPS_COUNT("core.fra.candidates_rebucketed", displaced.size());
   };
 
   const auto place_relays = [&](std::size_t budget) {
@@ -133,7 +242,7 @@ FraResult FraPlanner::plan_detailed(const field::Field& reference,
     const std::size_t count = std::min(budget, plan.count);
     for (std::size_t r = 0; r < count; ++r) {
       const geo::Vec2 p = plan.positions[r];
-      dt.insert(p, reference.value(p));
+      rebucket_after(dt.insert(p, reference.value(p)));
       selected.push_back(p);
       note_added(p);
       result.steps.push_back(FraStep{p, 0.0, true});
@@ -184,29 +293,46 @@ FraResult FraPlanner::plan_detailed(const field::Field& reference,
             0, static_cast<std::int64_t>(unused.size()) - 1))];
       }
     } else {
-      double best_score = -1.0;
-      for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
-        const auto& c = candidates[ci];
-        if (c.used || !affordable(ci)) continue;
-        double score = 0.0;
-        switch (config_.measure) {
-          case SelectionMeasure::kLocalError:
-            score = c.error;
-            break;
-          case SelectionMeasure::kCurvature:
-            score = c.curvature;
-            break;
-          case SelectionMeasure::kProduct:
-            score = c.error * c.curvature;
-            break;
-          case SelectionMeasure::kRandom:
-            break;  // Handled above.
-        }
-        if (score > best_score) {
-          best_score = score;
-          best = ci;
-        }
-      }
+      // Ordered argmax over the lattice: strict > keeps the first (lowest
+      // index) maximum within a chunk and the chunk-order combine keeps
+      // the first across chunks — bit-identical to the serial scan at
+      // every thread count.
+      struct Best {
+        double score;
+        std::size_t idx;
+      };
+      const Best found = par::parallel_reduce(
+          candidates.size(), Best{-1.0, candidates.size()},
+          [&](std::size_t begin, std::size_t end) {
+            Best local{-1.0, candidates.size()};
+            for (std::size_t ci = begin; ci < end; ++ci) {
+              const auto& c = candidates[ci];
+              if (c.used || !affordable(ci)) continue;
+              double score = 0.0;
+              switch (config_.measure) {
+                case SelectionMeasure::kLocalError:
+                  score = c.error;
+                  break;
+                case SelectionMeasure::kCurvature:
+                  score = c.curvature;
+                  break;
+                case SelectionMeasure::kProduct:
+                  score = c.error * c.curvature;
+                  break;
+                case SelectionMeasure::kRandom:
+                  break;  // Handled above.
+              }
+              if (score > local.score) {
+                local.score = score;
+                local.idx = ci;
+              }
+            }
+            return local;
+          },
+          [](Best acc, Best part) {
+            return part.score > acc.score ? part : acc;
+          });
+      best = found.idx;
     }
     if (best == candidates.size()) {
       // No affordable candidate: connect what exists to free the budget,
@@ -237,38 +363,25 @@ FraResult FraPlanner::plan_detailed(const field::Field& reference,
     CPS_TRACE_COUNTER("core.fra.max_local_error", chosen.error);
     CPS_TRACE_COUNTER("core.fra.triangle_count", dt.triangle_count());
 
-    const geo::InsertResult ins = dt.insert(chosen.pos, chosen.f_value);
-    if (!ins.inserted) continue;  // Coincided with a vertex; z updated.
+    rebucket_after(dt.insert(chosen.pos, chosen.f_value));
+  }
 
-    // Garland-Heckbert update: only candidates whose triangle died need
-    // re-location (among the fan of new triangles) and error refresh.
-    if (buckets.size() < dt.triangle_slots()) {
-      buckets.resize(dt.triangle_slots() * 2);
+  // Bucket-consistency audit (cheap: one contains() per candidate).  A
+  // nonzero count means some candidate still references a dead or reused
+  // triangle slot — the stale-bucket corruption the relay rebucketing
+  // fix closes; tests assert this is 0.
+  {
+    std::size_t stale = 0;
+    for (const auto& c : candidates) {
+      const bool consistent =
+          c.triangle >= 0 &&
+          c.triangle < static_cast<int>(dt.triangle_slots()) &&
+          dt.triangle_alive(c.triangle) &&
+          dt.triangle_geometry(c.triangle).contains(c.pos);
+      if (!consistent) ++stale;
     }
-    std::vector<std::size_t> displaced;
-    for (const int dead : ins.removed_triangles) {
-      auto& bucket = buckets[static_cast<std::size_t>(dead)];
-      displaced.insert(displaced.end(), bucket.begin(), bucket.end());
-      bucket.clear();
-    }
-    for (const std::size_t ci : displaced) {
-      auto& c = candidates[ci];
-      c.triangle = -1;
-      for (const int fresh : ins.created_triangles) {
-        if (dt.triangle_geometry(fresh).contains(c.pos)) {
-          c.triangle = fresh;
-          break;
-        }
-      }
-      if (c.triangle == -1) {
-        // Numerical corner case: the point sits exactly on the cavity
-        // boundary; a full locate resolves it.
-        c.triangle = dt.locate(c.pos);
-      }
-      c.error = std::abs(c.f_value - interpolate_in(dt, c.triangle, c.pos));
-      buckets[static_cast<std::size_t>(c.triangle)].push_back(ci);
-    }
-    CPS_COUNT("core.fra.candidates_rebucketed", displaced.size());
+    result.stale_candidates = stale;
+    CPS_GAUGE("core.fra.stale_candidates", stale);
   }
 
   CPS_GAUGE("core.fra.triangle_count", dt.triangle_count());

@@ -63,6 +63,11 @@ struct FraResult {
   Deployment deployment;
   std::vector<FraStep> steps;
   std::size_t relay_count = 0;
+  /// Candidates whose triangle bucket was inconsistent (dead, reused, or
+  /// not containing the candidate) when planning finished.  Always 0 for
+  /// a correct Garland-Heckbert update; exposed so tests can catch a
+  /// reintroduction of the stale-bucket-after-relay-insertion bug.
+  std::size_t stale_candidates = 0;
 };
 
 /// The planner.  Thread-compatible: each plan() call is independent.

@@ -31,7 +31,17 @@ class DelaunayField final : public field::Field {
   const geo::Delaunay& triangulation() const noexcept { return dt_; }
 
  private:
-  double do_value(geo::Vec2 p) const override { return dt_.interpolate(p); }
+  // Not dt_.interpolate(): Fields must be const-thread-safe (parallel
+  // delta sweeps evaluate them concurrently), so the location walk uses
+  // locate_from, which never touches the triangulation's shared hint.
+  double do_value(geo::Vec2 p) const override {
+    const int tri = dt_.locate_from(p, -1);
+    const auto& t = dt_.triangle(tri);
+    return geo::interpolate_linear(dt_.triangle_geometry(tri),
+                                   dt_.vertex(t.v[0]).z,
+                                   dt_.vertex(t.v[1]).z,
+                                   dt_.vertex(t.v[2]).z, p);
+  }
 
   geo::Delaunay dt_;
 };

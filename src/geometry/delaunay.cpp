@@ -121,6 +121,16 @@ int Delaunay::walk_from(int start, Vec2 p) const {
 }
 
 int Delaunay::locate(Vec2 p, int hint) const {
+  const int found = locate_from(
+      p, hint < 0 || hint >= static_cast<int>(triangles_.size()) ||
+                 !triangles_[static_cast<std::size_t>(hint)].alive
+             ? locate_hint_
+             : hint);
+  locate_hint_ = found;
+  return found;
+}
+
+int Delaunay::locate_from(Vec2 p, int hint) const {
   if (p.x < bounds_.x0 - kBoundsTol || p.x > bounds_.x1 + kBoundsTol ||
       p.y < bounds_.y0 - kBoundsTol || p.y > bounds_.y1 + kBoundsTol) {
     throw std::invalid_argument("Delaunay::locate: point outside region");
@@ -130,21 +140,15 @@ int Delaunay::locate(Vec2 p, int hint) const {
   int start = hint;
   if (start < 0 || start >= static_cast<int>(triangles_.size()) ||
       !triangles_[static_cast<std::size_t>(start)].alive) {
-    start = locate_hint_;
-    if (start < 0 || start >= static_cast<int>(triangles_.size()) ||
-        !triangles_[static_cast<std::size_t>(start)].alive) {
-      start = -1;
-      for (std::size_t i = 0; i < triangles_.size(); ++i) {
-        if (triangles_[i].alive) {
-          start = static_cast<int>(i);
-          break;
-        }
+    start = -1;
+    for (std::size_t i = 0; i < triangles_.size(); ++i) {
+      if (triangles_[i].alive) {
+        start = static_cast<int>(i);
+        break;
       }
     }
   }
-  const int found = walk_from(start, q);
-  locate_hint_ = found;
-  return found;
+  return walk_from(start, q);
 }
 
 double Delaunay::interpolate(Vec2 p) const {

@@ -105,6 +105,13 @@ class Delaunay {
   /// Throws std::invalid_argument when p is outside the region.
   int locate(Vec2 p, int hint = -1) const;
 
+  /// Like locate(), but never reads or updates the shared walk hint:
+  /// callers thread their own hint (-1 = canonical start, the first alive
+  /// triangle).  Safe to call concurrently from any number of threads as
+  /// long as no insert() runs; for a point strictly inside a triangle the
+  /// result is hint-independent.
+  int locate_from(Vec2 p, int hint) const;
+
   /// Piecewise-linear surface value DT(p).
   double interpolate(Vec2 p) const;
 

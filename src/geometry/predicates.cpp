@@ -1,14 +1,35 @@
 #include "geometry/predicates.hpp"
 
 #include <cmath>
+#include <limits>
 
 namespace cps::geo {
 namespace {
 
-// Static filter constants from Shewchuk's "Adaptive Precision Floating-Point
-// Arithmetic and Fast Robust Geometric Predicates" (scaled for double).
-constexpr double kOrientErrBound = 3.3306690621773724e-16;
-constexpr double kIncircleErrBound = 1.1102230246251577e-15;
+// Static filter bounds from Shewchuk's "Adaptive Precision Floating-Point
+// Arithmetic and Fast Robust Geometric Predicates": (3 + 16e)e for
+// orient2d and (10 + 96e)e for incircle, where e is half the type's
+// epsilon (Shewchuk's machine epsilon convention).  Deriving them from
+// numeric_limits keeps the long-double retry correct on platforms where
+// long double is 80-bit x87, 128-bit quad, double-double — or plain
+// double (MSVC, some ARM ABIs), where a hardcoded 1e-19 would claim
+// precision the type does not have and turn near-degenerate cases into
+// wrong nonzero signs.
+template <typename F>
+constexpr F machine_eps = std::numeric_limits<F>::epsilon() / F(2);
+
+template <typename F>
+constexpr F orient_bound = (F(3) + F(16) * machine_eps<F>)*machine_eps<F>;
+
+template <typename F>
+constexpr F incircle_bound =
+    (F(10) + F(96) * machine_eps<F>)*machine_eps<F>;
+
+// The retry only helps when long double actually carries more mantissa
+// bits than double.
+constexpr bool kLongDoubleAddsPrecision =
+    std::numeric_limits<long double>::digits >
+    std::numeric_limits<double>::digits;
 
 template <typename F>
 int orient_impl(F ax, F ay, F bx, F by, F cx, F cy, F err_bound) noexcept {
@@ -60,20 +81,22 @@ double orient2d_value(Vec2 a, Vec2 b, Vec2 c) noexcept {
 
 int orient2d(Vec2 a, Vec2 b, Vec2 c) noexcept {
   const int fast = orient_impl<double>(a.x, a.y, b.x, b.y, c.x, c.y,
-                                       kOrientErrBound);
+                                       orient_bound<double>);
   if (fast != 0) return fast;
+  if (!kLongDoubleAddsPrecision) return 0;
   // Retry at extended precision; a result still inside the long-double error
   // bound is genuinely (or as good as) collinear.
   return orient_impl<long double>(a.x, a.y, b.x, b.y, c.x, c.y,
-                                  static_cast<long double>(1e-19));
+                                  orient_bound<long double>);
 }
 
 int incircle(Vec2 a, Vec2 b, Vec2 c, Vec2 d) noexcept {
   const int fast = incircle_impl<double>(a.x, a.y, b.x, b.y, c.x, c.y, d.x,
-                                         d.y, kIncircleErrBound);
+                                         d.y, incircle_bound<double>);
   if (fast != 0) return fast;
+  if (!kLongDoubleAddsPrecision) return 0;
   return incircle_impl<long double>(a.x, a.y, b.x, b.y, c.x, c.y, d.x, d.y,
-                                    static_cast<long double>(1e-18));
+                                    incircle_bound<long double>);
 }
 
 }  // namespace cps::geo

@@ -5,6 +5,9 @@
 #include <queue>
 #include <stdexcept>
 
+#include "parallel/spatial_hash.hpp"
+#include "parallel/thread_pool.hpp"
+
 namespace cps::graph {
 
 GeometricGraph::GeometricGraph(std::span<const geo::Vec2> positions,
@@ -13,16 +16,32 @@ GeometricGraph::GeometricGraph(std::span<const geo::Vec2> positions,
       adjacency_(positions.size()),
       radius_(radius) {
   if (radius <= 0.0) throw std::invalid_argument("GeometricGraph: radius");
+  if (positions_.empty()) return;
   const double r2 = radius * radius;
-  for (std::size_t i = 0; i < positions_.size(); ++i) {
-    for (std::size_t j = i + 1; j < positions_.size(); ++j) {
-      if (geo::distance_sq(positions_[i], positions_[j]) <= r2) {
-        adjacency_[i].push_back(j);
-        adjacency_[j].push_back(i);
-        ++edge_count_;
-      }
-    }
-  }
+  // Grid-accelerated build: each node scans only the 3x3 cell
+  // neighbourhood of radius-sized cells instead of all pairs, and each
+  // node's list is an independent write, so the per-node loop runs in
+  // parallel.  Sorting ascending reproduces the all-pairs scan's list
+  // order exactly (has_edge binary-searches; tests compare verbatim).
+  const par::SpatialHash hash(positions_, radius);
+  par::parallel_for(
+      positions_.size(),
+      [&](std::size_t i) {
+        auto& adj = adjacency_[i];
+        hash.for_each_candidate(positions_[i], radius,
+                                [&](std::uint32_t j) {
+                                  if (j != i &&
+                                      geo::distance_sq(positions_[i],
+                                                       positions_[j]) <= r2) {
+                                    adj.push_back(j);
+                                  }
+                                });
+        std::sort(adj.begin(), adj.end());
+      },
+      /*grain=*/128);
+  std::size_t degree_sum = 0;
+  for (const auto& adj : adjacency_) degree_sum += adj.size();
+  edge_count_ = degree_sum / 2;
 }
 
 bool GeometricGraph::has_edge(std::size_t a, std::size_t b) const {

@@ -18,9 +18,9 @@ namespace cps::graph {
 /// radius.  Edges are undirected; self-loops are excluded.
 class GeometricGraph {
  public:
-  /// Builds the graph in O(n^2) pairwise checks (n <= a few hundred in all
-  /// of the paper's workloads).  Radius must be > 0
-  /// (std::invalid_argument).
+  /// Builds the graph with a uniform-grid neighbour search (O(n) cells,
+  /// each node checks its 3x3 cell neighbourhood), parallel over nodes.
+  /// Radius must be > 0 (std::invalid_argument).
   GeometricGraph(std::span<const geo::Vec2> positions, double radius);
 
   std::size_t node_count() const noexcept { return positions_.size(); }

@@ -157,6 +157,43 @@ TEST(Fra, RandomMeasureIsSeedDeterministic) {
             b.plan(f, request(10)).positions);
 }
 
+TEST(Fra, RelayInsertionKeepsCandidateBucketsConsistent) {
+  // Regression: place_relays used to insert relay vertices into the DT
+  // without running the Garland-Heckbert displaced-candidate update, so
+  // every candidate bucketed under a triangle the relay's cavity destroyed
+  // kept a dead (soon recycled) triangle id and a stale error.  The
+  // planner audits bucket consistency at the end of every plan; any relay
+  // run must leave zero stale candidates.
+  FraPlanner planner(fast_config());
+  const auto result = planner.plan_detailed(test_field(), request(30));
+  EXPECT_GT(result.relay_count, 0u);  // The scenario must exercise relays.
+  EXPECT_EQ(result.stale_candidates, 0u);
+}
+
+TEST(Fra, BucketsStayConsistentThroughRelayThenContinue) {
+  // A sparse lattice with a tight radius exhausts the affordable
+  // candidates mid-plan (no affordable candidate -> connect -> continue
+  // refining), the worst case for stale buckets: selections after the
+  // relay burst consult the rebucketed errors.
+  FraConfig cfg = fast_config();
+  cfg.error_grid = 12;
+  FraPlanner planner(cfg);
+  const auto result = planner.plan_detailed(test_field(), request(30, 4.0));
+  EXPECT_GT(result.relay_count, 0u);
+  EXPECT_EQ(result.stale_candidates, 0u);
+  // At least one refinement selection must come after a relay, otherwise
+  // this test would not distinguish trailing-relay plans from the
+  // relay-then-continue path it is meant to pin down.
+  bool relay_seen = false;
+  bool selection_after_relay = false;
+  for (const auto& step : result.steps) {
+    relay_seen = relay_seen || step.relay;
+    selection_after_relay =
+        selection_after_relay || (relay_seen && !step.relay);
+  }
+  EXPECT_TRUE(selection_after_relay);
+}
+
 // Property sweep: connectivity holds across budgets (the paper's k range).
 class FraBudgetSweep : public ::testing::TestWithParam<std::size_t> {};
 

@@ -1,0 +1,159 @@
+// End-to-end determinism contract of the parallel layer: the planners and
+// metrics must produce the same bits at every pool size.  threads = 1 runs
+// the exact serial loops; threads >= 2 chunk by (n, grain) only — never by
+// thread count — and combine partials in chunk order, so any worker count
+// reproduces the same results.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "core/cma.hpp"
+#include "core/delta.hpp"
+#include "core/fra.hpp"
+#include "core/planner.hpp"
+#include "core/reconstruction.hpp"
+#include "field/analytic_fields.hpp"
+#include "field/time_varying.hpp"
+#include "graph/geometric_graph.hpp"
+#include "numerics/rng.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace cps::core {
+namespace {
+
+const num::Rect kRegion{0.0, 0.0, 100.0, 100.0};
+
+class ThreadScope {
+ public:
+  explicit ThreadScope(std::size_t n) { par::set_thread_count(n); }
+  ~ThreadScope() { par::set_thread_count(0); }
+};
+
+field::GaussianMixtureField test_field() {
+  return field::GaussianMixtureField(0.5, {{{25.0, 30.0}, 3.0, 8.0},
+                                           {{70.0, 65.0}, 2.0, 12.0},
+                                           {{45.0, 80.0}, 4.0, 6.0}});
+}
+
+TEST(ParallelDeterminism, FraDeploymentIdenticalAtEveryThreadCount) {
+  const auto f = test_field();
+  FraConfig cfg;
+  cfg.error_grid = 50;
+  std::vector<std::vector<geo::Vec2>> runs;
+  for (const std::size_t threads : {1u, 2u, 3u, 4u}) {
+    ThreadScope scope(threads);
+    FraPlanner planner(cfg);
+    runs.push_back(
+        planner.plan(f, PlanRequest{kRegion, 40, 10.0}).positions);
+  }
+  for (std::size_t r = 1; r < runs.size(); ++r) {
+    ASSERT_EQ(runs[r].size(), runs[0].size());
+    for (std::size_t i = 0; i < runs[0].size(); ++i) {
+      EXPECT_EQ(runs[r][i].x, runs[0][i].x) << "run " << r << " node " << i;
+      EXPECT_EQ(runs[r][i].y, runs[0][i].y) << "run " << r << " node " << i;
+    }
+  }
+}
+
+TEST(ParallelDeterminism, FraCurvatureMeasureIdenticalAcrossThreadCounts) {
+  const auto f = test_field();
+  FraConfig cfg;
+  cfg.error_grid = 30;
+  cfg.measure = SelectionMeasure::kProduct;
+  std::vector<std::vector<geo::Vec2>> runs;
+  for (const std::size_t threads : {1u, 3u}) {
+    ThreadScope scope(threads);
+    FraPlanner planner(cfg);
+    runs.push_back(
+        planner.plan(f, PlanRequest{kRegion, 15, 10.0}).positions);
+  }
+  EXPECT_EQ(runs[0], runs[1]);
+}
+
+TEST(ParallelDeterminism, CmaTrajectoriesIdenticalAcrossThreadCounts) {
+  const auto shared = std::make_shared<field::GaussianMixtureField>(
+      0.5, std::vector<field::GaussianBump>{{{30.0, 30.0}, 3.0, 8.0},
+                                            {{70.0, 60.0}, 2.5, 10.0}});
+  CmaConfig cfg;
+  cfg.sample_spacing = 1.0;
+  cfg.rc = 100.0 / 5.0 * 1.001;  // Keep the 25-node grid connected.
+  std::vector<std::vector<geo::Vec2>> runs;
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    ThreadScope scope(threads);
+    const field::StaticTimeField env(shared);
+    CmaSimulation sim(env, kRegion,
+                      GridPlanner::make_grid(kRegion, 25).positions, cfg);
+    sim.run(25);
+    runs.push_back(sim.positions());
+  }
+  for (std::size_t r = 1; r < runs.size(); ++r) {
+    ASSERT_EQ(runs[r].size(), runs[0].size());
+    for (std::size_t i = 0; i < runs[0].size(); ++i) {
+      EXPECT_EQ(runs[r][i].x, runs[0][i].x) << "run " << r << " node " << i;
+      EXPECT_EQ(runs[r][i].y, runs[0][i].y) << "run " << r << " node " << i;
+    }
+  }
+}
+
+TEST(ParallelDeterminism, GeometricGraphMatchesAllPairsOracle) {
+  num::Rng rng(77);
+  std::vector<geo::Vec2> pts(250);
+  for (auto& p : pts) {
+    p = {rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)};
+  }
+  const double radius = 9.0;
+  const double r2 = radius * radius;
+  for (const std::size_t threads : {1u, 4u}) {
+    ThreadScope scope(threads);
+    const graph::GeometricGraph g(pts, radius);
+    std::size_t oracle_edges = 0;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      std::vector<std::size_t> oracle;
+      for (std::size_t j = 0; j < pts.size(); ++j) {
+        if (i != j && geo::distance_sq(pts[i], pts[j]) <= r2) {
+          oracle.push_back(j);
+        }
+      }
+      oracle_edges += oracle.size();
+      EXPECT_EQ(g.neighbors(i), oracle) << "node " << i;
+    }
+    EXPECT_EQ(g.edge_count(), oracle_edges / 2);
+  }
+}
+
+TEST(ParallelDeterminism, DeltaMetricIdenticalAcrossMultithreadedCounts) {
+  const auto f = test_field();
+  const DeltaMetric metric(kRegion, 100);
+  const auto grid = GridPlanner::make_grid(kRegion, 36);
+  const auto samples = take_samples(f, grid.positions);
+  par::set_thread_count(2);
+  const double at2 = metric.delta_from_samples(f, samples);
+  par::set_thread_count(4);
+  const double at4 = metric.delta_from_samples(f, samples);
+  par::set_thread_count(1);
+  const double at1 = metric.delta_from_samples(f, samples);
+  par::set_thread_count(0);
+  EXPECT_EQ(at2, at4);  // Same chunk layout: same bits.
+  // threads = 1 accumulates in one chain rather than per-chunk partials;
+  // agreement is to rounding, not bits.
+  EXPECT_NEAR(at1, at2, 1e-9 * std::abs(at1));
+}
+
+TEST(ParallelDeterminism, DeltaBetweenIdenticalAcrossMultithreadedCounts) {
+  const auto f = test_field();
+  const field::GaussianMixtureField g(
+      0.3, {{{40.0, 40.0}, 2.0, 9.0}, {{60.0, 70.0}, 1.5, 11.0}});
+  const DeltaMetric metric(kRegion, 100);
+  par::set_thread_count(2);
+  const double at2 = metric.delta_between(f, g);
+  par::set_thread_count(5);
+  const double at5 = metric.delta_between(f, g);
+  par::set_thread_count(0);
+  EXPECT_EQ(at2, at5);
+}
+
+}  // namespace
+}  // namespace cps::core
