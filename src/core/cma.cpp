@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "core/curvature.hpp"
 #include "core/reconstruction.hpp"
@@ -27,7 +28,8 @@ CmaSimulation::CmaSimulation(const field::TimeVaryingField& environment,
     throw std::invalid_argument("CmaSimulation: no nodes");
   }
   if (config.rs <= 0.0 || config.rc <= 0.0 || config.velocity < 0.0 ||
-      config.dt <= 0.0 || config.force_gain <= 0.0) {
+      config.dt <= 0.0 || config.force_gain <= 0.0 ||
+      config.neighbor_ttl == 0) {
     throw std::invalid_argument("CmaSimulation: bad config");
   }
   for (const auto& p : positions_) {
@@ -40,6 +42,85 @@ CmaSimulation::CmaSimulation(const field::TimeVaryingField& environment,
   }
   last_forces_.resize(positions_.size());
   distance_traveled_.resize(positions_.size(), 0.0);
+  alive_.assign(positions_.size(), 1);
+  alive_count_ = positions_.size();
+  known_.resize(positions_.size());
+}
+
+void CmaSimulation::set_fault_schedule(net::FaultSchedule schedule) {
+  for (const auto& event : schedule.events()) {
+    if (event.node >= positions_.size()) {
+      throw std::invalid_argument("CmaSimulation: fault event node index");
+    }
+  }
+  faults_ = std::move(schedule);
+}
+
+void CmaSimulation::apply_faults(std::size_t slot) {
+  for (const auto& event : faults_.events_at(slot)) {
+    const std::size_t i = event.node;
+    if (event.kind == net::FaultKind::kDeath) {
+      if (!alive_[i]) continue;  // Already dead: idempotent.
+      alive_[i] = 0;
+      --alive_count_;
+      ++deaths_applied_;
+      bus_.set_alive(i, false);
+      known_[i].clear();
+      last_forces_[i] = ForceBreakdown{};
+      CPS_COUNT("core.cma.node_deaths", 1);
+    } else {
+      if (alive_[i]) continue;
+      alive_[i] = 1;
+      ++alive_count_;
+      bus_.set_alive(i, true);
+      // A revived node rejoins with blank protocol state; neighbours
+      // relearn it (and it them) from the next beacon round.
+      known_[i].clear();
+      CPS_COUNT("core.cma.node_revivals", 1);
+    }
+  }
+  CPS_GAUGE("core.cma.alive_nodes", static_cast<double>(alive_count_));
+}
+
+std::vector<std::vector<NeighborInfo>> CmaSimulation::refresh_neighbor_tables(
+    std::size_t slot) {
+  const std::size_t n = positions_.size();
+  std::vector<std::vector<NeighborInfo>> tables(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!alive_[i]) {
+      known_[i].clear();
+      continue;
+    }
+    // Age out entries first (an entry from slot s is valid through slot
+    // s + ttl - 1), then fold in this slot's beacons.  With ttl == 1 the
+    // prune empties the table every slot and the projection reproduces
+    // the fresh-beacons-only tables of the original implementation,
+    // entry order included.
+    auto& table = known_[i];
+    std::erase_if(table, [&](const KnownNeighbor& k) {
+      return slot - k.last_seen >= config_.neighbor_ttl;
+    });
+    for (const auto& delivery : bus_.inbox(i)) {
+      if (delivery.message.kind != Message::Kind::kBeacon) continue;
+      const NeighborInfo info{delivery.message.position,
+                              delivery.message.gaussian_abs};
+      bool found = false;
+      for (auto& k : table) {
+        if (k.id == delivery.from) {
+          k.info = info;
+          k.last_seen = slot;
+          found = true;
+          break;
+        }
+      }
+      if (!found) table.push_back(KnownNeighbor{delivery.from, info, slot});
+    }
+    CPS_HIST("core.cma.neighbor_table_size",
+             static_cast<double>(table.size()));
+    tables[i].reserve(table.size());
+    for (const auto& k : table) tables[i].push_back(k.info);
+  }
+  return tables;
 }
 
 void CmaSimulation::clamp_to_region(geo::Vec2& p) const noexcept {
@@ -53,6 +134,9 @@ void CmaSimulation::step() {
   const std::size_t n = positions_.size();
   const field::FieldSlice now(*environment_, time_);
 
+  // --- 0. Fault injection: this slot's scheduled deaths/revivals. ---
+  apply_faults(steps_run_);
+
   // --- 1. Sense(Rs): local curvature estimation (Table 2 lines 2-3). ---
   std::vector<double> gaussian_abs(n, 0.0);
   std::vector<double> mean_abs(n, 0.0);
@@ -65,6 +149,7 @@ void CmaSimulation::step() {
     par::parallel_for(
         n,
         [&](std::size_t i) {
+          if (!alive_[i]) return;  // Dead sensors sense nothing.
           const SensingPatch patch(now, positions_[i], config_.rs,
                                    config_.sample_spacing);
           gaussian_abs[i] = std::abs(patch.gaussian());
@@ -83,6 +168,7 @@ void CmaSimulation::step() {
   // at each node's pre-move position, then age out stale entries.
   if (config_.trace_sampling) {
     for (std::size_t i = 0; i < n; ++i) {
+      if (!alive_[i]) continue;
       trace_log_.push_back(
           TimedSample{Sample{positions_[i], now.value(positions_[i])},
                       time_});
@@ -94,10 +180,14 @@ void CmaSimulation::step() {
   }
 
   // --- 2. Beacon round (Table 2 lines 4-5). ---
-  std::vector<std::vector<NeighborInfo>> tables(n);
+  // Neighbour tables come from what the channel actually delivered, aged
+  // by the staleness TTL — never from the bus's oracle topology — so a
+  // lost beacon or a dead neighbour degrades knowledge instead of state.
+  std::vector<std::vector<NeighborInfo>> tables;
   {
     CPS_TIMER("core.cma.beacon_round");
     for (std::size_t i = 0; i < n; ++i) {
+      if (!alive_[i]) continue;
       Message beacon;
       beacon.kind = Message::Kind::kBeacon;
       beacon.position = positions_[i];
@@ -105,13 +195,7 @@ void CmaSimulation::step() {
       bus_.broadcast(i, std::move(beacon));
     }
     bus_.step();
-    for (std::size_t i = 0; i < n; ++i) {
-      for (const auto& delivery : bus_.inbox(i)) {
-        if (delivery.message.kind != Message::Kind::kBeacon) continue;
-        tables[i].push_back(NeighborInfo{delivery.message.position,
-                                         delivery.message.gaussian_abs});
-      }
-    }
+    tables = refresh_neighbor_tables(steps_run_);
   }
 
   // --- 3. Forces and desired destinations (Table 2 lines 6-18). ---
@@ -129,6 +213,7 @@ void CmaSimulation::step() {
     par::parallel_for(
         n,
         [&](std::size_t i) {
+          if (!alive_[i]) return;  // Dead nodes plan no moves.
           const ForceBreakdown forces = compute_forces(
               positions_[i], peaks[i], tables[i], mean_abs[i], force_config);
           last_forces_[i] = forces;
@@ -160,6 +245,7 @@ void CmaSimulation::step() {
   {
     CPS_TIMER("core.cma.tell_round");
     for (std::size_t i = 0; i < n; ++i) {
+      if (!alive_[i]) continue;
       Message tell;
       tell.kind = Message::Kind::kTell;
       tell.position = positions_[i];
@@ -197,6 +283,7 @@ void CmaSimulation::step() {
   {
     CPS_TIMER("core.cma.move");
     for (std::size_t i = 0; i < n; ++i) {
+      if (!alive_[i]) continue;  // Carcasses stay where they fell.
       const geo::Vec2 leg = final_target[i] - positions_[i];
       const double len = leg.norm();
       geo::Vec2 next = len <= max_step
@@ -247,6 +334,7 @@ void CmaSimulation::apply_strict_lcm(
     double radius;
   };
   for (std::size_t i = 0; i < n; ++i) {
+    if (!alive_[i]) continue;
     std::vector<Anchor> anchors;
     for (const auto& delivery : bus_.inbox(i)) {
       const Message& tell = delivery.message;
@@ -327,6 +415,7 @@ void CmaSimulation::apply_paper_lcm(
   // chases the most endangered link.  Best effort by construction.
   const std::size_t n = positions_.size();
   for (std::size_t i = 0; i < n; ++i) {
+    if (!alive_[i]) continue;
     double worst = -1.0;
     geo::Vec2 worst_destination;
     for (const auto& delivery : bus_.inbox(i)) {
@@ -365,25 +454,39 @@ void CmaSimulation::run(std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) step();
 }
 
+std::vector<geo::Vec2> CmaSimulation::alive_positions() const {
+  std::vector<geo::Vec2> out;
+  out.reserve(alive_count_);
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    if (alive_[i]) out.push_back(positions_[i]);
+  }
+  return out;
+}
+
 bool CmaSimulation::is_connected() const {
-  return graph::GeometricGraph(positions_, config_.rc).is_connected();
+  return graph::GeometricGraph(alive_positions(), config_.rc).is_connected();
 }
 
 double CmaSimulation::largest_component_fraction() const {
-  const graph::GeometricGraph g(positions_, config_.rc);
+  const auto alive = alive_positions();
+  const graph::GeometricGraph g(alive, config_.rc);
   std::size_t largest = 0;
   for (const auto& comp : g.components()) {
     largest = std::max(largest, comp.size());
   }
-  return positions_.empty()
-             ? 1.0
-             : static_cast<double>(largest) /
-                   static_cast<double>(positions_.size());
+  return alive.empty() ? 1.0
+                       : static_cast<double>(largest) /
+                             static_cast<double>(alive.size());
+}
+
+std::size_t CmaSimulation::component_count() const {
+  return graph::GeometricGraph(alive_positions(), config_.rc)
+      .component_count();
 }
 
 std::vector<Sample> CmaSimulation::sense_at_nodes() const {
   const field::FieldSlice now(*environment_, time_);
-  return take_samples(now, positions_);
+  return take_samples(now, alive_positions());
 }
 
 double CmaSimulation::current_delta(const DeltaMetric& metric) const {

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -32,6 +33,8 @@
 #include "core/forces.hpp"
 #include "core/types.hpp"
 #include "field/field.hpp"
+#include "net/fault.hpp"
+#include "net/link_model.hpp"
 #include "net/message_bus.hpp"
 #include "numerics/quadrature.hpp"
 
@@ -90,6 +93,13 @@ struct CmaConfig {
   /// Trace samples older than this many minutes are discarded — in a
   /// time-varying environment stale values mislead the reconstruction.
   double trace_staleness = 10.0;
+  /// Slots a beacon-learned neighbour survives in the table without a
+  /// fresh beacon.  1 (the default) reproduces the paper's behaviour —
+  /// only this slot's beacons count — so a single lost beacon makes the
+  /// neighbour invisible for the slot.  Larger values let LCM and force
+  /// decisions coast through lost beacons and notice dead neighbours only
+  /// after the TTL lapses: the graceful-degradation knob.  Must be >= 1.
+  std::size_t neighbor_ttl = 1;
   std::uint64_t seed = 7;      ///< Radio-loss randomness only.
 };
 
@@ -104,6 +114,19 @@ class CmaSimulation {
                 const num::Rect& region, std::vector<geo::Vec2> initial,
                 const CmaConfig& config, double start_time = 0.0);
 
+  /// Installs a mid-run fault schedule.  Event slots are simulation slots
+  /// counted from the *next* step(): events for slot s are applied at the
+  /// start of the (s+1)-th remaining step.  Replaces any prior schedule;
+  /// an empty schedule leaves the run untouched.  Call before run().
+  void set_fault_schedule(net::FaultSchedule schedule);
+
+  /// Replaces the channel model behind the beacon/tell rounds (default:
+  /// the paper's disk radio with config.packet_loss).  Call before the
+  /// first step() for a fully reproducible run.
+  void set_link_model(std::unique_ptr<net::LinkModel> link) {
+    bus_.set_link(std::move(link));
+  }
+
   /// Advances one slot (dt minutes).
   void step();
 
@@ -117,6 +140,27 @@ class CmaSimulation {
   }
   const CmaConfig& config() const noexcept { return config_; }
 
+  /// False once a scheduled death has hit node `i` (until a revival).
+  /// Dead nodes stop sensing, transmitting, receiving, and moving; their
+  /// last position is kept (a dark carcass in the field).
+  bool is_alive(std::size_t i) const { return alive_.at(i) != 0; }
+
+  /// Living nodes right now (== node_count() before any death).
+  std::size_t alive_count() const noexcept { return alive_count_; }
+
+  /// Positions of the living nodes, in node order — the survivor
+  /// deployment all degradation metrics are computed over.
+  std::vector<geo::Vec2> alive_positions() const;
+
+  /// Deaths applied so far (revivals do not subtract).
+  std::size_t deaths_applied() const noexcept { return deaths_applied_; }
+
+  /// Beacon-learned neighbours node `i` currently believes in (entries
+  /// within the staleness TTL) — may lag reality under loss or death.
+  std::size_t known_neighbor_count(std::size_t i) const {
+    return known_.at(i).size();
+  }
+
   /// Largest single-node displacement in the last step() (0 before any).
   double last_max_displacement() const noexcept { return last_max_move_; }
 
@@ -125,19 +169,24 @@ class CmaSimulation {
     return steps_run_ > 0 && last_max_move_ < tol;
   }
 
-  /// Disk-graph connectivity of the current positions (the OSTD
-  /// constraint; the LCM is supposed to keep this true).
+  /// Disk-graph connectivity of the current *living* positions (the OSTD
+  /// constraint; the LCM is supposed to keep this true).  Before any
+  /// death this is exactly the full-deployment connectivity.
   bool is_connected() const;
 
-  /// Fraction of nodes inside the largest connected component (1.0 when
-  /// connected); the health statistic the Fig. 10 bench reports for the
-  /// best-effort paper LCM.
+  /// Fraction of living nodes inside their largest connected component
+  /// (1.0 when connected); the health statistic the Fig. 10 bench
+  /// reports for the best-effort paper LCM.
   double largest_component_fraction() const;
+
+  /// Connected components of the survivor disk graph (0 when all dead).
+  std::size_t component_count() const;
 
   /// Number of LCM chase overrides in the last step.
   std::size_t last_chase_count() const noexcept { return last_chases_; }
 
-  /// Current node measurements z_i = f(p_i, t).
+  /// Current measurements z_i = f(p_i, t) of the *living* nodes — dead
+  /// sensors report nothing, so survivor delta is the honest metric.
   std::vector<Sample> sense_at_nodes() const;
 
   /// Samples logged along the nodes' movement traces within the staleness
@@ -199,6 +248,22 @@ class CmaSimulation {
     double time = 0.0;
   };
 
+  /// One beacon-learned neighbour-table entry with its freshness stamp.
+  struct KnownNeighbor {
+    net::NodeId id = 0;
+    NeighborInfo info;
+    std::size_t last_seen = 0;  ///< Slot the last beacon arrived in.
+  };
+
+  /// Applies the fault events scheduled for `slot`.
+  void apply_faults(std::size_t slot);
+
+  /// Folds this slot's received beacons into the persistent per-node
+  /// neighbour tables and drops entries past the staleness TTL; returns
+  /// the projected per-node NeighborInfo tables for the force/LCM stages.
+  std::vector<std::vector<NeighborInfo>> refresh_neighbor_tables(
+      std::size_t slot);
+
   const field::TimeVaryingField* environment_;
   num::Rect region_;
   CmaConfig config_;
@@ -212,6 +277,11 @@ class CmaSimulation {
   std::vector<TimedSample> trace_log_;
   std::vector<double> distance_traveled_;
   double total_distance_ = 0.0;
+  net::FaultSchedule faults_;
+  std::vector<char> alive_;
+  std::size_t alive_count_ = 0;
+  std::size_t deaths_applied_ = 0;
+  std::vector<std::vector<KnownNeighbor>> known_;
 };
 
 }  // namespace cps::core

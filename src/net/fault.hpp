@@ -1,0 +1,82 @@
+// Deterministic mid-run fault injection.
+//
+// The paper assumes "the energy is sufficient"; fielded sensor networks
+// do not (battery, weather, wildlife).  A FaultSchedule is a seed-stable
+// list of node death/revival events keyed to the slot-synchronous clock
+// that CmaSimulation and MessageBus already run on: the consumer applies
+// the events of slot s before executing slot s, so a run with a given
+// (seed, schedule) pair is exactly reproducible — the property every
+// resilience sweep in bench/ depends on.
+//
+// The schedule is pure data: it never touches the network itself.  That
+// keeps fault injection composable with any link model and lets tests
+// replay the same churn against different channel assumptions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cps::net {
+
+/// What happens to the node at the scheduled slot.
+enum class FaultKind {
+  kDeath,    ///< Node stops sensing, transmitting, receiving, and moving.
+  kRevival,  ///< Node rejoins with empty protocol state at its last position.
+};
+
+/// One scheduled event, applied at the *start* of `slot` (slot 0 is the
+/// first simulated slot).
+struct FaultEvent {
+  std::size_t slot = 0;
+  std::size_t node = 0;
+  FaultKind kind = FaultKind::kDeath;
+};
+
+/// An immutable-after-build, slot-ordered event list.
+class FaultSchedule {
+ public:
+  FaultSchedule() = default;
+
+  /// Adds one event; events may be added in any order.
+  void add(const FaultEvent& event);
+  void add_death(std::size_t slot, std::size_t node) {
+    add(FaultEvent{slot, node, FaultKind::kDeath});
+  }
+  void add_revival(std::size_t slot, std::size_t node) {
+    add(FaultEvent{slot, node, FaultKind::kRevival});
+  }
+
+  /// Deterministic churn generator: each node independently dies with
+  /// `death_probability` at a uniform slot in [first_slot, last_slot].
+  /// Throws std::invalid_argument for a probability outside [0, 1] or
+  /// last_slot < first_slot.
+  static FaultSchedule random_deaths(std::size_t node_count,
+                                     double death_probability,
+                                     std::size_t first_slot,
+                                     std::size_t last_slot,
+                                     std::uint64_t seed);
+
+  bool empty() const noexcept { return events_.size() == 0; }
+  std::size_t size() const noexcept { return events_.size(); }
+
+  /// Scheduled deaths (revivals excluded).
+  std::size_t death_count() const noexcept;
+
+  /// All events, sorted by (slot, node), deaths before revivals within a
+  /// (slot, node) pair.
+  const std::vector<FaultEvent>& events() const noexcept { return events_; }
+
+  /// Events scheduled for exactly `slot` (a subrange of events()).
+  std::span<const FaultEvent> events_at(std::size_t slot) const noexcept;
+
+  /// Largest scheduled slot (0 when empty) — how long a run must be to
+  /// see the whole schedule.
+  std::size_t last_slot() const noexcept;
+
+ private:
+  std::vector<FaultEvent> events_;  // Kept sorted by add().
+};
+
+}  // namespace cps::net

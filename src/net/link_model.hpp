@@ -1,0 +1,145 @@
+// Pluggable link-level channel models.
+//
+// DiskRadio (radio.hpp) hard-codes the paper's channel: a disk of radius
+// Rc with i.i.d. packet loss.  Field deployments are not i.i.d. — loss
+// grows toward the edge of the communication range, and interference and
+// multipath fade links in *bursts* (the classic Gilbert–Elliott channel).
+// LinkModel generalises the radio behind MessageBus so the resilience
+// benches can sweep channel families, while DiskLink preserves today's
+// disk model bit-for-bit (same RNG stream, same draw schedule).
+//
+// Determinism contract: every model is seeded and consumes randomness
+// only inside transmit(), in call order.  Two runs issuing the same
+// transmit() sequence on equal-seeded models see identical outcomes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "geometry/vec2.hpp"
+#include "net/radio.hpp"
+#include "numerics/rng.hpp"
+
+namespace cps::net {
+
+using NodeId = std::size_t;
+
+/// Channel model sampled once per directed transmission attempt.
+class LinkModel {
+ public:
+  virtual ~LinkModel() = default;
+
+  /// Communication radius Rc: no delivery ever succeeds beyond it.
+  virtual double radius() const noexcept = 0;
+
+  /// True when a and b are within communication range (distance <= Rc).
+  bool in_range(geo::Vec2 a, geo::Vec2 b) const noexcept {
+    return geo::distance_sq(a, b) <= radius() * radius();
+  }
+
+  /// Samples one transmission attempt on the directed link from -> to;
+  /// always false when out of range.  Node ids identify the link for
+  /// models with per-link state (Gilbert–Elliott); position-only models
+  /// ignore them.  Mutates internal randomness.
+  virtual bool transmit(NodeId from, NodeId to, geo::Vec2 from_pos,
+                        geo::Vec2 to_pos) noexcept = 0;
+
+  /// Deep copy (fresh RNG/link state identical to the source's current
+  /// state), for buses that are copied or re-armed.
+  virtual std::unique_ptr<LinkModel> clone() const = 0;
+};
+
+/// The paper's channel verbatim: DiskRadio behind the LinkModel interface.
+/// Wraps an actual DiskRadio so the RNG draw schedule (no draw when the
+/// loss probability is zero) matches the seed implementation bit-for-bit.
+class DiskLink final : public LinkModel {
+ public:
+  explicit DiskLink(DiskRadio radio) : radio_(std::move(radio)) {}
+  DiskLink(double radius, double loss_probability = 0.0,
+           std::uint64_t seed = 1)
+      : radio_(radius, loss_probability, seed) {}
+
+  double radius() const noexcept override { return radio_.radius(); }
+  bool transmit(NodeId, NodeId, geo::Vec2 from_pos,
+                geo::Vec2 to_pos) noexcept override {
+    return radio_.transmit(from_pos, to_pos);
+  }
+  std::unique_ptr<LinkModel> clone() const override {
+    return std::make_unique<DiskLink>(*this);
+  }
+
+ private:
+  DiskRadio radio_;
+};
+
+/// Distance-dependent loss: p(d) = edge_loss * (d / Rc)^exponent, so the
+/// channel is clean at zero range and loses `edge_loss` of packets at the
+/// very edge of the disk.  One RNG draw per in-range attempt.
+class DistanceLossLink final : public LinkModel {
+ public:
+  /// radius > 0, edge_loss in [0, 1], exponent > 0; std::invalid_argument
+  /// otherwise.
+  DistanceLossLink(double radius, double edge_loss, double exponent = 2.0,
+                   std::uint64_t seed = 1);
+
+  double radius() const noexcept override { return radius_; }
+  double edge_loss() const noexcept { return edge_loss_; }
+
+  /// Loss probability at distance d (clamped to [0, Rc]).
+  double loss_at(double distance) const noexcept;
+
+  bool transmit(NodeId, NodeId, geo::Vec2 from_pos,
+                geo::Vec2 to_pos) noexcept override;
+  std::unique_ptr<LinkModel> clone() const override {
+    return std::make_unique<DistanceLossLink>(*this);
+  }
+
+ private:
+  double radius_;
+  double edge_loss_;
+  double exponent_;
+  num::Rng rng_;
+};
+
+/// Gilbert–Elliott bursty channel: each directed link is a two-state
+/// Markov chain (good/bad) advanced one step per transmission attempt,
+/// with a per-state loss probability.  Expected burst length in the bad
+/// state is 1 / p_bad_to_good, so small transition probabilities give
+/// long fades — the regime i.i.d. loss cannot express.
+class GilbertElliottLink final : public LinkModel {
+ public:
+  struct Params {
+    double p_good_to_bad = 0.05;  ///< Per-attempt fade-in probability.
+    double p_bad_to_good = 0.2;   ///< Per-attempt recovery probability.
+    double loss_good = 0.0;       ///< Loss probability in the good state.
+    double loss_bad = 0.9;        ///< Loss probability in the bad state.
+  };
+
+  /// radius > 0 and all probabilities in [0, 1]; std::invalid_argument
+  /// otherwise.  Links start in the good state.
+  GilbertElliottLink(double radius, const Params& params,
+                     std::uint64_t seed = 1);
+
+  double radius() const noexcept override { return radius_; }
+  const Params& params() const noexcept { return params_; }
+
+  /// True when the directed link is currently faded (in the bad state).
+  bool link_is_bad(NodeId from, NodeId to) const noexcept;
+
+  bool transmit(NodeId from, NodeId to, geo::Vec2 from_pos,
+                geo::Vec2 to_pos) noexcept override;
+  std::unique_ptr<LinkModel> clone() const override {
+    return std::make_unique<GilbertElliottLink>(*this);
+  }
+
+ private:
+  double radius_;
+  Params params_;
+  num::Rng rng_;
+  /// Directed link -> in-bad-state.  Absent means good (the start state).
+  std::map<std::pair<NodeId, NodeId>, bool> bad_;
+};
+
+}  // namespace cps::net

@@ -1,4 +1,4 @@
-// Slot-synchronous broadcast bus over a disk radio.
+// Slot-synchronous broadcast bus over a pluggable link model.
 //
 // CMA (Table 2) is written against a classic synchronous-rounds model: in
 // each slot every node broadcasts a small message (its Tx/tell lines) and
@@ -7,19 +7,26 @@
 // delivered at the start of slot s+1 to every node within Rc of the sender
 // at *send* time, matching the paper's assumption that positions change
 // slowly relative to the beacon rate.
+//
+// The channel behind the bus is a LinkModel (link_model.hpp) — the default
+// DiskLink reproduces the original DiskRadio bit-for-bit, while the
+// distance-dependent and Gilbert–Elliott models serve the resilience
+// sweeps.  Nodes can also die and revive mid-run (set_alive, driven by a
+// FaultSchedule): a dead node neither sends nor receives, and messages in
+// flight from a node that dies before delivery are lost with the node.
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
+#include "net/link_model.hpp"
 #include "net/radio.hpp"
 #include "obs/obs.hpp"
 
 namespace cps::net {
-
-using NodeId = std::size_t;
 
 /// A delivered message with its sender.
 template <typename M>
@@ -32,23 +39,69 @@ struct Delivery {
 template <typename M>
 class MessageBus {
  public:
-  /// `node_count` fixed for the bus lifetime; radio defines range/loss.
-  MessageBus(std::size_t node_count, DiskRadio radio)
-      : radio_(std::move(radio)),
+  /// `node_count` fixed for the bus lifetime; the link model defines
+  /// range/loss.  All nodes start alive.
+  MessageBus(std::size_t node_count, std::unique_ptr<LinkModel> link)
+      : link_(std::move(link)),
         positions_(node_count),
-        inboxes_(node_count) {}
+        alive_(node_count, 1),
+        inboxes_(node_count) {
+    if (!link_) throw std::invalid_argument("MessageBus: null link model");
+  }
+
+  /// Convenience: the paper's disk radio behind the LinkModel interface.
+  MessageBus(std::size_t node_count, DiskRadio radio)
+      : MessageBus(node_count,
+                   std::make_unique<DiskLink>(std::move(radio))) {}
 
   std::size_t node_count() const noexcept { return positions_.size(); }
-  const DiskRadio& radio() const noexcept { return radio_; }
+  const LinkModel& link() const noexcept { return *link_; }
+  double radius() const noexcept { return link_->radius(); }
+
+  /// Replaces the channel model (same radius contract as construction).
+  /// Queued-but-undelivered messages are judged by the new model.
+  void set_link(std::unique_ptr<LinkModel> link) {
+    if (!link) throw std::invalid_argument("MessageBus: null link model");
+    link_ = std::move(link);
+  }
 
   /// Updates the position used for range checks of subsequent broadcasts.
   void set_position(NodeId id, geo::Vec2 p) { positions_.at(id) = p; }
   geo::Vec2 position(NodeId id) const { return positions_.at(id); }
 
-  /// Queues a broadcast for delivery at the next step().
+  /// Marks a node dead (false) or alive (true).  Killing a node clears
+  /// its inbox; its queued outbound messages die with it at step().
+  void set_alive(NodeId id, bool alive) {
+    if (id >= positions_.size()) {
+      throw std::out_of_range("MessageBus::set_alive");
+    }
+    alive_[id] = alive ? 1 : 0;
+    if (!alive) inboxes_[id].clear();
+  }
+
+  bool alive(NodeId id) const {
+    if (id >= positions_.size()) {
+      throw std::out_of_range("MessageBus::alive");
+    }
+    return alive_[id] != 0;
+  }
+
+  std::size_t alive_count() const noexcept {
+    std::size_t n = 0;
+    for (const char a : alive_) n += a != 0;
+    return n;
+  }
+
+  /// Queues a broadcast for delivery at the next step().  Broadcasts from
+  /// dead nodes are dropped (and counted) — a dead radio transmits
+  /// nothing, but simulation drivers need not special-case the call.
   void broadcast(NodeId from, M message) {
     if (from >= positions_.size()) {
       throw std::out_of_range("MessageBus::broadcast");
+    }
+    if (!alive_[from]) {
+      CPS_COUNT("net.bus.dead_broadcasts", 1);
+      return;
     }
     ++total_broadcasts_;
     CPS_COUNT("net.bus.messages_sent", 1);
@@ -58,21 +111,24 @@ class MessageBus {
   /// Broadcasts queued over the bus lifetime (the radio-energy proxy).
   std::size_t total_broadcasts() const noexcept { return total_broadcasts_; }
 
-  /// Delivers all queued broadcasts to in-range receivers and clears the
-  /// queue.  Senders do not receive their own broadcasts.
+  /// Delivers all queued broadcasts to in-range living receivers and
+  /// clears the queue.  Senders do not receive their own broadcasts.
   void step() {
     for (auto& inbox : inboxes_) inbox.clear();
     for (auto& pending : outbox_) {
+      if (!alive_[pending.from]) continue;  // Died with messages in flight.
       for (NodeId to = 0; to < positions_.size(); ++to) {
         if (to == pending.from) continue;
-        if (radio_.transmit(pending.sent_from, positions_[to])) {
+        if (!alive_[to]) continue;
+        if (link_->transmit(pending.from, to, pending.sent_from,
+                            positions_[to])) {
           CPS_COUNT("net.bus.deliveries", 1);
           inboxes_[to].push_back(Delivery<M>{pending.from, pending.message});
         } else {
           // A failed transmission to an in-range receiver is a radio loss;
           // out-of-range receivers are not delivery failures.
           CPS_COUNT("net.bus.delivery_failures",
-                    radio_.in_range(pending.sent_from, positions_[to]) ? 1
+                    link_->in_range(pending.sent_from, positions_[to]) ? 1
                                                                        : 0);
         }
       }
@@ -85,11 +141,15 @@ class MessageBus {
     return inboxes_.at(id);
   }
 
-  /// Ids of nodes currently within radio range of `id` (excluding itself).
+  /// Ids of living nodes currently within radio range of `id` (excluding
+  /// itself).  An oracle view of the topology — protocol code should
+  /// prefer beacon-learned neighbour tables, which see only what the
+  /// channel actually delivered.
   std::vector<NodeId> neighbors_of(NodeId id) const {
     std::vector<NodeId> out;
     for (NodeId j = 0; j < positions_.size(); ++j) {
-      if (j != id && radio_.in_range(positions_.at(id), positions_[j])) {
+      if (j != id && alive_[j] &&
+          link_->in_range(positions_.at(id), positions_[j])) {
         out.push_back(j);
       }
     }
@@ -103,8 +163,9 @@ class MessageBus {
     M message;
   };
 
-  DiskRadio radio_;
+  std::unique_ptr<LinkModel> link_;
   std::vector<geo::Vec2> positions_;
+  std::vector<char> alive_;
   std::vector<Pending> outbox_;
   std::vector<std::vector<Delivery<M>>> inboxes_;
   std::size_t total_broadcasts_ = 0;

@@ -1,8 +1,10 @@
 #include "net/routing.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <queue>
 #include <stdexcept>
+#include <utility>
 
 #include "obs/obs.hpp"
 
@@ -60,18 +62,60 @@ CollectionTree::CollectionTree(const graph::GeometricGraph& g,
 std::size_t best_sink(const graph::GeometricGraph& g) {
   if (g.node_count() == 0) throw std::invalid_argument("best_sink: empty");
   std::size_t best = 0;
-  std::size_t best_cost = static_cast<std::size_t>(-1);
+  // Reachability strictly dominates operating cost: compare
+  // (unreachable_count, transmissions_per_round) lexicographically.  The
+  // old weighted sum (unreachable * 1e6 + transmissions) preferred sinks
+  // with unreachable nodes once total hops passed 1e6 — a ~2000-node path
+  // component already gets there.
+  auto best_cost = std::make_pair(static_cast<std::size_t>(-1),
+                                  static_cast<std::size_t>(-1));
   for (std::size_t sink = 0; sink < g.node_count(); ++sink) {
     const CollectionTree tree(g, sink);
-    // Prefer full reachability, then minimal total transmissions.
-    const std::size_t cost =
-        tree.unreachable_count() * 1000000 + tree.transmissions_per_round();
+    const auto cost = std::make_pair(tree.unreachable_count(),
+                                     tree.transmissions_per_round());
     if (cost < best_cost) {
       best_cost = cost;
       best = sink;
     }
   }
   return best;
+}
+
+RecoveryMonitor::RecoveryMonitor(geo::Vec2 sink_position)
+    : sink_position_(sink_position) {}
+
+std::size_t RecoveryMonitor::pick_sink(
+    const graph::GeometricGraph& g) const {
+  std::size_t sink = 0;
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    const double d = geo::distance(g.position(i), sink_position_);
+    if (d < best) {
+      best = d;
+      sink = i;
+    }
+  }
+  return sink;
+}
+
+const CollectionTree& RecoveryMonitor::observe(
+    const graph::GeometricGraph& alive_graph, std::size_t slot) {
+  if (alive_graph.node_count() == 0) {
+    throw std::invalid_argument("RecoveryMonitor: empty graph");
+  }
+  tree_.emplace(alive_graph, pick_sink(alive_graph));
+  CPS_COUNT("net.routing.monitor_rebuilds", 1);
+  const bool partitioned = tree_->unreachable_count() > 0;
+  if (partitioned && !outage_start_) {
+    outage_start_ = slot;  // New outage begins this slot.
+  } else if (!partitioned && outage_start_) {
+    // Fully reachable again: the outage lasted [start, slot).
+    const std::size_t slots = slot - *outage_start_;
+    recoveries_.push_back(Recovery{*outage_start_, slot, slots});
+    CPS_HIST("net.routing.recovery_slots", static_cast<double>(slots));
+    outage_start_.reset();
+  }
+  return *tree_;
 }
 
 }  // namespace cps::net

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <vector>
 
 #include "graph/geometric_graph.hpp"
@@ -64,9 +65,59 @@ class CollectionTree {
   std::size_t total_hops_ = 0;
 };
 
-/// Picks the sink index minimising transmissions_per_round — where a
-/// basestation should sit on an already-fixed deployment.  Throws
+/// Picks the sink minimising (unreachable_count, transmissions_per_round)
+/// lexicographically — where a basestation should sit on an already-fixed
+/// deployment, never trading reachability for cheaper rounds.  Throws
 /// std::invalid_argument for an empty graph.
 std::size_t best_sink(const graph::GeometricGraph& g);
+
+/// Tracks convergecast health across mid-run churn: each slot the caller
+/// hands it the current survivor disk graph, and the monitor rebuilds the
+/// collection tree (rooted at the surviving node nearest the fixed
+/// basestation position — the sink re-homes when its host dies) and
+/// detects partition/recovery transitions.  A "recovery" is the slot span
+/// from the first observation with unreachable survivors to the first
+/// observation where every survivor is reachable again; durations are
+/// recorded in the obs histogram `net.routing.recovery_slots`.
+class RecoveryMonitor {
+ public:
+  /// `sink_position` is where the basestation physically sits; the tree
+  /// roots at whichever survivor is closest to it each slot.
+  explicit RecoveryMonitor(geo::Vec2 sink_position);
+
+  /// Rebuilds the tree over this slot's survivor graph (indices are the
+  /// caller's survivor indices, not stable node ids) and updates outage
+  /// bookkeeping.  Slots must be observed in increasing order.  Throws
+  /// std::invalid_argument for an empty graph.
+  const CollectionTree& observe(const graph::GeometricGraph& alive_graph,
+                                std::size_t slot);
+
+  /// One completed partition-to-recovery episode.
+  struct Recovery {
+    std::size_t outage_slot = 0;    ///< First slot with unreachable nodes.
+    std::size_t recovered_slot = 0; ///< First fully-reachable slot after.
+    std::size_t slots = 0;          ///< recovered_slot - outage_slot.
+  };
+
+  const std::vector<Recovery>& recoveries() const noexcept {
+    return recoveries_;
+  }
+
+  /// True while an outage is open (survivors currently partitioned).
+  bool in_outage() const noexcept { return outage_start_.has_value(); }
+
+  /// The tree built by the last observe() (nullptr before the first).
+  const CollectionTree* tree() const noexcept {
+    return tree_ ? &*tree_ : nullptr;
+  }
+
+ private:
+  std::size_t pick_sink(const graph::GeometricGraph& g) const;
+
+  geo::Vec2 sink_position_;
+  std::optional<CollectionTree> tree_;
+  std::optional<std::size_t> outage_start_;
+  std::vector<Recovery> recoveries_;
+};
 
 }  // namespace cps::net

@@ -1,7 +1,6 @@
 #include "trace/trace_io.hpp"
 
 #include <fstream>
-#include <iomanip>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
@@ -17,9 +16,24 @@ void write_header(std::ostream& out, const char* kind,
   out << "# shape " << grid.nx() << ' ' << grid.ny() << '\n';
 }
 
+/// Restores the stream's precision on scope exit, so serialisers can
+/// write at full double precision without leaking format state into the
+/// caller's stream.
+class PrecisionGuard {
+ public:
+  PrecisionGuard(std::ostream& out, std::streamsize precision)
+      : out_(out), saved_(out.precision(precision)) {}
+  ~PrecisionGuard() { out_.precision(saved_); }
+  PrecisionGuard(const PrecisionGuard&) = delete;
+  PrecisionGuard& operator=(const PrecisionGuard&) = delete;
+
+ private:
+  std::ostream& out_;
+  std::streamsize saved_;
+};
+
 void write_rows(std::ostream& out, const field::GridField& grid) {
-  const auto old_precision = out.precision();
-  out << std::setprecision(17);
+  const PrecisionGuard guard(out, 17);
   for (std::size_t j = 0; j < grid.ny(); ++j) {
     for (std::size_t i = 0; i < grid.nx(); ++i) {
       if (i) out << ',';
@@ -27,7 +41,6 @@ void write_rows(std::ostream& out, const field::GridField& grid) {
     }
     out << '\n';
   }
-  out << std::setprecision(static_cast<int>(old_precision));
 }
 
 [[noreturn]] void malformed(const std::string& what) {
@@ -37,7 +50,33 @@ void write_rows(std::ostream& out, const field::GridField& grid) {
 std::string next_line(std::istream& in, const char* expected) {
   std::string line;
   if (!std::getline(in, line)) malformed(std::string("missing ") + expected);
+  // Tolerate CRLF-terminated files (Windows editors, HTTP downloads):
+  // getline leaves the '\r' on the line, which would fail the magic
+  // comparison and poison the last cell of every data row.
+  if (!line.empty() && line.back() == '\r') line.pop_back();
   return line;
+}
+
+/// Parses one CSV cell as a double, requiring the entire cell to be
+/// consumed — "1.5abc" and empty cells are malformed, not silently
+/// truncated.  Row/column are reported 1-based in the error.
+double parse_cell(const std::string& cell, std::size_t row,
+                  std::size_t column) {
+  const auto fail = [&](const char* what) {
+    malformed(std::string(what) + " at row " + std::to_string(row + 1) +
+              ", column " + std::to_string(column + 1));
+  };
+  double value = 0.0;
+  std::size_t consumed = 0;
+  try {
+    value = std::stod(cell, &consumed);
+  } catch (const std::invalid_argument&) {
+    fail("unparsable cell");
+  } catch (const std::out_of_range&) {
+    fail("out-of-range cell");
+  }
+  if (consumed != cell.size()) fail("trailing garbage in cell");
+  return value;
 }
 
 void parse_magic(std::istream& in, const std::string& magic) {
@@ -77,11 +116,15 @@ std::vector<double> parse_rows(std::istream& in, std::size_t nx,
     std::string cell;
     std::size_t i = 0;
     while (std::getline(row, cell, ',')) {
-      if (i >= nx) malformed("too many columns");
-      data.push_back(std::stod(cell));
+      if (i >= nx) {
+        malformed("too many columns at row " + std::to_string(j + 1));
+      }
+      data.push_back(parse_cell(cell, j, i));
       ++i;
     }
-    if (i != nx) malformed("too few columns");
+    if (i != nx) {
+      malformed("too few columns at row " + std::to_string(j + 1));
+    }
   }
   return data;
 }
@@ -116,7 +159,10 @@ void write_trace(std::ostream& out, const field::FrameSequenceField& t) {
   write_header(out, "trace", t.frame(0));
   out << "# frames " << t.frame_count() << '\n';
   for (std::size_t f = 0; f < t.frame_count(); ++f) {
-    out << std::setprecision(17) << "# t " << t.timestamp(f) << '\n';
+    // Scoped: timestamps need full precision, the caller's stream must
+    // come back unchanged.
+    const PrecisionGuard guard(out, 17);
+    out << "# t " << t.timestamp(f) << '\n';
     write_rows(out, t.frame(f));
   }
 }

@@ -103,6 +103,35 @@ TEST(BestSink, PrefersReachabilityOverCost) {
   EXPECT_LT(best_sink(g), 2u);
 }
 
+TEST(BestSink, ReachabilityDominatesAnyTransmissionGap) {
+  // Regression for the old weighted-sum cost (unreachable * 1e6 + tx):
+  // once transmissions_per_round exceeds 1e6, a sink that strands MORE
+  // nodes could win on raw cost.  Two far-apart components provoke it:
+  //
+  //  * a 2402-node path (spacing 5, radius 6): its best sink — the
+  //    middle — still costs ~1.44e6 transmissions per round;
+  //  * a 49x49 grid (2401 nodes, same spacing): its center sink costs
+  //    only ~5.9e4 transmissions.
+  //
+  // A path sink strands the 2401 grid nodes, a grid sink strands the
+  // 2402 path nodes, so reachability says "pick the path".  The old
+  // formula said 2402e6 + 5.9e4 < 2401e6 + 1.44e6 and picked the grid.
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 2402; ++i) pts.push_back({i * 5.0, 0.0});
+  const std::size_t path_nodes = pts.size();
+  for (int j = 0; j < 49; ++j) {
+    for (int i = 0; i < 49; ++i) {
+      pts.push_back({100000.0 + i * 5.0, 100000.0 + j * 5.0});
+    }
+  }
+  const graph::GeometricGraph g(pts, 6.0);
+  const std::size_t chosen = best_sink(g);
+  EXPECT_LT(chosen, path_nodes) << "sink must come from the larger component";
+  const CollectionTree tree(g, chosen);
+  EXPECT_EQ(tree.unreachable_count(), pts.size() - path_nodes);
+  EXPECT_GT(tree.transmissions_per_round(), std::size_t{1000000});
+}
+
 TEST(BestSink, NeverWorseThanAnyOtherSink) {
   num::Rng rng(13);
   std::vector<Vec2> pts;
@@ -122,6 +151,56 @@ TEST(BestSink, NeverWorseThanAnyOtherSink) {
                 other.transmissions_per_round());
     }
   }
+}
+
+TEST(RecoveryMonitor, EmptyGraphThrows) {
+  RecoveryMonitor monitor({0.0, 0.0});
+  const std::vector<Vec2> none;
+  const graph::GeometricGraph g(none, 6.0);
+  EXPECT_THROW(monitor.observe(g, 0), std::invalid_argument);
+  EXPECT_EQ(monitor.tree(), nullptr);
+}
+
+TEST(RecoveryMonitor, RootsAtSurvivorNearestTheBasestation) {
+  RecoveryMonitor monitor({0.0, 0.0});
+  const auto& tree = monitor.observe(chain(4), 0);
+  EXPECT_EQ(tree.sink(), 0u);  // Node 0 sits on the basestation.
+
+  // The sink's host "dies": the tree re-homes to the nearest survivor.
+  const std::vector<Vec2> survivors{{5.0, 0.0}, {10.0, 0.0}, {15.0, 0.0}};
+  const auto& rehomed =
+      monitor.observe(graph::GeometricGraph(survivors, 6.0), 1);
+  EXPECT_EQ(rehomed.sink(), 0u);  // survivors[0] = (5, 0) is now closest.
+  EXPECT_EQ(monitor.tree(), &rehomed);
+  EXPECT_FALSE(monitor.in_outage());
+  EXPECT_TRUE(monitor.recoveries().empty());
+}
+
+TEST(RecoveryMonitor, MeasuresOutageSpanInSlots) {
+  RecoveryMonitor monitor({0.0, 0.0});
+  const std::vector<Vec2> whole{{0.0, 0.0}, {5.0, 0.0}, {10.0, 0.0}};
+  const std::vector<Vec2> split{{0.0, 0.0}, {5.0, 0.0}, {90.0, 90.0}};
+
+  monitor.observe(graph::GeometricGraph(whole, 6.0), 0);
+  EXPECT_FALSE(monitor.in_outage());
+
+  monitor.observe(graph::GeometricGraph(split, 6.0), 1);  // Partitioned.
+  EXPECT_TRUE(monitor.in_outage());
+  monitor.observe(graph::GeometricGraph(split, 6.0), 2);  // Still.
+  EXPECT_TRUE(monitor.in_outage());
+
+  monitor.observe(graph::GeometricGraph(whole, 6.0), 3);  // Healed.
+  EXPECT_FALSE(monitor.in_outage());
+  ASSERT_EQ(monitor.recoveries().size(), 1u);
+  EXPECT_EQ(monitor.recoveries()[0].outage_slot, 1u);
+  EXPECT_EQ(monitor.recoveries()[0].recovered_slot, 3u);
+  EXPECT_EQ(monitor.recoveries()[0].slots, 2u);
+
+  // A second episode accumulates rather than overwrites.
+  monitor.observe(graph::GeometricGraph(split, 6.0), 4);
+  monitor.observe(graph::GeometricGraph(whole, 6.0), 5);
+  ASSERT_EQ(monitor.recoveries().size(), 2u);
+  EXPECT_EQ(monitor.recoveries()[1].slots, 1u);
 }
 
 }  // namespace

@@ -189,6 +189,88 @@ TEST(TraceIo, MalformedInputsThrow) {
   EXPECT_THROW(read_grid(too_wide), std::runtime_error);
 }
 
+TEST(TraceIo, CrlfFilesRoundTrip) {
+  // A trace that passed through a Windows editor or HTTP download gains
+  // \r\n line endings; the reader must shrug them off.
+  const GreenOrbsField f(small_config());
+  const auto seq = f.record(600.0, 610.0, 5.0, 7, 7);
+  std::stringstream buffer;
+  write_trace(buffer, seq);
+  std::string text = buffer.str();
+  std::string crlf;
+  crlf.reserve(text.size() * 2);
+  for (const char c : text) {
+    if (c == '\n') crlf += '\r';
+    crlf += c;
+  }
+  std::stringstream converted(crlf);
+  const auto loaded = read_trace(converted);
+  ASSERT_EQ(loaded.frame_count(), seq.frame_count());
+  for (std::size_t fi = 0; fi < seq.frame_count(); ++fi) {
+    ASSERT_DOUBLE_EQ(loaded.timestamp(fi), seq.timestamp(fi));
+  }
+  EXPECT_DOUBLE_EQ(loaded.value({33.0, 71.0}, 607.0),
+                   seq.value({33.0, 71.0}, 607.0));
+}
+
+TEST(TraceIo, MalformedCellsRejectedWithLocation) {
+  // Trailing garbage after a parsable prefix must not be silently
+  // truncated, and the error must say where to look.
+  std::stringstream garbage(
+      "# cps-grid v1\n# bounds 0 0 1 1\n# shape 2 2\n1,2\n3,1.5abc\n");
+  try {
+    read_grid(garbage);
+    FAIL() << "expected malformed-input error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("row 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("column 2"), std::string::npos) << what;
+  }
+
+  std::stringstream unparsable(
+      "# cps-grid v1\n# bounds 0 0 1 1\n# shape 2 2\nx,2\n3,4\n");
+  EXPECT_THROW(read_grid(unparsable), std::runtime_error);
+
+  std::stringstream empty_cell(
+      "# cps-grid v1\n# bounds 0 0 1 1\n# shape 2 2\n1,\n3,4\n");
+  EXPECT_THROW(read_grid(empty_cell), std::runtime_error);
+
+  std::stringstream overflow(
+      "# cps-grid v1\n# bounds 0 0 1 1\n# shape 2 2\n1,1e999999\n3,4\n");
+  EXPECT_THROW(read_grid(overflow), std::runtime_error);
+}
+
+TEST(TraceIo, TruncatedTraceFrameRejected) {
+  // Two frames promised, second frame cut off mid-grid.
+  std::stringstream truncated(
+      "# cps-trace v1\n# bounds 0 0 1 1\n# shape 2 2\n# frames 2\n"
+      "# t 600\n1,2\n3,4\n# t 605\n5,6\n");
+  EXPECT_THROW(read_trace(truncated), std::runtime_error);
+}
+
+TEST(TraceIo, WritersRestoreStreamPrecision) {
+  const GreenOrbsField f(small_config());
+  const auto grid = f.snapshot(600.0, 5, 5);
+  const auto seq = f.record(600.0, 605.0, 5.0, 5, 5);
+  std::stringstream out;
+  out.precision(6);
+  write_grid(out, grid);
+  EXPECT_EQ(out.precision(), 6);
+  write_trace(out, seq);
+  EXPECT_EQ(out.precision(), 6);
+  // The payload itself was still written at full double precision: a
+  // round-trip through text reproduces the grid exactly.
+  std::stringstream buffer;
+  buffer.precision(3);
+  write_grid(buffer, grid);
+  const auto loaded = read_grid(buffer);
+  for (std::size_t j = 0; j < grid.ny(); ++j) {
+    for (std::size_t i = 0; i < grid.nx(); ++i) {
+      ASSERT_DOUBLE_EQ(loaded.at(i, j), grid.at(i, j));
+    }
+  }
+}
+
 TEST(TraceIo, FileRoundTripAndMissingFile) {
   const GreenOrbsField f(small_config());
   const auto grid = f.snapshot(600.0, 5, 5);
