@@ -1,0 +1,402 @@
+// Perf-trajectory harness: the one binary that measures the quadratic
+// hot paths and their replacements side by side.
+//
+// Sweeps
+//   * FRA planning at k in {100, 500, 2000} (quick: {50, 200}) with both
+//     selection engines (lazy-deletion heap vs full lattice scan), and
+//   * CMA at N in {100, 400, 1000} nodes (quick: {60, 150}) for 200 slots
+//     (quick: 50) under each link model (disk / distance-loss /
+//     Gilbert-Elliott) with both bus delivery modes (grid-pruned vs
+//     all-pairs),
+// and emits BENCH_perf.json with wall times AND the algorithmic counters
+// (transmit attempts per slot, candidates scanned per iteration, MST
+// recomputes, heap pushes / stale pops, grid cells probed).
+//
+// The counters — not the wall times — are the regression signal: they are
+// deterministic, thread-count independent, and machine independent, so a
+// checked-in BENCH_baseline.json can gate CI (--check fails on any
+// counter more than 10% above baseline) without flaking on noisy runners.
+//
+// Every paired sweep doubles as an equivalence oracle: heap-vs-scan must
+// select bit-identical deployments and grid-vs-full must produce
+// bit-identical node trajectories and delivery counters, or the bench
+// exits non-zero.
+//
+// Flags: --quick (CI-sized sweep), --out PATH (default BENCH_perf.json),
+// --check BASELINE.json (compare counters, >10% regression fails),
+// --threads N.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common.hpp"
+#include "core/cma.hpp"
+#include "core/fra.hpp"
+#include "json_mini.hpp"
+#include "net/link_model.hpp"
+
+namespace {
+
+using namespace cps;
+
+// One sweep point: an id, a wall time, the raw counters that describe the
+// algorithmic work done, and a few derived per-unit rates for reading.
+struct Record {
+  std::string id;
+  double wall_ms = 0.0;
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> derived;
+
+  std::uint64_t counter(const std::string& name) const {
+    for (const auto& [n, v] : counters)
+      if (n == name) return v;
+    return 0;
+  }
+};
+
+std::uint64_t cval(const char* name) {
+  return obs::registry().counter(name).value();
+}
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// --- FRA sweep -----------------------------------------------------------
+
+Record run_fra(const field::Field& frame, std::size_t k,
+               core::SelectionEngine engine,
+               std::vector<geo::Vec2>& positions_out) {
+  Record rec;
+  rec.id = "fra.k" + std::to_string(k) + "." +
+           (engine == core::SelectionEngine::kHeap ? "heap" : "scan");
+
+  core::FraConfig cfg;  // error_grid = 100, the paper's lattice.
+  cfg.selection_engine = engine;
+  core::FraPlanner planner(cfg);
+
+  obs::registry().reset();
+  const double t0 = now_ms();
+  const core::FraResult result = planner.plan_detailed(
+      frame, core::PlanRequest{bench::kRegion, k, bench::kRc});
+  rec.wall_ms = now_ms() - t0;
+  positions_out = result.deployment.positions;
+
+  for (const char* name :
+       {"core.fra.iterations", "core.fra.candidates_scanned",
+        "core.fra.heap_pushes", "core.fra.heap_pops",
+        "core.fra.heap_stale_pops", "core.fra.heap_parked",
+        "core.fra.candidates_rebucketed", "core.fra.mst_recomputes",
+        "core.fra.foresight_triggers", "graph.relay.mst_recomputes"}) {
+    rec.counters.emplace_back(name, cval(name));
+  }
+
+  const double iters =
+      static_cast<double>(std::max<std::uint64_t>(1, cval("core.fra.iterations")));
+  // The comparable work rate: candidates examined per selection.  The
+  // scan touches the whole lattice every iteration; the heap touches only
+  // what it pops.
+  const std::uint64_t examined = engine == core::SelectionEngine::kHeap
+                                     ? cval("core.fra.heap_pops")
+                                     : cval("core.fra.candidates_scanned");
+  rec.derived.emplace_back("scans_per_iteration",
+                           static_cast<double>(examined) / iters);
+  if (engine == core::SelectionEngine::kHeap) {
+    const double pops =
+        static_cast<double>(std::max<std::uint64_t>(1, cval("core.fra.heap_pops")));
+    rec.derived.emplace_back(
+        "stale_pop_ratio",
+        static_cast<double>(cval("core.fra.heap_stale_pops")) / pops);
+  }
+  return rec;
+}
+
+// --- CMA sweep -----------------------------------------------------------
+
+std::unique_ptr<net::LinkModel> make_link(const std::string& model,
+                                          double rc) {
+  constexpr std::uint64_t kSeed = 11;  // Same seed across delivery modes.
+  if (model == "disk") return std::make_unique<net::DiskLink>(rc, 0.05, kSeed);
+  if (model == "distloss")
+    return std::make_unique<net::DistanceLossLink>(rc, 0.5, 2.0, kSeed);
+  return std::make_unique<net::GilbertElliottLink>(
+      rc, net::GilbertElliottLink::Params{}, kSeed);
+}
+
+Record run_cma(const field::TimeVaryingField& env, std::size_t n,
+               const std::string& model, net::DeliveryMode mode,
+               std::size_t slots, std::vector<geo::Vec2>& positions_out) {
+  Record rec;
+  rec.id = "cma.n" + std::to_string(n) + "." + model + "." +
+           (mode == net::DeliveryMode::kGrid ? "grid" : "full");
+
+  core::CmaConfig cfg;  // Rc = 10, Rs = 5, v = 1 m/min, beta = 2.
+  cfg.rc = bench::kRc * 1.0001;  // Keep the pitch grids connected.
+  cfg.lcm = core::LcmMode::kPaper;
+  core::CmaSimulation sim(env, bench::kRegion,
+                          core::GridPlanner::make_grid(bench::kRegion, n)
+                              .positions,
+                          cfg, trace::minutes(10, 0));
+  sim.set_link_model(make_link(model, cfg.rc));
+  sim.set_delivery_mode(mode);
+
+  obs::registry().reset();
+  const double t0 = now_ms();
+  sim.run(slots);
+  rec.wall_ms = now_ms() - t0;
+  positions_out = sim.positions();
+
+  for (const char* name :
+       {"net.bus.transmit_attempts", "net.bus.deliveries",
+        "net.bus.delivery_failures", "net.bus.messages_sent",
+        "net.bus.grid_rebuilds"}) {
+    rec.counters.emplace_back(name, cval(name));
+  }
+  rec.derived.emplace_back(
+      "attempts_per_slot",
+      static_cast<double>(cval("net.bus.transmit_attempts")) /
+          static_cast<double>(slots));
+  if (mode == net::DeliveryMode::kGrid) {
+    rec.derived.emplace_back(
+        "cells_probed_mean",
+        obs::registry().histogram("net.bus.cells_probed").mean());
+  }
+  return rec;
+}
+
+// --- Equivalence oracles -------------------------------------------------
+
+bool same_positions(const std::vector<geo::Vec2>& a,
+                    const std::vector<geo::Vec2>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i].x != b[i].x || a[i].y != b[i].y) return false;
+  return true;
+}
+
+// --- JSON output ---------------------------------------------------------
+
+void write_json(std::ostream& out, const std::string& mode,
+                const std::vector<Record>& records) {
+  out.precision(17);
+  out << "{\n";
+  out << "  \"schema\": \"cps.bench_perf.v1\",\n";
+  out << "  \"mode\": \"" << mode << "\",\n";
+  out << "  \"threads\": " << par::thread_count() << ",\n";
+  out << "  \"records\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const Record& r = records[i];
+    out << "    {\n";
+    out << "      \"id\": \"" << r.id << "\",\n";
+    out << "      \"wall_ms\": " << r.wall_ms << ",\n";
+    out << "      \"counters\": {";
+    for (std::size_t j = 0; j < r.counters.size(); ++j) {
+      out << (j == 0 ? "\n" : ",\n") << "        \"" << r.counters[j].first
+          << "\": " << r.counters[j].second;
+    }
+    out << "\n      },\n";
+    out << "      \"derived\": {";
+    for (std::size_t j = 0; j < r.derived.size(); ++j) {
+      out << (j == 0 ? "\n" : ",\n") << "        \"" << r.derived[j].first
+          << "\": " << r.derived[j].second;
+    }
+    out << "\n      }\n";
+    out << "    }" << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+}
+
+// --- Baseline gate -------------------------------------------------------
+
+// Counters are deterministic, so "regression" is sharp: any counter more
+// than 10% above its checked-in baseline fails.  Decreases pass (that is
+// an improvement — refresh the baseline to lock it in).
+int check_against_baseline(const std::string& path,
+                           const std::vector<Record>& records) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_perf: cannot read baseline %s\n",
+                 path.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  bench::Json baseline;
+  try {
+    baseline = bench::JsonParser::parse(buf.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_perf: baseline %s: %s\n", path.c_str(),
+                 e.what());
+    return 1;
+  }
+
+  std::map<std::string, const Record*> by_id;
+  for (const Record& r : records) by_id[r.id] = &r;
+
+  int regressions = 0;
+  std::size_t compared = 0;
+  for (const bench::Json& base_rec : baseline.at("records").array) {
+    const std::string& id = base_rec.at("id").string;
+    const auto it = by_id.find(id);
+    if (it == by_id.end()) {
+      std::fprintf(stderr, "REGRESSION %s: record missing from this run "
+                           "(baseline and run modes must match)\n",
+                   id.c_str());
+      ++regressions;
+      continue;
+    }
+    for (const auto& [name, base_val] : base_rec.at("counters").object) {
+      const double base = base_val.number;
+      const double cur = static_cast<double>(it->second->counter(name));
+      ++compared;
+      if (cur > base * 1.10 + 0.5) {
+        std::fprintf(stderr,
+                     "REGRESSION %s: %s = %.0f exceeds baseline %.0f "
+                     "by more than 10%%\n",
+                     id.c_str(), name.c_str(), cur, base);
+        ++regressions;
+      }
+    }
+  }
+  std::printf("baseline check: %zu counters compared against %s, "
+              "%d regression(s)\n",
+              compared, path.c_str(), regressions);
+  return regressions == 0 ? 0 : 1;
+}
+
+double ratio(double num, double den) { return den == 0.0 ? 0.0 : num / den; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::ObsSession obs_session("perf");
+  bench::configure_threads(argc, argv);
+
+  bool quick = false;
+  std::string out_path = "BENCH_perf.json";
+  std::string baseline_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    }
+  }
+  bench::print_header("Perf trajectory",
+                      quick ? "quadratic-path counters (quick sweep)"
+                            : "quadratic-path counters (full sweep)");
+
+  const std::vector<std::size_t> fra_ks =
+      quick ? std::vector<std::size_t>{50, 200}
+            : std::vector<std::size_t>{100, 500, 2000};
+  const std::vector<std::size_t> cma_ns =
+      quick ? std::vector<std::size_t>{60, 150}
+            : std::vector<std::size_t>{100, 400, 1000};
+  const std::size_t slots = quick ? 50 : 200;
+
+  const auto env = bench::canonical_field();
+  const field::FieldSlice frame(env, bench::reference_time());
+  // Pre-record the window CMA will replay so field lookups are cheap and
+  // identical across every (model, mode) pair.
+  const auto recorded =
+      env.record(trace::minutes(10, 0),
+                 trace::minutes(10, 0) + static_cast<double>(slots) + 1.0,
+                 5.0, 101, 101);
+
+  std::vector<Record> records;
+  int failures = 0;
+
+  // FRA: heap vs scan, bit-identical deployments required.
+  for (const std::size_t k : fra_ks) {
+    std::vector<geo::Vec2> heap_pos, scan_pos;
+    records.push_back(
+        run_fra(frame, k, core::SelectionEngine::kHeap, heap_pos));
+    const Record& heap = records.back();
+    records.push_back(
+        run_fra(frame, k, core::SelectionEngine::kScan, scan_pos));
+    const Record& scan = records.back();
+    if (!same_positions(heap_pos, scan_pos)) {
+      std::fprintf(stderr,
+                   "EQUIVALENCE FAILURE fra.k%zu: heap and scan engines "
+                   "selected different deployments\n",
+                   k);
+      ++failures;
+    }
+    std::printf(
+        "fra k=%-5zu scans/iter: scan %.0f -> heap %.1f (%.0fx), "
+        "wall %.1f ms -> %.1f ms\n",
+        k, scan.derived[0].second, heap.derived[0].second,
+        ratio(scan.derived[0].second, heap.derived[0].second), scan.wall_ms,
+        heap.wall_ms);
+  }
+
+  // CMA: grid vs full per link model — same trajectories, same delivery
+  // counters, fewer transmit attempts.
+  for (const std::size_t n : cma_ns) {
+    for (const std::string model : {"disk", "distloss", "gilbert"}) {
+      std::vector<geo::Vec2> grid_pos, full_pos;
+      records.push_back(run_cma(recorded, n, model, net::DeliveryMode::kGrid,
+                                slots, grid_pos));
+      const Record& grid = records.back();
+      records.push_back(run_cma(recorded, n, model, net::DeliveryMode::kFull,
+                                slots, full_pos));
+      const Record& full = records.back();
+      if (!same_positions(grid_pos, full_pos)) {
+        std::fprintf(stderr,
+                     "EQUIVALENCE FAILURE cma.n%zu.%s: grid and full "
+                     "delivery produced different trajectories\n",
+                     n, model.c_str());
+        ++failures;
+      }
+      for (const char* name : {"net.bus.deliveries",
+                               "net.bus.delivery_failures",
+                               "net.bus.messages_sent"}) {
+        if (grid.counter(name) != full.counter(name)) {
+          std::fprintf(stderr,
+                       "EQUIVALENCE FAILURE cma.n%zu.%s: %s differs "
+                       "(grid %llu vs full %llu)\n",
+                       n, model.c_str(), name,
+                       static_cast<unsigned long long>(grid.counter(name)),
+                       static_cast<unsigned long long>(full.counter(name)));
+          ++failures;
+        }
+      }
+      std::printf(
+          "cma n=%-5zu %-8s attempts/slot: full %.0f -> grid %.0f "
+          "(%.1fx), wall %.0f ms -> %.0f ms\n",
+          n, model.c_str(), full.derived[0].second, grid.derived[0].second,
+          ratio(full.derived[0].second, grid.derived[0].second),
+          full.wall_ms, grid.wall_ms);
+    }
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "bench_perf: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  write_json(out, quick ? "quick" : "full", records);
+  std::printf("wrote %s (%zu records)\n", out_path.c_str(), records.size());
+
+  if (failures > 0) {
+    std::fprintf(stderr, "bench_perf: %d equivalence failure(s)\n", failures);
+    return 1;
+  }
+  if (!baseline_path.empty()) {
+    return check_against_baseline(baseline_path, records);
+  }
+  return 0;
+}

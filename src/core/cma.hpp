@@ -127,6 +127,13 @@ class CmaSimulation {
     bus_.set_link(std::move(link));
   }
 
+  /// Selects the bus's receiver-enumeration strategy (delivery is
+  /// bit-identical either way; kFull is the equivalence oracle, kGrid the
+  /// default O(N * avg_degree) path — see net::DeliveryMode).
+  void set_delivery_mode(net::DeliveryMode mode) noexcept {
+    bus_.set_delivery_mode(mode);
+  }
+
   /// Advances one slot (dt minutes).
   void step();
 

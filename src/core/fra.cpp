@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <queue>
 #include <stdexcept>
 
 #include "core/curvature.hpp"
 #include "geometry/delaunay.hpp"
 #include "graph/relay.hpp"
+#include "graph/union_find.hpp"
 #include "numerics/rng.hpp"
 #include "obs/obs.hpp"
 #include "parallel/spatial_hash.hpp"
@@ -25,6 +27,28 @@ struct Candidate {
   double error = 0.0;       // Local error |f - DT| at pos.
   bool used = false;        // Already selected (or coincides with a vertex).
 };
+
+/// One lazy-deletion heap entry: the candidate's score at push time.  An
+/// entry is stale — and discarded at pop — once the candidate is used or
+/// its live score no longer equals the recorded one (every rebucket that
+/// changes a score pushes a fresh entry, so each unused candidate always
+/// owns at least one live entry).
+struct HeapEntry {
+  double score = 0.0;
+  std::uint32_t index = 0;
+};
+
+/// Max-heap order: higher score wins; equal scores pop the *lowest*
+/// index first, matching the serial scan's first-maximum tie-break.
+struct HeapOrder {
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const noexcept {
+    if (a.score != b.score) return a.score < b.score;
+    return a.index > b.index;
+  }
+};
+
+using SelectionHeap =
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapOrder>;
 
 double interpolate_in(const geo::Delaunay& dt, int tri, geo::Vec2 p) {
   const auto& t = dt.triangle(tri);
@@ -177,9 +201,80 @@ FraResult FraPlanner::plan_detailed(const field::Field& reference,
     }
   }
 
+  const auto score_of = [this](const Candidate& c) noexcept -> double {
+    switch (config_.measure) {
+      case SelectionMeasure::kLocalError:
+        return c.error;
+      case SelectionMeasure::kCurvature:
+        return c.curvature;
+      case SelectionMeasure::kProduct:
+        return c.error * c.curvature;
+      case SelectionMeasure::kRandom:
+        break;
+    }
+    return 0.0;
+  };
+
+  // Heap engine state (see SelectionEngine): one entry per unused
+  // candidate, refreshed on score changes, consumed lazily.  Curvature
+  // scores never change after the initial pass, so rebuckets need not
+  // push for kCurvature.
+  const bool use_heap =
+      config_.selection_engine == SelectionEngine::kHeap &&
+      config_.measure != SelectionMeasure::kRandom;
+  const bool heap_rescores =
+      use_heap && config_.measure != SelectionMeasure::kCurvature;
+  SelectionHeap heap;
+  std::vector<HeapEntry> parked;  // Valid-but-unaffordable pops, restored.
+  std::size_t heap_pushes = 0, heap_pops = 0, heap_stale_pops = 0;
+  if (use_heap) {
+    std::vector<HeapEntry> initial;
+    initial.reserve(candidates.size());
+    for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
+      if (!candidates[ci].used) {
+        initial.push_back(
+            HeapEntry{score_of(candidates[ci]), static_cast<std::uint32_t>(ci)});
+      }
+    }
+    heap_pushes += initial.size();
+    heap = SelectionHeap(HeapOrder{}, std::move(initial));
+  }
+
+  // kRandom free-list: the unused candidate indices, kept ascending and
+  // shrunk on used transitions instead of being rebuilt O(lattice) every
+  // iteration.  Contents (and hence the RNG draw sequence) are identical
+  // to the rebuilt vector's.
+  std::vector<std::size_t> random_free;
+  std::vector<std::size_t> random_scratch;
+  if (config_.measure == SelectionMeasure::kRandom) {
+    for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
+      if (!candidates[ci].used) random_free.push_back(ci);
+    }
+  }
+
   num::Rng rng(config_.seed);
   std::vector<geo::Vec2> selected;
   selected.reserve(request.k);
+
+  // Disk-graph component structure of `selected`, maintained incrementally
+  // so the foresight step can skip the Prim MST outright while the network
+  // is already connected (plan_relays returns an empty plan exactly when
+  // the component count is <= 1).  Same edge predicate as GeometricGraph:
+  // distance_sq <= rc^2.
+  graph::UnionFind net_uf(request.k);
+  std::size_t net_components = 0;
+  const double rc_sq = request.rc * request.rc;
+  const auto register_selected = [&]() {
+    if (!config_.foresight) return;  // Only foresight prices connectivity.
+    const std::size_t i = selected.size() - 1;
+    ++net_components;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (geo::distance_sq(selected[j], selected[i]) <= rc_sq &&
+          net_uf.unite(i, j)) {
+        --net_components;
+      }
+    }
+  };
 
   // Distance from each candidate to the nearest already-placed node,
   // maintained incrementally: the foresight step uses it to price a
@@ -233,17 +328,29 @@ FraResult FraPlanner::plan_detailed(const field::Field& reference,
       }
       c.error = std::abs(c.f_value - interpolate_in(dt, c.triangle, c.pos));
       buckets[static_cast<std::size_t>(c.triangle)].push_back(ci);
+      if (heap_rescores && !c.used) {
+        // The displaced candidate's score moved: push the fresh value;
+        // the superseded entry dies as a stale pop later.
+        heap.push(HeapEntry{score_of(c), static_cast<std::uint32_t>(ci)});
+        ++heap_pushes;
+      }
     }
     CPS_COUNT("core.fra.candidates_rebucketed", displaced.size());
   };
 
-  const auto place_relays = [&](std::size_t budget) {
-    const graph::RelayPlan plan = graph::plan_relays(selected, request.rc);
+  // Spends up to `budget` nodes on the *caller-computed* relay plan.  The
+  // plan the foresight check just priced is exactly the plan to execute —
+  // recomputing the Prim MST here (as the seed code did) doubled the
+  // foresight cost for no behavioural difference, since `selected` cannot
+  // change between the check and the placement.
+  const auto place_relays = [&](std::size_t budget,
+                                const graph::RelayPlan& plan) {
     const std::size_t count = std::min(budget, plan.count);
     for (std::size_t r = 0; r < count; ++r) {
       const geo::Vec2 p = plan.positions[r];
       rebucket_after(dt.insert(p, reference.value(p)));
       selected.push_back(p);
+      register_selected();
       note_added(p);
       result.steps.push_back(FraStep{p, 0.0, true});
       ++result.relay_count;
@@ -263,13 +370,20 @@ FraResult FraPlanner::plan_detailed(const field::Field& reference,
     // post-selection budget — without this, one far-away max-error pick
     // can make connectivity unaffordable in a single step.
     std::size_t candidate_relay_budget = request.k;  // Unbounded pre-seed.
+    graph::RelayPlan plan;  // Empty == connected; reused by the retry path.
     if (config_.foresight && !selected.empty()) {
       const std::size_t remaining = request.k - selected.size();
-      const graph::RelayPlan plan = graph::plan_relays(selected, request.rc);
+      // The union-find already knows whether the disk graph is connected;
+      // plan_relays returns an empty plan in exactly that case, so the
+      // Prim MST only runs while components remain to stitch.
+      if (net_components > 1) {
+        CPS_COUNT("core.fra.mst_recomputes", 1);
+        plan = graph::plan_relays(selected, request.rc);
+      }
       if (plan.count >= remaining) {
         CPS_COUNT("core.fra.foresight_triggers", 1);
         CPS_TRACE_INSTANT("core.fra.foresight_trigger");
-        place_relays(remaining);
+        place_relays(remaining, plan);
         break;
       }
       candidate_relay_budget = remaining - 1 - plan.count;
@@ -284,19 +398,59 @@ FraResult FraPlanner::plan_detailed(const field::Field& reference,
     // Select the best unused, affordable candidate under the measure.
     std::size_t best = candidates.size();
     if (config_.measure == SelectionMeasure::kRandom) {
-      std::vector<std::size_t> unused;
-      for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
-        if (!candidates[ci].used && affordable(ci)) unused.push_back(ci);
+      // Pick uniformly from the incrementally maintained free-list; only
+      // the foresight filter (iteration-dependent) needs a fresh pass,
+      // and it reproduces the rebuilt vector's contents exactly, so the
+      // RNG consumes the same draws as the O(lattice) rebuild did.
+      const std::vector<std::size_t>* pool = &random_free;
+      if (config_.foresight && !selected.empty()) {
+        random_scratch.clear();
+        for (const std::size_t ci : random_free) {
+          if (affordable(ci)) random_scratch.push_back(ci);
+        }
+        pool = &random_scratch;
       }
-      if (!unused.empty()) {
-        best = unused[static_cast<std::size_t>(rng.uniform_int(
-            0, static_cast<std::int64_t>(unused.size()) - 1))];
+      if (!pool->empty()) {
+        best = (*pool)[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(pool->size()) - 1))];
       }
+    } else if (use_heap) {
+      // Pop until the first live entry that is affordable this iteration:
+      // heap order (score desc, index asc) makes it the scan's argmax.
+      // Live-but-unaffordable entries are parked — affordability varies
+      // per iteration, so dropping them would lose candidates for good —
+      // and restored once the selection is decided.
+      std::size_t pops = 0, stale = 0;
+      parked.clear();
+      while (!heap.empty()) {
+        const HeapEntry entry = heap.top();
+        heap.pop();
+        ++pops;
+        const Candidate& c = candidates[entry.index];
+        if (c.used || score_of(c) != entry.score) {
+          ++stale;
+          continue;
+        }
+        if (!affordable(entry.index)) {
+          parked.push_back(entry);
+          continue;
+        }
+        best = entry.index;
+        break;
+      }
+      for (const HeapEntry& entry : parked) heap.push(entry);
+      heap_pops += pops;
+      heap_stale_pops += stale;
+      heap_pushes += parked.size();
+      CPS_COUNT("core.fra.heap_pops", pops);
+      CPS_COUNT("core.fra.heap_stale_pops", stale);
+      CPS_COUNT("core.fra.heap_parked", parked.size());
     } else {
       // Ordered argmax over the lattice: strict > keeps the first (lowest
       // index) maximum within a chunk and the chunk-order combine keeps
       // the first across chunks — bit-identical to the serial scan at
       // every thread count.
+      CPS_COUNT("core.fra.candidates_scanned", candidates.size());
       struct Best {
         double score;
         std::size_t idx;
@@ -337,8 +491,10 @@ FraResult FraPlanner::plan_detailed(const field::Field& reference,
     if (best == candidates.size()) {
       // No affordable candidate: connect what exists to free the budget,
       // then retry; a lattice with nothing left at all ends the plan.
+      // `selected` has not changed since the foresight check priced
+      // `plan`, so the plan is reused verbatim — no second Prim run.
       if (config_.foresight && !selected.empty() &&
-          place_relays(request.k - selected.size()) > 0) {
+          place_relays(request.k - selected.size(), plan) > 0) {
         continue;
       }
       break;
@@ -346,6 +502,10 @@ FraResult FraPlanner::plan_detailed(const field::Field& reference,
 
     Candidate& chosen = candidates[best];
     chosen.used = true;
+    if (config_.measure == SelectionMeasure::kRandom) {
+      random_free.erase(std::lower_bound(random_free.begin(),
+                                         random_free.end(), best));
+    }
     note_added(chosen.pos);
     const double score =
         config_.measure == SelectionMeasure::kLocalError ? chosen.error
@@ -355,6 +515,7 @@ FraResult FraPlanner::plan_detailed(const field::Field& reference,
             ? chosen.error * chosen.curvature
             : 0.0;
     selected.push_back(chosen.pos);
+    register_selected();
     result.steps.push_back(FraStep{chosen.pos, score, false});
     // Per-iteration trajectory the paper's Figs. 5-7 discussion is about:
     // the refinement error at the point just judged worst, and how the
@@ -384,6 +545,13 @@ FraResult FraPlanner::plan_detailed(const field::Field& reference,
     CPS_GAUGE("core.fra.stale_candidates", stale);
   }
 
+  if (use_heap) {
+    CPS_COUNT("core.fra.heap_pushes", heap_pushes);
+    CPS_GAUGE("core.fra.heap_stale_ratio",
+              heap_pops == 0 ? 0.0
+                             : static_cast<double>(heap_stale_pops) /
+                                   static_cast<double>(heap_pops));
+  }
   CPS_GAUGE("core.fra.triangle_count", dt.triangle_count());
   CPS_GAUGE("core.fra.vertex_count", dt.vertex_count());
   result.deployment.positions = std::move(selected);

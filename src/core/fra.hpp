@@ -36,6 +36,20 @@ enum class SelectionMeasure {
   kRandom,      ///< Uniformly random unused candidate (sanity floor).
 };
 
+/// How the per-iteration argmax over the candidate lattice is computed.
+///
+/// kHeap (default) keeps a lazy-deletion max-heap keyed (score, index):
+/// the Garland–Heckbert rebucket pushes fresh entries only for displaced
+/// candidates, pops revalidate against the candidate's live (used, score)
+/// pair and drop stale entries, and valid-but-unaffordable pops are
+/// parked and restored after the selection (affordability is
+/// iteration-dependent).  O(k log n + displaced reinserts) overall.
+/// kScan is the full parallel_reduce lattice scan, O(k n), kept compiled
+/// in as the equivalence oracle.  Both produce bit-identical selections
+/// (strict max, lowest index on ties); SelectionMeasure::kRandom ignores
+/// the engine and uses its own incremental free-list.
+enum class SelectionEngine { kScan, kHeap };
+
 /// FRA tuning knobs.
 struct FraConfig {
   /// Candidate lattice density per axis (the paper's sqrt(A) x sqrt(A)
@@ -49,6 +63,8 @@ struct FraConfig {
   double curvature_radius = 5.0;
   /// Seed for SelectionMeasure::kRandom.
   std::uint64_t seed = 1;
+  /// Argmax engine (see SelectionEngine); results are bit-identical.
+  SelectionEngine selection_engine = SelectionEngine::kHeap;
 };
 
 /// One selection the algorithm made, in order.

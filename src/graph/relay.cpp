@@ -5,6 +5,7 @@
 
 #include "graph/geometric_graph.hpp"
 #include "graph/mst.hpp"
+#include "obs/obs.hpp"
 
 namespace cps::graph {
 
@@ -32,9 +33,14 @@ RelayPlan plan_relays(std::span<const geo::Vec2> nodes, double r) {
   RelayPlan plan;
   if (nodes.size() <= 1) return plan;
 
+  // Callers that already know the disk graph is connected (FRA's
+  // union-find) skip this call entirely; the counter below is therefore
+  // the process-wide "Prim MST actually ran" regression signal.
+  CPS_TIMER("graph.relay.plan_relays");
   const GeometricGraph g(nodes, r);
   const auto comps = g.components();
   if (comps.size() <= 1) return plan;
+  CPS_COUNT("graph.relay.mst_recomputes", 1);
 
   std::vector<std::vector<geo::Vec2>> groups;
   groups.reserve(comps.size());

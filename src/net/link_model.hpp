@@ -11,6 +11,14 @@
 // Determinism contract: every model is seeded and consumes randomness
 // only inside transmit(), in call order.  Two runs issuing the same
 // transmit() sequence on equal-seeded models see identical outcomes.
+//
+// No-draw pruning contract: transmit() rejects any pair farther apart
+// than max_range() *without consuming randomness* (draw schedules are
+// per-attempt-on-in-range-pairs only).  MessageBus relies on this to
+// skip out-of-range receivers geometrically — via a spatial grid — while
+// keeping the RNG stream, and therefore every delivery outcome,
+// bit-identical to the full all-pairs probe.  test_perf_equivalence
+// pins the contract per model.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +41,13 @@ class LinkModel {
 
   /// Communication radius Rc: no delivery ever succeeds beyond it.
   virtual double radius() const noexcept = 0;
+
+  /// Pruning horizon: transmit() MUST return false for any pair farther
+  /// apart than this — and must do so without consuming randomness (see
+  /// the no-draw contract above).  Defaults to radius(); a model may only
+  /// widen it, never narrow it below the largest distance at which
+  /// transmit() can touch its RNG or per-link state.
+  virtual double max_range() const noexcept { return radius(); }
 
   /// True when a and b are within communication range (distance <= Rc).
   bool in_range(geo::Vec2 a, geo::Vec2 b) const noexcept {

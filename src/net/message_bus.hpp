@@ -16,8 +16,11 @@
 // flight from a node that dies before delivery are lost with the node.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -25,6 +28,7 @@
 #include "net/link_model.hpp"
 #include "net/radio.hpp"
 #include "obs/obs.hpp"
+#include "parallel/spatial_hash.hpp"
 
 namespace cps::net {
 
@@ -34,6 +38,18 @@ struct Delivery {
   NodeId from = 0;
   M message{};
 };
+
+/// How step()/neighbors_of enumerate potential receivers.
+///
+/// kGrid (the default) builds a par::SpatialHash over the living
+/// receivers' positions — rebuilt lazily, at most once per position/alive
+/// change — and probes only the cells within the link's max_range() of
+/// each sender.  Per-slot cost drops from O(N^2) link evaluations to
+/// O(N * avg_degree).  The LinkModel no-draw contract (link_model.hpp)
+/// guarantees the pruned out-of-range probes never consumed randomness,
+/// so deliveries, inbox order, and counters are bit-identical to kFull.
+/// kFull keeps the all-pairs probe compiled in as the equivalence oracle.
+enum class DeliveryMode { kFull, kGrid };
 
 /// Broadcast-only message bus for `M`-typed payloads.
 template <typename M>
@@ -63,10 +79,18 @@ class MessageBus {
   void set_link(std::unique_ptr<LinkModel> link) {
     if (!link) throw std::invalid_argument("MessageBus: null link model");
     link_ = std::move(link);
+    grid_dirty_ = true;  // max_range() may have changed the cell size.
   }
 
+  /// Selects the receiver-enumeration strategy (see DeliveryMode).
+  void set_delivery_mode(DeliveryMode mode) noexcept { mode_ = mode; }
+  DeliveryMode delivery_mode() const noexcept { return mode_; }
+
   /// Updates the position used for range checks of subsequent broadcasts.
-  void set_position(NodeId id, geo::Vec2 p) { positions_.at(id) = p; }
+  void set_position(NodeId id, geo::Vec2 p) {
+    positions_.at(id) = p;
+    grid_dirty_ = true;
+  }
   geo::Vec2 position(NodeId id) const { return positions_.at(id); }
 
   /// Marks a node dead (false) or alive (true).  Killing a node clears
@@ -77,6 +101,7 @@ class MessageBus {
     }
     alive_[id] = alive ? 1 : 0;
     if (!alive) inboxes_[id].clear();
+    grid_dirty_ = true;
   }
 
   bool alive(NodeId id) const {
@@ -113,23 +138,34 @@ class MessageBus {
 
   /// Delivers all queued broadcasts to in-range living receivers and
   /// clears the queue.  Senders do not receive their own broadcasts.
+  ///
+  /// Under DeliveryMode::kGrid (default) each sender probes only the
+  /// grid cells within link max_range(); deliveries, inbox order, and
+  /// delivery counters are bit-identical to the kFull all-pairs probe
+  /// because pruned receivers never consumed randomness (no-draw
+  /// contract) and candidates are re-sorted into ascending-id order
+  /// before the transmit() draws.
   void step() {
     for (auto& inbox : inboxes_) inbox.clear();
+    if (mode_ == DeliveryMode::kGrid) refresh_grid();
     for (auto& pending : outbox_) {
       if (!alive_[pending.from]) continue;  // Died with messages in flight.
-      for (NodeId to = 0; to < positions_.size(); ++to) {
-        if (to == pending.from) continue;
-        if (!alive_[to]) continue;
-        if (link_->transmit(pending.from, to, pending.sent_from,
-                            positions_[to])) {
-          CPS_COUNT("net.bus.deliveries", 1);
-          inboxes_[to].push_back(Delivery<M>{pending.from, pending.message});
-        } else {
-          // A failed transmission to an in-range receiver is a radio loss;
-          // out-of-range receivers are not delivery failures.
-          CPS_COUNT("net.bus.delivery_failures",
-                    link_->in_range(pending.sent_from, positions_[to]) ? 1
-                                                                       : 0);
+      if (mode_ == DeliveryMode::kGrid) {
+        candidates_.clear();
+        const std::size_t cells = grid_->collect_candidates(
+            pending.sent_from, link_->max_range(), candidates_);
+        CPS_HIST("net.bus.cells_probed", cells);
+        // collect_candidates returns ids cell by cell; sorting restores
+        // the ascending-id receiver order of the full probe, which fixes
+        // the RNG draw order (compact grid ids map to ascending NodeIds).
+        std::sort(candidates_.begin(), candidates_.end());
+        for (const std::uint32_t c : candidates_) {
+          probe(pending, grid_ids_[c]);
+        }
+      } else {
+        for (NodeId to = 0; to < positions_.size(); ++to) {
+          if (!alive_[to]) continue;
+          probe(pending, to);
         }
       }
     }
@@ -144,13 +180,25 @@ class MessageBus {
   /// Ids of living nodes currently within radio range of `id` (excluding
   /// itself).  An oracle view of the topology — protocol code should
   /// prefer beacon-learned neighbour tables, which see only what the
-  /// channel actually delivered.
+  /// channel actually delivered.  Grid-pruned under DeliveryMode::kGrid
+  /// (ascending ids either way).
   std::vector<NodeId> neighbors_of(NodeId id) const {
     std::vector<NodeId> out;
-    for (NodeId j = 0; j < positions_.size(); ++j) {
-      if (j != id && alive_[j] &&
-          link_->in_range(positions_.at(id), positions_[j])) {
-        out.push_back(j);
+    const geo::Vec2 p = positions_.at(id);
+    if (mode_ == DeliveryMode::kGrid) {
+      refresh_grid();
+      candidates_.clear();
+      grid_->collect_candidates(p, link_->max_range(), candidates_);
+      std::sort(candidates_.begin(), candidates_.end());
+      for (const std::uint32_t c : candidates_) {
+        const NodeId j = grid_ids_[c];
+        if (j != id && link_->in_range(p, positions_[j])) out.push_back(j);
+      }
+    } else {
+      for (NodeId j = 0; j < positions_.size(); ++j) {
+        if (j != id && alive_[j] && link_->in_range(p, positions_[j])) {
+          out.push_back(j);
+        }
       }
     }
     return out;
@@ -163,12 +211,55 @@ class MessageBus {
     M message;
   };
 
+  /// One directed transmission attempt against the link model.
+  void probe(const Pending& pending, NodeId to) {
+    if (to == pending.from) return;
+    CPS_COUNT("net.bus.transmit_attempts", 1);
+    if (link_->transmit(pending.from, to, pending.sent_from,
+                        positions_[to])) {
+      CPS_COUNT("net.bus.deliveries", 1);
+      inboxes_[to].push_back(Delivery<M>{pending.from, pending.message});
+    } else {
+      // A failed transmission to an in-range receiver is a radio loss;
+      // out-of-range receivers are not delivery failures.
+      CPS_COUNT("net.bus.delivery_failures",
+                link_->in_range(pending.sent_from, positions_[to]) ? 1 : 0);
+    }
+  }
+
+  /// Rebuilds the living-receiver spatial index if positions, liveness,
+  /// or the link model changed since the last build.  Cell size is the
+  /// link's max_range(), so a range query touches at most 9 cells.
+  void refresh_grid() const {
+    if (!grid_dirty_ && grid_.has_value()) return;
+    grid_ids_.clear();
+    grid_positions_.clear();
+    for (NodeId i = 0; i < positions_.size(); ++i) {
+      if (alive_[i]) {
+        grid_ids_.push_back(i);
+        grid_positions_.push_back(positions_[i]);
+      }
+    }
+    grid_.emplace(grid_positions_, link_->max_range());
+    grid_dirty_ = false;
+    CPS_COUNT("net.bus.grid_rebuilds", 1);
+  }
+
   std::unique_ptr<LinkModel> link_;
   std::vector<geo::Vec2> positions_;
   std::vector<char> alive_;
   std::vector<Pending> outbox_;
   std::vector<std::vector<Delivery<M>>> inboxes_;
   std::size_t total_broadcasts_ = 0;
+  DeliveryMode mode_ = DeliveryMode::kGrid;
+  // Lazily maintained living-receiver index (kGrid only).  Mutable:
+  // neighbors_of is logically const; the bus makes no thread-safety
+  // claims, so the cache needs no lock.
+  mutable std::vector<NodeId> grid_ids_;          // Living ids, ascending.
+  mutable std::vector<geo::Vec2> grid_positions_;  // Their positions.
+  mutable std::optional<par::SpatialHash> grid_;
+  mutable bool grid_dirty_ = true;
+  mutable std::vector<std::uint32_t> candidates_;  // Query scratch.
 };
 
 }  // namespace cps::net

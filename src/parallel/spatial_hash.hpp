@@ -126,6 +126,29 @@ class SpatialHash {
     }
   }
 
+  /// Appends to `out` the ids of every indexed point whose cell intersects
+  /// the disk (p, radius) — the same candidate superset for_each_candidate
+  /// visits — and returns the number of cells probed.  Ids arrive cell by
+  /// cell (row-major, ascending within each cell); callers needing a
+  /// globally ascending order sort the result.
+  std::size_t collect_candidates(geo::Vec2 p, double radius,
+                                 std::vector<std::uint32_t>& out) const {
+    if (ids_.empty()) return 0;
+    const std::size_t c0 = col_of(p.x - radius);
+    const std::size_t c1 = col_of(p.x + radius);
+    const std::size_t r0 = row_of(p.y - radius);
+    const std::size_t r1 = row_of(p.y + radius);
+    std::size_t cells = 0;
+    for (std::size_t row = r0; row <= r1; ++row) {
+      for (std::size_t col = c0; col <= c1; ++col) {
+        ++cells;
+        const auto members = cell_members(cell_index(col, row));
+        out.insert(out.end(), members.begin(), members.end());
+      }
+    }
+    return cells;
+  }
+
  private:
   std::size_t grid_extent(double span) const noexcept {
     const double cells = std::floor(span / cell_) + 1.0;

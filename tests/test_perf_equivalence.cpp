@@ -1,0 +1,336 @@
+// Bit-identity tests for the fast paths introduced by the perf PR:
+//
+//  * FRA's lazy-deletion heap engine vs the full lattice scan, across
+//    every deterministic SelectionMeasure and both foresight modes on
+//    fig5/fig6-style configs;
+//  * the grid-pruned MessageBus vs the all-pairs probe, for all three
+//    link models, under mid-run churn, at 1 and 4 worker threads;
+//  * the per-model no-draw pruning contract the grid path relies on;
+//  * a hard-coded golden for SelectionMeasure::kRandom pinning the
+//    incremental free-list to the draw schedule of the original
+//    rebuild-the-pool implementation (seed stability).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cma.hpp"
+#include "core/fra.hpp"
+#include "field/analytic_fields.hpp"
+#include "field/time_varying.hpp"
+#include "net/fault.hpp"
+#include "net/link_model.hpp"
+#include "net/message_bus.hpp"
+#include "obs/obs.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace cps {
+namespace {
+
+const num::Rect kRegion{0.0, 0.0, 100.0, 100.0};
+constexpr double kRc = 10.0;
+
+// --- FRA: heap engine vs scan engine -------------------------------------
+
+/// A fig5/fig6-like reference surface: smooth trend plus sharp plateaus,
+/// so local error, curvature, and their product all rank candidates
+/// non-trivially.
+field::AnalyticField reference_surface() {
+  return field::AnalyticField([](double x, double y) {
+    return 10.0 + 0.05 * x * y / 100.0 + 3.0 * (x > 40 && x < 60) +
+           2.0 * (y > 20 && y < 50);
+  });
+}
+
+core::FraResult plan_with_engine(core::SelectionEngine engine,
+                                 core::SelectionMeasure measure,
+                                 bool foresight, std::size_t k) {
+  core::FraConfig cfg;  // error_grid = 100, the paper's lattice.
+  cfg.selection_engine = engine;
+  cfg.measure = measure;
+  cfg.foresight = foresight;
+  const auto f = reference_surface();
+  return core::FraPlanner(cfg).plan_detailed(
+      f, core::PlanRequest{kRegion, k, kRc});
+}
+
+void expect_identical(const core::FraResult& a, const core::FraResult& b) {
+  ASSERT_EQ(a.steps.size(), b.steps.size());
+  EXPECT_EQ(a.relay_count, b.relay_count);
+  for (std::size_t i = 0; i < a.steps.size(); ++i) {
+    // Exact equality: the engines must make the same choice, not merely
+    // equally good ones.
+    EXPECT_EQ(a.steps[i].position.x, b.steps[i].position.x) << "step " << i;
+    EXPECT_EQ(a.steps[i].position.y, b.steps[i].position.y) << "step " << i;
+    EXPECT_EQ(a.steps[i].score, b.steps[i].score) << "step " << i;
+    EXPECT_EQ(a.steps[i].relay, b.steps[i].relay) << "step " << i;
+  }
+  ASSERT_EQ(a.deployment.positions.size(), b.deployment.positions.size());
+  for (std::size_t i = 0; i < a.deployment.positions.size(); ++i) {
+    EXPECT_EQ(a.deployment.positions[i].x, b.deployment.positions[i].x);
+    EXPECT_EQ(a.deployment.positions[i].y, b.deployment.positions[i].y);
+  }
+}
+
+TEST(FraEngineEquivalence, HeapMatchesScanAcrossMeasuresAndForesight) {
+  using core::SelectionMeasure;
+  for (const SelectionMeasure measure :
+       {SelectionMeasure::kLocalError, SelectionMeasure::kCurvature,
+        SelectionMeasure::kProduct}) {
+    for (const bool foresight : {true, false}) {
+      for (const std::size_t k : {std::size_t{30}, std::size_t{100}}) {
+        SCOPED_TRACE("measure=" + std::to_string(static_cast<int>(measure)) +
+                     " foresight=" + std::to_string(foresight) +
+                     " k=" + std::to_string(k));
+        expect_identical(plan_with_engine(core::SelectionEngine::kHeap,
+                                          measure, foresight, k),
+                         plan_with_engine(core::SelectionEngine::kScan,
+                                          measure, foresight, k));
+      }
+    }
+  }
+}
+
+TEST(FraEngineEquivalence, RandomMeasureIgnoresEngine) {
+  // kRandom has its own incremental free-list; the engine knob must not
+  // perturb its draw schedule.
+  expect_identical(plan_with_engine(core::SelectionEngine::kHeap,
+                                    core::SelectionMeasure::kRandom, true, 40),
+                   plan_with_engine(core::SelectionEngine::kScan,
+                                    core::SelectionMeasure::kRandom, true, 40));
+}
+
+// --- FRA: kRandom golden (seed stability across the free-list rewrite) ---
+
+struct GoldenStep {
+  double x, y;
+  int relay;
+};
+
+core::FraResult plan_random_golden(bool foresight) {
+  core::FraConfig cfg;
+  cfg.error_grid = 40;
+  cfg.measure = core::SelectionMeasure::kRandom;
+  cfg.foresight = foresight;
+  cfg.seed = 2026;
+  const auto f = reference_surface();
+  return core::FraPlanner(cfg).plan_detailed(
+      f, core::PlanRequest{kRegion, 25, kRc});
+}
+
+void expect_matches_golden(const core::FraResult& result,
+                           const std::vector<GoldenStep>& golden) {
+  ASSERT_EQ(result.steps.size(), golden.size());
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    EXPECT_EQ(result.steps[i].position.x, golden[i].x) << "step " << i;
+    EXPECT_EQ(result.steps[i].position.y, golden[i].y) << "step " << i;
+    EXPECT_EQ(result.steps[i].relay, golden[i].relay != 0) << "step " << i;
+  }
+}
+
+// Captured from the pre-heap implementation (rebuild-the-unused-pool every
+// iteration) at error_grid = 40, seed = 2026, k = 25: the incremental
+// free-list must reproduce this draw schedule exactly.
+TEST(FraRandomGolden, ForesightOnSequenceIsStable) {
+  const std::vector<GoldenStep> golden = {
+      {100.00000000000001, 33.333333333333336, 0},
+      {76.923076923076934, 94.871794871794876, 0},
+      {0, 10.256410256410257, 0},
+      {46.15384615384616, 23.07692307692308, 0},
+      {89.743589743589752, 92.307692307692321, 0},
+      {51.282051282051285, 92.307692307692321, 0},
+      {38.461538461538467, 23.07692307692308, 0},
+      {53.846153846153854, 87.179487179487182, 0},
+      {91.025641025641036, 31.623931623931625, 1},
+      {82.051282051282072, 29.914529914529918, 1},
+      {73.076923076923094, 28.205128205128208, 1},
+      {64.102564102564116, 26.495726495726501, 1},
+      {55.128205128205131, 24.786324786324791, 1},
+      {30.769230769230774, 20.512820512820515, 1},
+      {23.07692307692308, 17.948717948717949, 1},
+      {15.384615384615387, 15.384615384615387, 1},
+      {7.6923076923076934, 12.820512820512821, 1},
+      {98.290598290598297, 43.162393162393165, 1},
+      {96.581196581196593, 52.991452991452995, 1},
+      {94.87179487179489, 62.820512820512832, 1},
+      {93.162393162393172, 72.649572649572661, 1},
+      {91.452991452991455, 82.478632478632491, 1},
+      {83.333333333333343, 93.589743589743591, 1},
+      {69.230769230769241, 92.307692307692307, 1},
+      {61.538461538461547, 89.743589743589752, 1},
+  };
+  const auto result = plan_random_golden(/*foresight=*/true);
+  EXPECT_EQ(result.relay_count, 17u);
+  expect_matches_golden(result, golden);
+}
+
+TEST(FraRandomGolden, ForesightOffSequenceIsStable) {
+  const std::vector<GoldenStep> golden = {
+      {100.00000000000001, 33.333333333333336, 0},
+      {76.923076923076934, 94.871794871794876, 0},
+      {0, 10.256410256410257, 0},
+      {23.07692307692308, 56.410256410256416, 0},
+      {79.487179487179489, 56.410256410256416, 0},
+      {66.666666666666671, 61.538461538461547, 0},
+      {100.00000000000001, 84.615384615384627, 0},
+      {53.846153846153854, 61.538461538461547, 0},
+      {97.435897435897445, 10.256410256410257, 0},
+      {84.615384615384627, 84.615384615384627, 0},
+      {10.256410256410257, 0, 0},
+      {10.256410256410257, 5.1282051282051286, 0},
+      {7.6923076923076934, 76.923076923076934, 0},
+      {100.00000000000001, 17.948717948717949, 0},
+      {48.717948717948723, 61.538461538461547, 0},
+      {56.410256410256416, 61.538461538461547, 0},
+      {7.6923076923076934, 58.974358974358978, 0},
+      {43.589743589743591, 87.179487179487182, 0},
+      {66.666666666666671, 71.794871794871796, 0},
+      {71.794871794871796, 92.307692307692321, 0},
+      {100.00000000000001, 61.538461538461547, 0},
+      {71.794871794871796, 87.179487179487182, 0},
+      {2.5641025641025643, 5.1282051282051286, 0},
+      {89.743589743589752, 41.025641025641029, 0},
+      {46.15384615384616, 43.589743589743591, 0},
+  };
+  const auto result = plan_random_golden(/*foresight=*/false);
+  EXPECT_EQ(result.relay_count, 0u);
+  expect_matches_golden(result, golden);
+}
+
+// --- MessageBus: grid-pruned vs all-pairs delivery ------------------------
+
+std::unique_ptr<net::LinkModel> make_link(const std::string& model,
+                                          double rc, std::uint64_t seed) {
+  if (model == "disk") return std::make_unique<net::DiskLink>(rc, 0.3, seed);
+  if (model == "distloss")
+    return std::make_unique<net::DistanceLossLink>(rc, 0.8, 2.0, seed);
+  return std::make_unique<net::GilbertElliottLink>(
+      rc, net::GilbertElliottLink::Params{}, seed);
+}
+
+field::StaticTimeField cma_env() {
+  return field::StaticTimeField(std::make_shared<field::AnalyticField>(
+      [](double x, double y) {
+        return 10.0 + 0.05 * x * y / 100.0 + 3.0 * (x > 40 && x < 60) +
+               2.0 * (y > 20 && y < 50);
+      }));
+}
+
+struct CmaRun {
+  std::vector<geo::Vec2> positions;
+  std::uint64_t deliveries = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t sent = 0;
+};
+
+/// Runs CMA under a PR 3-style churn schedule with the given bus mode and
+/// link model, returning trajectories plus the delivery counters.
+CmaRun run_cma(const std::string& model, net::DeliveryMode mode) {
+  const auto env = cma_env();
+  core::CmaConfig cfg;
+  cfg.rc = kRc * 1.0001;
+  cfg.lcm = core::LcmMode::kPaper;
+  const std::size_t n = 80;
+  core::CmaSimulation sim(
+      env, kRegion, core::GridPlanner::make_grid(kRegion, n).positions, cfg);
+  sim.set_link_model(make_link(model, cfg.rc, /*seed=*/17));
+  sim.set_delivery_mode(mode);
+  sim.set_fault_schedule(
+      net::FaultSchedule::random_deaths(n, 0.3, 2, 15, /*seed=*/5));
+
+  obs::set_enabled(true);
+  obs::registry().reset();
+  sim.run(25);
+
+  CmaRun out;
+  out.positions = sim.positions();
+  out.deliveries = obs::registry().counter("net.bus.deliveries").value();
+  out.failures =
+      obs::registry().counter("net.bus.delivery_failures").value();
+  out.sent = obs::registry().counter("net.bus.messages_sent").value();
+  return out;
+}
+
+void expect_same_run(const CmaRun& grid, const CmaRun& full) {
+  EXPECT_EQ(grid.deliveries, full.deliveries);
+  EXPECT_EQ(grid.failures, full.failures);
+  EXPECT_EQ(grid.sent, full.sent);
+  ASSERT_EQ(grid.positions.size(), full.positions.size());
+  for (std::size_t i = 0; i < grid.positions.size(); ++i) {
+    EXPECT_EQ(grid.positions[i].x, full.positions[i].x) << "node " << i;
+    EXPECT_EQ(grid.positions[i].y, full.positions[i].y) << "node " << i;
+  }
+}
+
+TEST(BusDeliveryEquivalence, GridMatchesFullUnderChurnAllModels) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    par::set_thread_count(threads);
+    for (const std::string model : {"disk", "distloss", "gilbert"}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) + " model=" + model);
+      expect_same_run(run_cma(model, net::DeliveryMode::kGrid),
+                      run_cma(model, net::DeliveryMode::kFull));
+    }
+  }
+  par::set_thread_count(1);
+}
+
+TEST(BusDeliveryEquivalence, NeighborsOfMatchesFullAfterChurn) {
+  net::MessageBus<int> grid_bus(30, net::DiskRadio(kRc, 0.0, 1));
+  net::MessageBus<int> full_bus(30, net::DiskRadio(kRc, 0.0, 1));
+  grid_bus.set_delivery_mode(net::DeliveryMode::kGrid);
+  full_bus.set_delivery_mode(net::DeliveryMode::kFull);
+  for (std::size_t i = 0; i < 30; ++i) {
+    const geo::Vec2 p{static_cast<double>((i * 37) % 100),
+                      static_cast<double>((i * 61) % 100)};
+    grid_bus.set_position(i, p);
+    full_bus.set_position(i, p);
+  }
+  for (const std::size_t dead : {std::size_t{3}, std::size_t{11}}) {
+    grid_bus.set_alive(dead, false);
+    full_bus.set_alive(dead, false);
+  }
+  for (std::size_t i = 0; i < 30; ++i) {
+    EXPECT_EQ(grid_bus.neighbors_of(i), full_bus.neighbors_of(i))
+        << "node " << i;
+  }
+}
+
+// --- LinkModel: the no-draw pruning contract ------------------------------
+
+TEST(LinkModelContract, MaxRangeCoversRadius) {
+  for (const std::string model : {"disk", "distloss", "gilbert"}) {
+    const auto link = make_link(model, kRc, 1);
+    EXPECT_GE(link->max_range(), link->radius()) << model;
+  }
+}
+
+// Two equal-seeded copies of each model run the same in-range attempt
+// sequence, but one is additionally peppered with out-of-range attempts.
+// If transmit() consumed randomness (or advanced per-link state) on an
+// out-of-range pair, the in-range outcome streams would diverge — and the
+// grid-pruned bus would not be bit-identical to the all-pairs probe.
+TEST(LinkModelContract, OutOfRangeAttemptsConsumeNoRandomness) {
+  for (const std::string model : {"disk", "distloss", "gilbert"}) {
+    SCOPED_TRACE(model);
+    const auto pruned = make_link(model, kRc, /*seed=*/42);
+    const auto peppered = make_link(model, kRc, /*seed=*/42);
+    const geo::Vec2 origin{0.0, 0.0};
+    const geo::Vec2 far{kRc * 3.0, 0.0};
+    for (int i = 0; i < 200; ++i) {
+      // Cycle through in-range distances and several directed links so
+      // per-link state (Gilbert-Elliott) is exercised too.
+      const geo::Vec2 to{0.5 + (i % 19) * 0.5, 0.0};
+      const net::NodeId a = i % 3;
+      const net::NodeId b = 3 + i % 4;
+      EXPECT_FALSE(peppered->transmit(a, b, origin, far)) << "attempt " << i;
+      EXPECT_EQ(pruned->transmit(a, b, origin, to),
+                peppered->transmit(a, b, origin, to))
+          << "attempt " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cps
