@@ -8,9 +8,16 @@
 //     (quick: 50) under each link model (disk / distance-loss /
 //     Gilbert-Elliott) with both bus delivery modes (grid-pruned vs
 //     all-pairs),
+//   * delta evaluation of one FRA deployment at resolution 256 with both
+//     point-location engines (per-point remembering walk vs triangle
+//     raster spans), and a fig10-style sweep of several deployments
+//     against one frame with the reference-lattice cache on,
 // and emits BENCH_perf.json with wall times AND the algorithmic counters
 // (transmit attempts per slot, candidates scanned per iteration, MST
-// recomputes, heap pushes / stale pops, grid cells probed).
+// recomputes, heap pushes / stale pops, grid cells probed, point-location
+// walks, batched rows, reference-cache hits), plus a `machine` block
+// (hardware threads, CPS_THREADS, pool size, default engines) so the perf
+// trajectory is comparable across runners.
 //
 // The counters — not the wall times — are the regression signal: they are
 // deterministic, thread-count independent, and machine independent, so a
@@ -27,6 +34,7 @@
 // --threads N.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
@@ -38,7 +46,9 @@
 
 #include "common.hpp"
 #include "core/cma.hpp"
+#include "core/delta.hpp"
 #include "core/fra.hpp"
+#include "core/planner.hpp"
 #include "json_mini.hpp"
 #include "net/link_model.hpp"
 
@@ -70,6 +80,8 @@ double now_ms() {
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+double ratio(double num, double den) { return den == 0.0 ? 0.0 : num / den; }
 
 // --- FRA sweep -----------------------------------------------------------
 
@@ -173,6 +185,73 @@ Record run_cma(const field::TimeVaryingField& env, std::size_t n,
   return rec;
 }
 
+// --- Delta-eval sweep ----------------------------------------------------
+
+Record run_delta_eval(const field::Field& frame,
+                      const std::vector<geo::Vec2>& positions,
+                      std::size_t resolution, core::DeltaEngine engine,
+                      double& delta_out) {
+  Record rec;
+  rec.id = "delta.res" + std::to_string(resolution) + "." +
+           (engine == core::DeltaEngine::kRaster ? "raster" : "walk");
+
+  core::DeltaMetric metric(bench::kRegion, resolution);
+  metric.set_engine(engine);
+
+  obs::registry().reset();
+  const double t0 = now_ms();
+  delta_out = metric.delta_of_deployment(frame, positions,
+                                         core::CornerPolicy::kFieldValue);
+  rec.wall_ms = now_ms() - t0;
+
+  for (const char* name :
+       {"geometry.delaunay.locates", "geometry.delaunay.walk_steps",
+        "core.delta.batch_rows", "core.delta.raster_spans",
+        "core.delta.raster_fast_assigns",
+        "core.delta.raster_fallback_locates"}) {
+    rec.counters.emplace_back(name, cval(name));
+  }
+  const double points =
+      static_cast<double>(resolution) * static_cast<double>(resolution);
+  rec.derived.emplace_back(
+      "locates_per_point",
+      static_cast<double>(cval("geometry.delaunay.locates")) / points);
+  return rec;
+}
+
+Record run_delta_refcache_sweep(
+    const field::Field& frame,
+    const std::vector<std::vector<geo::Vec2>>& deployments,
+    std::vector<double>& deltas_out) {
+  Record rec;
+  rec.id = "delta.refcache.m" + std::to_string(deployments.size());
+
+  core::DeltaMetric metric = bench::canonical_metric();
+  // The frame outlives the sweep, so address-keyed caching is sound here.
+  metric.set_reference_cache_capacity(8);
+
+  obs::registry().reset();
+  const double t0 = now_ms();
+  deltas_out.clear();
+  for (const auto& positions : deployments) {
+    deltas_out.push_back(metric.delta_of_deployment(
+        frame, positions, core::CornerPolicy::kFieldValue));
+  }
+  rec.wall_ms = now_ms() - t0;
+
+  for (const char* name :
+       {"core.delta.ref_cache_hits", "core.delta.ref_cache_misses",
+        "core.delta.batch_rows", "geometry.delaunay.locates"}) {
+    rec.counters.emplace_back(name, cval(name));
+  }
+  rec.derived.emplace_back(
+      "hit_ratio",
+      ratio(static_cast<double>(cval("core.delta.ref_cache_hits")),
+            static_cast<double>(cval("core.delta.ref_cache_hits") +
+                                cval("core.delta.ref_cache_misses"))));
+  return rec;
+}
+
 // --- Equivalence oracles -------------------------------------------------
 
 bool same_positions(const std::vector<geo::Vec2>& a,
@@ -188,10 +267,25 @@ bool same_positions(const std::vector<geo::Vec2>& a,
 void write_json(std::ostream& out, const std::string& mode,
                 const std::vector<Record>& records) {
   out.precision(17);
+  const char* threads_env = std::getenv("CPS_THREADS");
   out << "{\n";
   out << "  \"schema\": \"cps.bench_perf.v1\",\n";
   out << "  \"mode\": \"" << mode << "\",\n";
   out << "  \"threads\": " << par::thread_count() << ",\n";
+  // Machine context for cross-runner comparison of the wall times; the
+  // baseline gate reads only `records[].counters`, so none of this
+  // affects CI.
+  out << "  \"machine\": {\n";
+  out << "    \"hardware_threads\": " << par::hardware_threads() << ",\n";
+  out << "    \"cps_threads_env\": \""
+      << (threads_env != nullptr ? threads_env : "") << "\",\n";
+  out << "    \"pool_threads\": " << par::thread_count() << ",\n";
+  out << "    \"engines\": {\n";
+  out << "      \"fra_selection\": \"heap\",\n";
+  out << "      \"bus_delivery\": \"grid\",\n";
+  out << "      \"delta_point_location\": \"raster\"\n";
+  out << "    }\n";
+  out << "  },\n";
   out << "  \"records\": [\n";
   for (std::size_t i = 0; i < records.size(); ++i) {
     const Record& r = records[i];
@@ -275,8 +369,6 @@ int check_against_baseline(const std::string& path,
   return regressions == 0 ? 0 : 1;
 }
 
-double ratio(double num, double den) { return den == 0.0 ? 0.0 : num / den; }
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -322,12 +414,14 @@ int main(int argc, char** argv) {
   // FRA: heap vs scan, bit-identical deployments required.
   for (const std::size_t k : fra_ks) {
     std::vector<geo::Vec2> heap_pos, scan_pos;
-    records.push_back(
-        run_fra(frame, k, core::SelectionEngine::kHeap, heap_pos));
-    const Record& heap = records.back();
-    records.push_back(
-        run_fra(frame, k, core::SelectionEngine::kScan, scan_pos));
-    const Record& scan = records.back();
+    // Build records as locals and push copies: references into `records`
+    // would dangle when a later push_back reallocates the vector.
+    const Record heap =
+        run_fra(frame, k, core::SelectionEngine::kHeap, heap_pos);
+    records.push_back(heap);
+    const Record scan =
+        run_fra(frame, k, core::SelectionEngine::kScan, scan_pos);
+    records.push_back(scan);
     if (!same_positions(heap_pos, scan_pos)) {
       std::fprintf(stderr,
                    "EQUIVALENCE FAILURE fra.k%zu: heap and scan engines "
@@ -348,12 +442,12 @@ int main(int argc, char** argv) {
   for (const std::size_t n : cma_ns) {
     for (const std::string model : {"disk", "distloss", "gilbert"}) {
       std::vector<geo::Vec2> grid_pos, full_pos;
-      records.push_back(run_cma(recorded, n, model, net::DeliveryMode::kGrid,
-                                slots, grid_pos));
-      const Record& grid = records.back();
-      records.push_back(run_cma(recorded, n, model, net::DeliveryMode::kFull,
-                                slots, full_pos));
-      const Record& full = records.back();
+      const Record grid = run_cma(recorded, n, model,
+                                  net::DeliveryMode::kGrid, slots, grid_pos);
+      records.push_back(grid);
+      const Record full = run_cma(recorded, n, model,
+                                  net::DeliveryMode::kFull, slots, full_pos);
+      records.push_back(full);
       if (!same_positions(grid_pos, full_pos)) {
         std::fprintf(stderr,
                      "EQUIVALENCE FAILURE cma.n%zu.%s: grid and full "
@@ -381,6 +475,90 @@ int main(int argc, char** argv) {
           ratio(full.derived[0].second, grid.derived[0].second),
           full.wall_ms, grid.wall_ms);
     }
+  }
+
+  // Delta evaluation: one FRA deployment, both point-location engines,
+  // bit-identical deltas required.  Resolution 256 keeps the lattice big
+  // enough that the walk engine's per-point locates dominate.
+  {
+    core::FraPlanner planner;  // Heap engine, the default.
+    const core::Deployment plan = planner.plan(
+        frame, core::PlanRequest{bench::kRegion, 200, bench::kRc});
+    const std::size_t res = 256;
+    double delta_walk = 0.0;
+    double delta_raster = 0.0;
+    const Record walk = run_delta_eval(frame, plan.positions, res,
+                                       core::DeltaEngine::kWalk, delta_walk);
+    records.push_back(walk);
+    const Record raster =
+        run_delta_eval(frame, plan.positions, res, core::DeltaEngine::kRaster,
+                       delta_raster);
+    records.push_back(raster);
+    if (delta_walk != delta_raster) {
+      std::fprintf(stderr,
+                   "EQUIVALENCE FAILURE delta.res%zu: walk %.17g vs raster "
+                   "%.17g\n",
+                   res, delta_walk, delta_raster);
+      ++failures;
+    }
+    std::printf(
+        "delta res=%-4zu locates: walk %llu -> raster %llu (%.0fx), "
+        "wall %.1f ms -> %.1f ms\n",
+        res,
+        static_cast<unsigned long long>(
+            walk.counter("geometry.delaunay.locates")),
+        static_cast<unsigned long long>(
+            raster.counter("geometry.delaunay.locates")),
+        ratio(static_cast<double>(walk.counter("geometry.delaunay.locates")),
+              static_cast<double>(
+                  raster.counter("geometry.delaunay.locates"))),
+        walk.wall_ms, raster.wall_ms);
+  }
+
+  // Reference-lattice cache: the fig10-style sweep — several deployments
+  // evaluated against one frame must sample the reference once and stay
+  // bit-identical to the uncached metric.
+  {
+    constexpr std::size_t kDeployments = 6;
+    std::vector<std::vector<geo::Vec2>> deployments;
+    for (std::size_t i = 0; i < kDeployments; ++i) {
+      core::RandomPlanner rnd(100 + i);
+      deployments.push_back(
+          rnd.plan(frame, core::PlanRequest{bench::kRegion, 60, bench::kRc})
+              .positions);
+    }
+    std::vector<double> uncached_deltas;
+    {
+      const core::DeltaMetric plain = bench::canonical_metric();
+      for (const auto& positions : deployments) {
+        uncached_deltas.push_back(plain.delta_of_deployment(
+            frame, positions, core::CornerPolicy::kFieldValue));
+      }
+    }
+    std::vector<double> cached_deltas;
+    const Record sweep =
+        run_delta_refcache_sweep(frame, deployments, cached_deltas);
+    records.push_back(sweep);
+    for (std::size_t i = 0; i < kDeployments; ++i) {
+      if (cached_deltas[i] != uncached_deltas[i]) {
+        std::fprintf(stderr,
+                     "EQUIVALENCE FAILURE %s: deployment %zu cached %.17g "
+                     "vs uncached %.17g\n",
+                     sweep.id.c_str(), i, cached_deltas[i],
+                     uncached_deltas[i]);
+        ++failures;
+      }
+    }
+    std::printf(
+        "delta refcache m=%zu: %llu hit(s), %llu miss(es), "
+        "batched rows %llu\n",
+        kDeployments,
+        static_cast<unsigned long long>(
+            sweep.counter("core.delta.ref_cache_hits")),
+        static_cast<unsigned long long>(
+            sweep.counter("core.delta.ref_cache_misses")),
+        static_cast<unsigned long long>(
+            sweep.counter("core.delta.batch_rows")));
   }
 
   std::ofstream out(out_path);

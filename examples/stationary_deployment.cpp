@@ -6,6 +6,7 @@
 // Usage: stationary_deployment [k] [rc]   (defaults: k = 60, rc = 10)
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 
 #include "core/coverage.hpp"
@@ -32,10 +33,16 @@ int main(int argc, char** argv) {
 
   const num::Rect region{0.0, 0.0, 100.0, 100.0};
 
+  // Generated artifacts go under bench_out/ (gitignored) like the bench
+  // executables' outputs, not the current directory.
+  const std::string out_dir = "bench_out";
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+
   // --- Historical data: one mid-morning frame of the light field. ---
   const trace::GreenOrbsField environment{trace::GreenOrbsConfig{}};
   const auto frame = environment.snapshot(trace::minutes(10, 0), 101, 101);
-  const std::string frame_path = "deployment_frame.cpsgrid";
+  const std::string frame_path = out_dir + "/deployment_frame.cpsgrid";
   trace::write_grid_file(frame_path, frame);
   // Reload it: planning must work from the archived file alone.
   const auto reference = trace::read_grid_file(frame_path);
@@ -101,8 +108,9 @@ int main(int argc, char** argv) {
               "(articulation nodes)\n\n",
               graph::single_point_of_failure_count(network));
 
-  viz::write_positions_csv_file("deployment_positions.csv",
+  const std::string positions_path = out_dir + "/deployment_positions.csv";
+  viz::write_positions_csv_file(positions_path,
                                 fra_plan.deployment.positions);
-  std::printf("node positions exported to deployment_positions.csv\n");
+  std::printf("node positions exported to %s\n", positions_path.c_str());
   return 0;
 }

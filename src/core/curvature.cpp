@@ -1,7 +1,11 @@
 #include "core/curvature.hpp"
 
 #include <cmath>
+#include <span>
 #include <stdexcept>
+#include <vector>
+
+#include "obs/obs.hpp"
 
 namespace cps::core {
 namespace {
@@ -25,20 +29,42 @@ SensingPatch::SensingPatch(const field::Field& f, geo::Vec2 center,
 
   // Sense the whole square lattice once; `inside` masks the disk.  The
   // square grid keeps finite-difference stencils trivial to address.
+  // The disk's intersection with a lattice row is one contiguous column
+  // interval, so each row is a single batched value_row call over that
+  // interval (bit-identical to per-point sensing by the batch contract);
+  // the in-disk test itself touches no field values.
   std::vector<double> z(static_cast<std::size_t>(side * side), 0.0);
   std::vector<char> inside(static_cast<std::size_t>(side * side), 0);
   const auto idx = [side](int i, int j) {
     return static_cast<std::size_t>(j * side + i);
   };
+  std::vector<double> xs(static_cast<std::size_t>(side));
+  for (int i = 0; i < side; ++i) {
+    xs[static_cast<std::size_t>(i)] =
+        center.x + static_cast<double>(i - h) * spacing;
+  }
   for (int j = 0; j < side; ++j) {
+    const double oy = static_cast<double>(j - h) * spacing;
+    const double y = center.y + oy;
+    int ilo = -1;
+    int ihi = -1;
     for (int i = 0; i < side; ++i) {
-      const geo::Vec2 offset{static_cast<double>(i - h) * spacing,
-                             static_cast<double>(j - h) * spacing};
-      if (offset.norm_sq() > r2) continue;
-      const geo::Vec2 p = center + offset;
-      z[idx(i, j)] = f.value(p);
+      const double ox = static_cast<double>(i - h) * spacing;
+      if (ox * ox + oy * oy > r2) continue;
+      if (ilo < 0) ilo = i;
+      ihi = i;
+    }
+    if (ilo < 0) continue;
+    const auto count = static_cast<std::size_t>(ihi - ilo + 1);
+    f.value_row(y,
+                std::span<const double>(xs).subspan(
+                    static_cast<std::size_t>(ilo), count),
+                &z[idx(ilo, j)]);
+    CPS_COUNT("core.curvature.batch_rows", 1);
+    for (int i = ilo; i <= ihi; ++i) {
       inside[idx(i, j)] = 1;
-      samples_.push_back(Sample{p, z[idx(i, j)]});
+      samples_.push_back(
+          Sample{geo::Vec2{xs[static_cast<std::size_t>(i)], y}, z[idx(i, j)]});
     }
   }
   if (samples_.size() < 3) {

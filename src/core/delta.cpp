@@ -1,8 +1,17 @@
 #include "core/delta.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
+#include <limits>
+#include <list>
+#include <mutex>
 #include <stdexcept>
+#include <vector>
 
+#include "geometry/predicates.hpp"
+#include "obs/obs.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace cps::core {
@@ -15,45 +24,346 @@ double interpolate_in(const geo::Delaunay& dt, int tri, geo::Vec2 p) {
                                  dt.vertex(t.v[2]).z, p);
 }
 
+/// True when p is strictly inside the triangle: every walk edge predicate
+/// is strictly positive.  These are the same filtered orient2d calls (same
+/// vertex order) Delaunay::walk_from evaluates, so a strict pass here
+/// guarantees the walk's closed-containment test accepts this triangle and
+/// rejects every other (p is on no edge, and triangle interiors are
+/// disjoint) — i.e. locate_from returns this triangle for ANY hint.
+bool strictly_inside(const geo::Delaunay& dt, int tri, geo::Vec2 p) {
+  const auto& t = dt.triangle(tri);
+  for (int e = 0; e < 3; ++e) {
+    const geo::Vec2 a =
+        dt.vertex(t.v[static_cast<std::size_t>((e + 1) % 3)]).pos;
+    const geo::Vec2 b =
+        dt.vertex(t.v[static_cast<std::size_t>((e + 2) % 3)]).pos;
+    if (geo::orient2d(a, b, p) <= 0) return false;
+  }
+  return true;
+}
+
+/// One triangle's column interval on one lattice row (inclusive, with a
+/// one-column conservative guard on each end — precision only affects how
+/// many candidates a point tests, never which triangle it is assigned).
+struct RowSpan {
+  int tri = -1;
+  int ilo = 0;
+  int ihi = -1;
+};
+
 }  // namespace
 
+struct DeltaMetric::RefCache {
+  struct Key {
+    const void* id = nullptr;
+    std::uint64_t time_bits = 0;
+    bool operator==(const Key&) const = default;
+  };
+  struct Entry {
+    Key key;
+    std::shared_ptr<const std::vector<double>> rows;
+  };
+
+  static Key key_for(const field::Field& reference) {
+    if (const auto* slice =
+            dynamic_cast<const field::FieldSlice*>(&reference)) {
+      return Key{&slice->underlying(),
+                 std::bit_cast<std::uint64_t>(slice->time())};
+    }
+    // Static fields have no time axis; a NaN sentinel keeps the key space
+    // disjoint from any real slice time.
+    return Key{&reference,
+               std::bit_cast<std::uint64_t>(
+                   std::numeric_limits<double>::quiet_NaN())};
+  }
+
+  mutable std::mutex mutex;
+  std::size_t capacity = 0;
+  std::list<Entry> entries;  // Front = most recently used.
+};
+
 DeltaMetric::DeltaMetric(const num::Rect& region, std::size_t resolution)
-    : region_(region), resolution_(resolution) {
+    : region_(region),
+      resolution_(resolution),
+      cache_(std::make_unique<RefCache>()) {
   if (region.width() <= 0.0 || region.height() <= 0.0) {
     throw std::invalid_argument("DeltaMetric: empty region");
   }
   if (resolution == 0) throw std::invalid_argument("DeltaMetric: resolution");
 }
 
+DeltaMetric::~DeltaMetric() = default;
+DeltaMetric::DeltaMetric(DeltaMetric&&) noexcept = default;
+DeltaMetric& DeltaMetric::operator=(DeltaMetric&&) noexcept = default;
+
+DeltaMetric::DeltaMetric(const DeltaMetric& other)
+    : region_(other.region_),
+      resolution_(other.resolution_),
+      engine_(other.engine_),
+      cache_(std::make_unique<RefCache>()) {
+  cache_->capacity = other.cache_->capacity;
+}
+
+DeltaMetric& DeltaMetric::operator=(const DeltaMetric& other) {
+  if (this == &other) return *this;
+  region_ = other.region_;
+  resolution_ = other.resolution_;
+  engine_ = other.engine_;
+  cache_ = std::make_unique<RefCache>();
+  cache_->capacity = other.cache_->capacity;
+  return *this;
+}
+
+void DeltaMetric::set_reference_cache_capacity(std::size_t max_entries) {
+  const std::lock_guard<std::mutex> lock(cache_->mutex);
+  cache_->capacity = max_entries;
+  while (cache_->entries.size() > cache_->capacity) {
+    cache_->entries.pop_back();
+  }
+}
+
+std::size_t DeltaMetric::reference_cache_capacity() const noexcept {
+  return cache_->capacity;
+}
+
+std::size_t DeltaMetric::reference_cache_size() const {
+  const std::lock_guard<std::mutex> lock(cache_->mutex);
+  return cache_->entries.size();
+}
+
+void DeltaMetric::clear_reference_cache() {
+  const std::lock_guard<std::mutex> lock(cache_->mutex);
+  cache_->entries.clear();
+}
+
+std::shared_ptr<const std::vector<double>>
+DeltaMetric::cached_reference_lattice(const field::Field& reference,
+                                      const num::MidpointLattice& lat) const {
+  if (cache_->capacity == 0) return nullptr;
+  const RefCache::Key key = RefCache::key_for(reference);
+  {
+    const std::lock_guard<std::mutex> lock(cache_->mutex);
+    for (auto it = cache_->entries.begin(); it != cache_->entries.end();
+         ++it) {
+      if (it->key == key) {
+        cache_->entries.splice(cache_->entries.begin(), cache_->entries, it);
+        CPS_COUNT("core.delta.ref_cache_hits", 1);
+        return cache_->entries.front().rows;
+      }
+    }
+  }
+  CPS_COUNT("core.delta.ref_cache_misses", 1);
+  // Fill outside the lock: row-parallel, each row written by exactly one
+  // chunk, so the buffer's contents are thread-count independent.
+  auto rows = std::make_shared<std::vector<double>>(resolution_ * resolution_);
+  par::parallel_for_chunks(
+      resolution_,
+      [&](std::size_t row_begin, std::size_t row_end) {
+        for (std::size_t j = row_begin; j < row_end; ++j) {
+          reference.value_row(lat.y(j), lat.xs(),
+                              rows->data() + j * resolution_);
+          CPS_COUNT("core.delta.batch_rows", 1);
+        }
+      },
+      /*grain=*/4);
+  const std::lock_guard<std::mutex> lock(cache_->mutex);
+  // A racing fill may have inserted the same key meanwhile; reuse it so
+  // every caller shares one buffer.
+  for (auto it = cache_->entries.begin(); it != cache_->entries.end(); ++it) {
+    if (it->key == key) {
+      cache_->entries.splice(cache_->entries.begin(), cache_->entries, it);
+      return cache_->entries.front().rows;
+    }
+  }
+  cache_->entries.push_front(RefCache::Entry{key, rows});
+  while (cache_->entries.size() > cache_->capacity) cache_->entries.pop_back();
+  return rows;
+}
+
 double DeltaMetric::delta(const field::Field& reference,
                           const geo::Delaunay& dt) const {
-  // Manual midpoint loop (rather than integrate_midpoint) so consecutive
-  // point locations walk from the previous cell's triangle — row-coherent
-  // queries make each walk O(1).  The sweep runs in parallel over whole
-  // rows via locate_from (the shared-hint-free walk): each chunk threads
-  // its own hint, and partial sums are combined in ascending chunk order,
-  // so any given thread count reproduces the same bits.
-  const double hx = region_.width() / static_cast<double>(resolution_);
-  const double hy = region_.height() / static_cast<double>(resolution_);
-  const double sum = par::parallel_reduce(
+  const num::MidpointLattice lat(region_, resolution_, resolution_);
+  const auto cached = cached_reference_lattice(reference, lat);
+  const double* ref_lattice = cached ? cached->data() : nullptr;
+  const double sum = engine_ == DeltaEngine::kRaster
+                         ? delta_raster(reference, dt, lat, ref_lattice)
+                         : delta_walk(reference, dt, lat, ref_lattice);
+  return sum * lat.hx() * lat.hy();
+}
+
+double DeltaMetric::delta_walk(const field::Field& reference,
+                               const geo::Delaunay& dt,
+                               const num::MidpointLattice& lat,
+                               const double* ref_lattice) const {
+  // Row sweep with a remembering walk: consecutive point locations walk
+  // from the previous cell's triangle, making each walk O(1) on coherent
+  // rows.  Each chunk threads its own hint and partial sums combine in
+  // ascending chunk order, so any thread count reproduces the same bits.
+  // The reference field is sampled one batched row at a time (or read from
+  // the memoized lattice — same bits either way).
+  const std::span<const double> xs = lat.xs();
+  return par::parallel_reduce(
       resolution_, 0.0,
       [&](std::size_t row_begin, std::size_t row_end) {
         double s = 0.0;
         int hint = -1;
+        std::vector<double> row_buf;
+        if (ref_lattice == nullptr) row_buf.resize(resolution_);
         for (std::size_t j = row_begin; j < row_end; ++j) {
-          const double y = region_.y0 + (static_cast<double>(j) + 0.5) * hy;
+          const double y = lat.y(j);
+          const double* ref;
+          if (ref_lattice != nullptr) {
+            ref = ref_lattice + j * resolution_;
+          } else {
+            reference.value_row(y, xs, row_buf.data());
+            CPS_COUNT("core.delta.batch_rows", 1);
+            ref = row_buf.data();
+          }
           for (std::size_t i = 0; i < resolution_; ++i) {
-            const double x =
-                region_.x0 + (static_cast<double>(i) + 0.5) * hx;
-            hint = dt.locate_from({x, y}, hint);
-            s += std::abs(reference.value(x, y) -
-                          interpolate_in(dt, hint, {x, y}));
+            const geo::Vec2 p{xs[i], y};
+            hint = dt.locate_from(p, hint);
+            s += std::abs(ref[i] - interpolate_in(dt, hint, p));
           }
         }
         return s;
       },
       [](double a, double b) { return a + b; }, /*grain=*/4);
-  return sum * hx * hy;
+}
+
+double DeltaMetric::delta_raster(const field::Field& reference,
+                                 const geo::Delaunay& dt,
+                                 const num::MidpointLattice& lat,
+                                 const double* ref_lattice) const {
+  // Scan-convert every alive triangle into per-row candidate column spans
+  // once (O(triangles x covered rows) instead of resolution^2 walks), then
+  // sweep each row assigning strictly-interior points from the span
+  // candidates.  Points on an edge or vertex — where closed containment is
+  // ambiguous and locate_from's answer is hint-dependent — fall back to
+  // locate_from seeded with exactly the hint the walk engine would carry
+  // at that point (fast assignments equal the walk result, so the hint
+  // chain replays bit-for-bit), keeping assignments identical to kWalk.
+  const std::span<const double> xs = lat.xs();
+  const double hx = lat.hx();
+  const double hy = lat.hy();
+  const auto res = static_cast<long>(resolution_);
+  std::vector<std::vector<RowSpan>> row_spans(resolution_);
+  std::size_t spans_emitted = 0;
+  for (const int tid : dt.alive_triangles()) {
+    const geo::Triangle tri = dt.triangle_geometry(tid);
+    const geo::Vec2 a = tri.a();
+    const geo::Vec2 b = tri.b();
+    const geo::Vec2 c = tri.c();
+    const double ymin = std::min({a.y, b.y, c.y});
+    const double ymax = std::max({a.y, b.y, c.y});
+    // Midpoint rows are y0 + (j + 0.5) hy; the +-1 row guard absorbs any
+    // rounding in the inverse map.
+    const long jlo = std::max(
+        0L, static_cast<long>(
+                std::floor((ymin - region_.y0) / hy - 0.5)) -
+                1);
+    const long jhi = std::min(
+        res - 1, static_cast<long>(
+                     std::ceil((ymax - region_.y0) / hy - 0.5)) +
+                     1);
+    for (long j = jlo; j <= jhi; ++j) {
+      const double y = lat.y(static_cast<std::size_t>(j));
+      double xlo = std::numeric_limits<double>::infinity();
+      double xhi = -xlo;
+      const geo::Vec2 edges[3][2] = {{a, b}, {b, c}, {c, a}};
+      for (const auto& edge : edges) {
+        const geo::Vec2 p = edge[0];
+        const geo::Vec2 q = edge[1];
+        if (std::min(p.y, q.y) > y || std::max(p.y, q.y) < y) continue;
+        if (p.y == q.y) {
+          xlo = std::min({xlo, p.x, q.x});
+          xhi = std::max({xhi, p.x, q.x});
+        } else {
+          const double t = (y - p.y) / (q.y - p.y);
+          const double x = p.x + t * (q.x - p.x);
+          xlo = std::min(xlo, x);
+          xhi = std::max(xhi, x);
+        }
+      }
+      if (xhi < xlo) continue;  // Row inside the guard band only.
+      const long ilo = std::max(
+          0L, static_cast<long>(
+                  std::floor((xlo - region_.x0) / hx - 0.5)) -
+                  1);
+      const long ihi = std::min(
+          res - 1, static_cast<long>(
+                       std::ceil((xhi - region_.x0) / hx - 0.5)) +
+                       1);
+      if (ilo > ihi) continue;
+      row_spans[static_cast<std::size_t>(j)].push_back(
+          RowSpan{tid, static_cast<int>(ilo), static_cast<int>(ihi)});
+      ++spans_emitted;
+    }
+  }
+  for (auto& spans : row_spans) {
+    std::sort(spans.begin(), spans.end(),
+              [](const RowSpan& l, const RowSpan& r) {
+                return l.ilo != r.ilo ? l.ilo < r.ilo : l.tri < r.tri;
+              });
+  }
+  CPS_COUNT("core.delta.raster_spans", spans_emitted);
+
+  return par::parallel_reduce(
+      resolution_, 0.0,
+      [&](std::size_t row_begin, std::size_t row_end) {
+        double s = 0.0;
+        int hint = -1;
+        std::size_t fast = 0;
+        std::size_t fallback = 0;
+        std::vector<double> row_buf;
+        if (ref_lattice == nullptr) row_buf.resize(resolution_);
+        std::vector<RowSpan> active;
+        for (std::size_t j = row_begin; j < row_end; ++j) {
+          const double y = lat.y(j);
+          const double* ref;
+          if (ref_lattice != nullptr) {
+            ref = ref_lattice + j * resolution_;
+          } else {
+            reference.value_row(y, xs, row_buf.data());
+            CPS_COUNT("core.delta.batch_rows", 1);
+            ref = row_buf.data();
+          }
+          const auto& spans = row_spans[j];
+          std::size_t next = 0;
+          active.clear();
+          for (std::size_t i = 0; i < resolution_; ++i) {
+            const int col = static_cast<int>(i);
+            while (next < spans.size() && spans[next].ilo <= col) {
+              active.push_back(spans[next++]);
+            }
+            const geo::Vec2 p{xs[i], y};
+            int assigned = -1;
+            for (std::size_t k = 0; k < active.size();) {
+              if (active[k].ihi < col) {
+                active[k] = active.back();
+                active.pop_back();
+                continue;
+              }
+              if (strictly_inside(dt, active[k].tri, p)) {
+                assigned = active[k].tri;
+                break;
+              }
+              ++k;
+            }
+            if (assigned < 0) {
+              assigned = dt.locate_from(p, hint);
+              ++fallback;
+            } else {
+              ++fast;
+            }
+            hint = assigned;
+            s += std::abs(ref[i] - interpolate_in(dt, assigned, p));
+          }
+        }
+        CPS_COUNT("core.delta.raster_fast_assigns", fast);
+        CPS_COUNT("core.delta.raster_fallback_locates", fallback);
+        return s;
+      },
+      [](double a, double b) { return a + b; }, /*grain=*/4);
 }
 
 double DeltaMetric::delta_from_samples(const field::Field& reference,
@@ -73,26 +383,30 @@ double DeltaMetric::delta_of_deployment(const field::Field& reference,
 
 double DeltaMetric::delta_between(const field::Field& a,
                                   const field::Field& b) const {
-  // Same grid and accumulation order as num::integrate_midpoint, but
-  // row-parallel: fields are pure reads, chunk partials combine in order.
-  const double hx = region_.width() / static_cast<double>(resolution_);
-  const double hy = region_.height() / static_cast<double>(resolution_);
+  // Same lattice and accumulation order as num::integrate_midpoint (via
+  // the shared MidpointLattice), but row-parallel with batched sampling:
+  // fields are pure reads, chunk partials combine in order.
+  const num::MidpointLattice lat(region_, resolution_, resolution_);
+  const std::span<const double> xs = lat.xs();
   const double sum = par::parallel_reduce(
       resolution_, 0.0,
       [&](std::size_t row_begin, std::size_t row_end) {
         double s = 0.0;
+        std::vector<double> row_a(resolution_);
+        std::vector<double> row_b(resolution_);
         for (std::size_t j = row_begin; j < row_end; ++j) {
-          const double y = region_.y0 + (static_cast<double>(j) + 0.5) * hy;
+          const double y = lat.y(j);
+          a.value_row(y, xs, row_a.data());
+          b.value_row(y, xs, row_b.data());
+          CPS_COUNT("core.delta.batch_rows", 2);
           for (std::size_t i = 0; i < resolution_; ++i) {
-            const double x =
-                region_.x0 + (static_cast<double>(i) + 0.5) * hx;
-            s += std::abs(a.value(x, y) - b.value(x, y));
+            s += std::abs(row_a[i] - row_b[i]);
           }
         }
         return s;
       },
       [](double a_, double b_) { return a_ + b_; }, /*grain=*/4);
-  return sum * hx * hy;
+  return sum * lat.hx() * lat.hy();
 }
 
 double DeltaMetric::mean_abs_error(double delta_value) const noexcept {

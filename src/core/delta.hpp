@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <span>
 
 #include "core/reconstruction.hpp"
@@ -16,6 +17,19 @@
 
 namespace cps::core {
 
+/// How delta() assigns evaluation-lattice points to triangles.
+///
+/// kRaster (default) scan-converts each alive triangle into lattice-row
+/// spans once, assigns strictly-interior points directly from the span
+/// candidates, and falls back to the remembering walk — seeded with the
+/// exact hint the walk engine would have at that point — for points on
+/// edges or vertices.  A strictly interior point has a unique containing
+/// triangle and locate_from returns closed containment for any hint, so
+/// assignments (and the accumulated delta) are bit-identical to kWalk.
+/// kWalk runs locate_from on every lattice point and stays compiled in as
+/// the equivalence oracle, mirroring FraConfig::selection_engine.
+enum class DeltaEngine { kWalk, kRaster };
+
 /// Evaluates delta by midpoint quadrature on a fixed evaluation grid.
 /// The paper evaluates on the sqrt(A) x sqrt(A) lattice (100 x 100 for the
 /// GreenOrbs window); `resolution` is that lattice density per axis.
@@ -23,9 +37,36 @@ class DeltaMetric {
  public:
   /// Throws std::invalid_argument for an empty region or zero resolution.
   DeltaMetric(const num::Rect& region, std::size_t resolution = 100);
+  ~DeltaMetric();
+
+  /// Copies share nothing: the copy starts with the same configuration
+  /// (engine, cache capacity) but an empty reference cache.
+  DeltaMetric(const DeltaMetric& other);
+  DeltaMetric& operator=(const DeltaMetric& other);
+  DeltaMetric(DeltaMetric&&) noexcept;
+  DeltaMetric& operator=(DeltaMetric&&) noexcept;
 
   const num::Rect& region() const noexcept { return region_; }
   std::size_t resolution() const noexcept { return resolution_; }
+
+  DeltaEngine engine() const noexcept { return engine_; }
+  void set_engine(DeltaEngine engine) noexcept { engine_ = engine; }
+
+  /// Opt-in memoization of the reference field's midpoint lattice, keyed
+  /// by (field identity, time): sweeps that evaluate many deployments
+  /// against the same frame (fig7 / fig10) sample the reference once.
+  /// FieldSlice references key on the underlying time-varying field plus
+  /// the slice time, so fresh slice temporaries of the same frame hit.
+  /// Off by default (capacity 0) because identity is the field's address:
+  /// enable it only while the referenced fields outlive the metric's use
+  /// (a destroyed field's address may be reused by a different one).
+  /// Cached rows are the same bits value_row produces, so results are
+  /// unchanged.  `max_entries` caps the LRU entry count.
+  void set_reference_cache_capacity(std::size_t max_entries);
+  std::size_t reference_cache_capacity() const noexcept;
+  /// Entries currently held (for tests / benches).
+  std::size_t reference_cache_size() const;
+  void clear_reference_cache();
 
   /// Volume between the referential field and a rebuilt surface.
   double delta(const field::Field& reference, const geo::Delaunay& dt) const;
@@ -56,8 +97,24 @@ class DeltaMetric {
   double mean_abs_error(double delta_value) const noexcept;
 
  private:
+  struct RefCache;
+
+  double delta_walk(const field::Field& reference, const geo::Delaunay& dt,
+                    const num::MidpointLattice& lat,
+                    const double* ref_lattice) const;
+  double delta_raster(const field::Field& reference, const geo::Delaunay& dt,
+                      const num::MidpointLattice& lat,
+                      const double* ref_lattice) const;
+  /// Cache lookup/fill; returns null when caching is off (the caller then
+  /// samples the reference row by row).  The returned buffer is pinned by
+  /// the shared_ptr against concurrent LRU eviction.
+  std::shared_ptr<const std::vector<double>> cached_reference_lattice(
+      const field::Field& reference, const num::MidpointLattice& lat) const;
+
   num::Rect region_;
   std::size_t resolution_;
+  DeltaEngine engine_ = DeltaEngine::kRaster;
+  std::unique_ptr<RefCache> cache_;
 };
 
 }  // namespace cps::core

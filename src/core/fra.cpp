@@ -129,16 +129,32 @@ FraResult FraPlanner::plan_detailed(const field::Field& reference,
   std::vector<Candidate> candidates(n * n);
   const double dx = region.width() / static_cast<double>(n - 1);
   const double dy = region.height() / static_cast<double>(n - 1);
+  std::vector<double> lattice_xs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    lattice_xs[i] = region.x0 + static_cast<double>(i) * dx;
+  }
   {
     CPS_TIMER("core.fra.sense_lattice");
     // Field implementations are const-thread-safe by contract (see
-    // field/field.hpp), so the lattice sense is a plain parallel map.
-    par::parallel_for(n * n, [&](std::size_t idx) {
-      Candidate& c = candidates[idx];
-      c.pos = {region.x0 + static_cast<double>(idx % n) * dx,
-               region.y0 + static_cast<double>(idx / n) * dy};
-      c.f_value = reference.value(c.pos);
-    });
+    // field/field.hpp), so the lattice sense is a parallel map over whole
+    // rows, each sensed by one batched value_row call (bit-identical to
+    // the per-point map by the batch contract).
+    par::parallel_for_chunks(
+        n,
+        [&](std::size_t row_begin, std::size_t row_end) {
+          std::vector<double> row(n);
+          for (std::size_t j = row_begin; j < row_end; ++j) {
+            const double y = region.y0 + static_cast<double>(j) * dy;
+            reference.value_row(y, lattice_xs, row.data());
+            CPS_COUNT("core.fra.batch_rows", 1);
+            for (std::size_t i = 0; i < n; ++i) {
+              Candidate& c = candidates[j * n + i];
+              c.pos = {lattice_xs[i], y};
+              c.f_value = row[i];
+            }
+          }
+        },
+        /*grain=*/1);
   }
 
   if (config_.measure == SelectionMeasure::kCurvature ||

@@ -29,6 +29,15 @@ double PeaksField::do_value(geo::Vec2 p) const {
   return peaks(u, v);
 }
 
+void PeaksField::do_value_row(double y, std::span<const double> xs,
+                              double* out) const {
+  const double v = -3.0 + 6.0 * (y - domain_.y0) / domain_.height();
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double u = -3.0 + 6.0 * (xs[i] - domain_.x0) / domain_.width();
+    out[i] = peaks(u, v);
+  }
+}
+
 GaussianMixtureField::GaussianMixtureField(double base,
                                            std::vector<GaussianBump> bumps)
     : base_(base), bumps_(std::move(bumps)) {
@@ -46,6 +55,19 @@ double GaussianMixtureField::do_value(geo::Vec2 p) const {
     z += b.amplitude * std::exp(-r2 / (2.0 * b.sigma * b.sigma));
   }
   return z;
+}
+
+void GaussianMixtureField::do_value_row(double y, std::span<const double> xs,
+                                        double* out) const {
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const geo::Vec2 p{xs[i], y};
+    double z = base_;
+    for (const auto& b : bumps_) {
+      const double r2 = distance_sq(p, b.center);
+      z += b.amplitude * std::exp(-r2 / (2.0 * b.sigma * b.sigma));
+    }
+    out[i] = z;
+  }
 }
 
 }  // namespace cps::field

@@ -19,6 +19,11 @@ class AnalyticField final : public Field {
  private:
   double do_value(geo::Vec2 p) const override { return fn_(p.x, p.y); }
 
+  void do_value_row(double y, std::span<const double> xs,
+                    double* out) const override {
+    for (std::size_t i = 0; i < xs.size(); ++i) out[i] = fn_(xs[i], y);
+  }
+
   std::function<double(double, double)> fn_;
 };
 
@@ -30,6 +35,11 @@ class ConstantField final : public Field {
 
  private:
   double do_value(geo::Vec2) const override { return c_; }
+
+  void do_value_row(double, std::span<const double> xs,
+                    double* out) const override {
+    for (std::size_t i = 0; i < xs.size(); ++i) out[i] = c_;
+  }
 
   double c_;
 };
@@ -44,6 +54,13 @@ class PlaneField final : public Field {
  private:
   double do_value(geo::Vec2 p) const override {
     return offset_ + gx_ * p.x + gy_ * p.y;
+  }
+
+  void do_value_row(double y, std::span<const double> xs,
+                    double* out) const override {
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      out[i] = offset_ + gx_ * xs[i] + gy_ * y;
+    }
   }
 
   double offset_;
@@ -62,6 +79,15 @@ class QuadricField final : public Field {
   double do_value(geo::Vec2 p) const override {
     const geo::Vec2 d = p - center_;
     return a_ * d.x * d.x + b_ * d.x * d.y + c_ * d.y * d.y;
+  }
+
+  void do_value_row(double y, std::span<const double> xs,
+                    double* out) const override {
+    const double dy = y - center_.y;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const double dx = xs[i] - center_.x;
+      out[i] = a_ * dx * dx + b_ * dx * dy + c_ * dy * dy;
+    }
   }
 
   geo::Vec2 center_;
@@ -83,6 +109,8 @@ class PeaksField final : public Field {
 
  private:
   double do_value(geo::Vec2 p) const override;
+  void do_value_row(double y, std::span<const double> xs,
+                    double* out) const override;
 
   num::Rect domain_;
 };
@@ -107,6 +135,8 @@ class GaussianMixtureField final : public Field {
 
  private:
   double do_value(geo::Vec2 p) const override;
+  void do_value_row(double y, std::span<const double> xs,
+                    double* out) const override;
 
   double base_;
   std::vector<GaussianBump> bumps_;

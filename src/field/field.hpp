@@ -10,7 +10,22 @@
 // Both interfaces follow the non-virtual-interface pattern: the public
 // `value` overloads forward to one private virtual, so implementations
 // override a single function and callers get both calling conventions.
+// The batched `value_row` entry points follow the same pattern: the
+// default virtual loops the scalar hook, so every implementation is
+// batch-callable for free, and implementations that can hoist per-row
+// work (grid bilinear weights, frame blends) override `do_value_row`.
+//
+// Batch contract: value_row must produce the same bits the scalar calls
+// would — implementations may hoist row-invariant work but must keep the
+// per-point arithmetic (expressions and evaluation order) unchanged.
+// Callers therefore precompute their row abscissae with whatever
+// expression their scalar loop used and pass them in, rather than
+// passing (x0, dx) and letting the kernel re-derive positions with a
+// differently-rounded recurrence.
 #pragma once
+
+#include <cstddef>
+#include <span>
 
 #include "geometry/vec2.hpp"
 
@@ -30,8 +45,19 @@ class Field {
   /// Convenience overload.
   double value(double x, double y) const { return do_value({x, y}); }
 
+  /// Batched row evaluation: out[i] = value(xs[i], y) for every abscissa,
+  /// bit-identical to the scalar calls.  `out` must hold xs.size() slots.
+  void value_row(double y, std::span<const double> xs, double* out) const {
+    do_value_row(y, xs, out);
+  }
+
  private:
   virtual double do_value(geo::Vec2 p) const = 0;
+
+  virtual void do_value_row(double y, std::span<const double> xs,
+                            double* out) const {
+    for (std::size_t i = 0; i < xs.size(); ++i) out[i] = do_value({xs[i], y});
+  }
 };
 
 /// A time-varying scalar environment: z = f(x, y, t).  Time is in the
@@ -47,8 +73,21 @@ class TimeVaryingField {
     return do_value({x, y}, t);
   }
 
+  /// Batched row evaluation at time t; same contract as Field::value_row.
+  void value_row(double y, std::span<const double> xs, double t,
+                 double* out) const {
+    do_value_row(y, xs, t, out);
+  }
+
  private:
   virtual double do_value(geo::Vec2 p, double t) const = 0;
+
+  virtual void do_value_row(double y, std::span<const double> xs, double t,
+                            double* out) const {
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      out[i] = do_value({xs[i], y}, t);
+    }
+  }
 };
 
 /// Non-owning view of a TimeVaryingField frozen at one instant, usable
@@ -61,9 +100,19 @@ class FieldSlice final : public Field {
 
   double time() const noexcept { return t_; }
 
+  /// The sliced field.  Slices are cheap temporaries, so consumers that
+  /// memoize per-frame work (DeltaMetric's reference cache) key on the
+  /// underlying field's identity plus time() rather than on the slice.
+  const TimeVaryingField& underlying() const noexcept { return *field_; }
+
  private:
   double do_value(geo::Vec2 p) const override {
     return field_->value(p, t_);
+  }
+
+  void do_value_row(double y, std::span<const double> xs,
+                    double* out) const override {
+    field_->value_row(y, xs, t_, out);
   }
 
   const TimeVaryingField* field_;

@@ -23,10 +23,12 @@ GridField::GridField(const num::Rect& bounds, std::size_t nx, std::size_t ny,
 GridField GridField::sample(const Field& f, const num::Rect& bounds,
                             std::size_t nx, std::size_t ny) {
   GridField g(bounds, nx, ny);
+  // Sample positions separate per axis, so the raster is one batched
+  // value_row per grid row writing straight into the row-major storage.
+  std::vector<double> xs(nx);
+  for (std::size_t i = 0; i < nx; ++i) xs[i] = g.sample_position(i, 0).x;
   for (std::size_t j = 0; j < ny; ++j) {
-    for (std::size_t i = 0; i < nx; ++i) {
-      g.set(i, j, f.value(g.sample_position(i, j)));
-    }
+    f.value_row(g.sample_position(0, j).y, xs, g.data_.data() + j * nx);
   }
   return g;
 }
@@ -71,6 +73,36 @@ double GridField::do_value(geo::Vec2 p) const {
   const double a = v00 * (1.0 - tx) + v10 * tx;
   const double b = v01 * (1.0 - tx) + v11 * tx;
   return a * (1.0 - ty) + b * ty;
+}
+
+void GridField::do_value_row(double y, std::span<const double> xs,
+                             double* out) const {
+  // The row kernel hoists everything that depends only on y — the clamped
+  // fractional row coordinate, the cell row j0, the weight ty, and the two
+  // source-row base pointers — out of the inner loop.  The per-point x
+  // arithmetic is kept expression-for-expression identical to do_value
+  // (no (nx-1)/width reciprocal hoist: that rounds differently), so the
+  // batch is bit-identical to the scalar calls.
+  const double fy = (y - bounds_.y0) / bounds_.height() *
+                    static_cast<double>(ny_ - 1);
+  const double cy = std::clamp(fy, 0.0, static_cast<double>(ny_ - 1));
+  const auto j0 = static_cast<std::size_t>(
+      std::min(cy, static_cast<double>(ny_ - 2)));
+  const double ty = cy - static_cast<double>(j0);
+  const double wy0 = 1.0 - ty;
+  const double* row0 = data_.data() + j0 * nx_;
+  const double* row1 = row0 + nx_;
+  for (std::size_t k = 0; k < xs.size(); ++k) {
+    const double fx = (xs[k] - bounds_.x0) / bounds_.width() *
+                      static_cast<double>(nx_ - 1);
+    const double cx = std::clamp(fx, 0.0, static_cast<double>(nx_ - 1));
+    const auto i0 = static_cast<std::size_t>(
+        std::min(cx, static_cast<double>(nx_ - 2)));
+    const double tx = cx - static_cast<double>(i0);
+    const double a = row0[i0] * (1.0 - tx) + row0[i0 + 1] * tx;
+    const double b = row1[i0] * (1.0 - tx) + row1[i0 + 1] * tx;
+    out[k] = a * wy0 + b * ty;
+  }
 }
 
 double GridField::min_value() const noexcept {

@@ -48,6 +48,8 @@ class GridField final : public Field {
 
  private:
   double do_value(geo::Vec2 p) const override;
+  void do_value_row(double y, std::span<const double> xs,
+                    double* out) const override;
 
   num::Rect bounds_;
   std::size_t nx_ = 0;

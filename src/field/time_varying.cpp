@@ -34,6 +34,36 @@ FrameSequenceField::FrameSequenceField(std::vector<GridField> frames,
   }
 }
 
+void FrameSequenceField::do_value_row(double y, std::span<const double> xs,
+                                      double t, double* out) const {
+  // The bracketing frames and blend weight depend only on t, so one
+  // branch + upper_bound serves the whole row; the clamped cases forward
+  // straight to the single frame's batched kernel.
+  if (frames_.size() == 1 || t <= timestamps_.front()) {
+    frames_.front().value_row(y, xs, out);
+    return;
+  }
+  if (t >= timestamps_.back()) {
+    frames_.back().value_row(y, xs, out);
+    return;
+  }
+  const auto it =
+      std::upper_bound(timestamps_.begin(), timestamps_.end(), t);
+  const auto hi = static_cast<std::size_t>(it - timestamps_.begin());
+  const std::size_t lo = hi - 1;
+  const double span = timestamps_[hi] - timestamps_[lo];
+  const double w = (t - timestamps_[lo]) / span;
+  // Scratch for the hi frame's row; reused across calls so the delta
+  // metric's row sweep doesn't allocate per row.
+  thread_local std::vector<double> hi_row;
+  hi_row.resize(xs.size());
+  frames_[lo].value_row(y, xs, out);
+  frames_[hi].value_row(y, xs, hi_row.data());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    out[i] = out[i] * (1.0 - w) + hi_row[i] * w;
+  }
+}
+
 double FrameSequenceField::do_value(geo::Vec2 p, double t) const {
   if (frames_.size() == 1 || t <= timestamps_.front()) {
     return frames_.front().value(p);

@@ -21,6 +21,11 @@ class AnalyticTimeField final : public TimeVaryingField {
     return fn_(p.x, p.y, t);
   }
 
+  void do_value_row(double y, std::span<const double> xs, double t,
+                    double* out) const override {
+    for (std::size_t i = 0; i < xs.size(); ++i) out[i] = fn_(xs[i], y, t);
+  }
+
   std::function<double(double, double, double)> fn_;
 };
 
@@ -33,6 +38,11 @@ class StaticTimeField final : public TimeVaryingField {
  private:
   double do_value(geo::Vec2 p, double) const override {
     return f_->value(p);
+  }
+
+  void do_value_row(double y, std::span<const double> xs, double,
+                    double* out) const override {
+    f_->value_row(y, xs, out);
   }
 
   std::shared_ptr<const Field> f_;
@@ -58,6 +68,8 @@ class FrameSequenceField final : public TimeVaryingField {
 
  private:
   double do_value(geo::Vec2 p, double t) const override;
+  void do_value_row(double y, std::span<const double> xs, double t,
+                    double* out) const override;
 
   std::vector<GridField> frames_;
   std::vector<double> timestamps_;

@@ -16,21 +16,40 @@ void validate(const Rect& rect, std::size_t nx, std::size_t ny) {
 
 }  // namespace
 
+MidpointLattice::MidpointLattice(const Rect& rect, std::size_t nx,
+                                 std::size_t ny)
+    : y0_(rect.y0),
+      hx_(rect.width() / static_cast<double>(nx)),
+      hy_(rect.height() / static_cast<double>(ny)),
+      ny_(ny) {
+  validate(rect, nx, ny);
+  xs_.resize(nx);
+  for (std::size_t i = 0; i < nx; ++i) {
+    xs_[i] = rect.x0 + (static_cast<double>(i) + 0.5) * hx_;
+  }
+}
+
+double integrate_midpoint_rows(const Rect& rect, const RowFn& row,
+                               std::size_t nx, std::size_t ny) {
+  const MidpointLattice lat(rect, nx, ny);
+  std::vector<double> buf(nx);
+  double sum = 0.0;
+  for (std::size_t j = 0; j < ny; ++j) {
+    row(lat.y(j), lat.xs(), buf.data());
+    for (std::size_t i = 0; i < nx; ++i) sum += buf[i];
+  }
+  return sum * lat.hx() * lat.hy();
+}
+
 double integrate_midpoint(const Rect& rect,
                           const std::function<double(double, double)>& g,
                           std::size_t nx, std::size_t ny) {
-  validate(rect, nx, ny);
-  const double hx = rect.width() / static_cast<double>(nx);
-  const double hy = rect.height() / static_cast<double>(ny);
-  double sum = 0.0;
-  for (std::size_t j = 0; j < ny; ++j) {
-    const double y = rect.y0 + (static_cast<double>(j) + 0.5) * hy;
-    for (std::size_t i = 0; i < nx; ++i) {
-      const double x = rect.x0 + (static_cast<double>(i) + 0.5) * hx;
-      sum += g(x, y);
-    }
-  }
-  return sum * hx * hy;
+  return integrate_midpoint_rows(
+      rect,
+      [&](double y, std::span<const double> xs, double* out) {
+        for (std::size_t i = 0; i < xs.size(); ++i) out[i] = g(xs[i], y);
+      },
+      nx, ny);
 }
 
 double integrate_trapezoid(const Rect& rect,

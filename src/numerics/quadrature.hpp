@@ -5,6 +5,8 @@
 
 #include <cstddef>
 #include <functional>
+#include <span>
+#include <vector>
 
 namespace cps::num {
 
@@ -22,6 +24,49 @@ struct Rect {
     return x >= x0 && x <= x1 && y >= y0 && y <= y1;
   }
 };
+
+/// The midpoint-rule evaluation lattice over a rect: cell midpoints
+/// x_i = x0 + (i + 0.5) hx, y_j = y0 + (j + 0.5) hy.  One definition shared
+/// by integrate_midpoint and the delta metric so their grids are the same
+/// bits — the abscissae are precomputed once per lattice and handed to
+/// batched row kernels (field::Field::value_row) instead of being
+/// re-derived per row.  Throws std::invalid_argument when nx or ny is zero
+/// or the rect is inverted.
+class MidpointLattice {
+ public:
+  MidpointLattice(const Rect& rect, std::size_t nx, std::size_t ny);
+
+  std::size_t nx() const noexcept { return xs_.size(); }
+  std::size_t ny() const noexcept { return ny_; }
+  double hx() const noexcept { return hx_; }
+  double hy() const noexcept { return hy_; }
+
+  /// All row abscissae (shared by every row).
+  std::span<const double> xs() const noexcept { return xs_; }
+
+  /// Ordinate of row j.
+  double y(std::size_t j) const noexcept {
+    return y0_ + (static_cast<double>(j) + 0.5) * hy_;
+  }
+
+ private:
+  double y0_ = 0.0;
+  double hx_ = 0.0;
+  double hy_ = 0.0;
+  std::size_t ny_ = 0;
+  std::vector<double> xs_;
+};
+
+/// Fills out[i] with the integrand at (xs[i], y); out holds xs.size() slots.
+using RowFn =
+    std::function<void(double y, std::span<const double> xs, double* out)>;
+
+/// Midpoint-rule integration driven by a batched row evaluator: each lattice
+/// row is filled by one `row` call, then accumulated left to right — the
+/// same accumulation order as integrate_midpoint, so the two agree bitwise
+/// for integrands evaluated identically.
+double integrate_midpoint_rows(const Rect& rect, const RowFn& row,
+                               std::size_t nx, std::size_t ny);
 
 /// Midpoint-rule integration of g over `rect` on an nx x ny cell grid.
 /// Error is O(h^2) for C^2 integrands; for the |f - DT| integrands used by

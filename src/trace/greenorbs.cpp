@@ -92,6 +92,47 @@ double GreenOrbsField::do_value(geo::Vec2 p, double t) const {
   return std::max(0.0, env * light);
 }
 
+void GreenOrbsField::do_value_row(double y, std::span<const double> xs,
+                                  double t, double* out) const {
+  const double env = envelope(t);
+  if (env == 0.0) {
+    std::fill(out, out + xs.size(), 0.0);
+    return;
+  }
+  // Everything t-dependent — the diurnal envelope, each gap's fluttered
+  // amplitude and drifted centre — is row-invariant; hoist it so the inner
+  // loop is one Gaussian per gap per point.  The per-point expressions
+  // match do_value exactly (amplitude * flutter associates left, so the
+  // hoisted product is the same double).
+  struct RowGap {
+    geo::Vec2 center;
+    double fluttered_amplitude;
+    double two_sigma_sq;
+  };
+  thread_local std::vector<RowGap> row_gaps;
+  row_gaps.clear();
+  row_gaps.reserve(gaps_.size());
+  for (const auto& g : gaps_) {
+    const double flutter =
+        1.0 + config_.flutter_fraction *
+                  std::sin(2.0 * std::numbers::pi * t /
+                               config_.flutter_period +
+                           g.flutter_phase);
+    row_gaps.push_back(RowGap{gap_center(g, t), g.amplitude * flutter,
+                              2.0 * g.sigma * g.sigma});
+  }
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const geo::Vec2 p{xs[i], y};
+    double light = config_.base_light;
+    for (const auto& rg : row_gaps) {
+      const double r2 = geo::distance_sq(p, rg.center);
+      light += rg.fluttered_amplitude * std::exp(-r2 / rg.two_sigma_sq);
+    }
+    light += config_.noise_amplitude * noise_.fbm(p.x, p.y, 3);
+    out[i] = std::max(0.0, env * light);
+  }
+}
+
 field::GridField GreenOrbsField::snapshot(double t, std::size_t nx,
                                           std::size_t ny) const {
   const field::FieldSlice slice(*this, t);

@@ -83,6 +83,8 @@ class GreenOrbsField final : public field::TimeVaryingField {
 
  private:
   double do_value(geo::Vec2 p, double t) const override;
+  void do_value_row(double y, std::span<const double> xs, double t,
+                    double* out) const override;
 
   struct Gap {
     geo::Vec2 center0;       // Position at t = 0 (midnight).

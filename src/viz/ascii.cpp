@@ -76,11 +76,16 @@ std::string render_field(const field::Field& f, const num::Rect& region,
     lo = std::numeric_limits<double>::infinity();
     hi = -lo;
   }
+  // Cell centres separate per axis, so the raster is one batched
+  // value_row per character row (same bits as the per-cell calls).
+  std::vector<double> xs(options.width);
+  for (std::size_t c = 0; c < options.width; ++c) {
+    xs[c] = cell_center(region, options, c, 0).x;
+  }
   for (std::size_t r = 0; r < options.height; ++r) {
-    for (std::size_t c = 0; c < options.width; ++c) {
-      const double v = f.value(cell_center(region, options, c, r));
-      values[r][c] = v;
-      if (options.range_min == options.range_max) {
+    f.value_row(cell_center(region, options, 0, r).y, xs, values[r].data());
+    if (options.range_min == options.range_max) {
+      for (const double v : values[r]) {
         lo = std::min(lo, v);
         hi = std::max(hi, v);
       }

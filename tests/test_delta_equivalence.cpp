@@ -1,0 +1,246 @@
+// Bit-identity tests for the batched-evaluation PR:
+//
+//  * Field::value_row vs per-point value() across the whole field zoo
+//    (analytic, grid, time-varying slices, the GreenOrbs trace) — the
+//    batch kernels may hoist row-invariant work but must keep every
+//    per-point expression bit-identical;
+//  * DeltaMetric's raster span engine vs the locate-walk oracle, across
+//    corner policies, degenerate sample sets (collinear, duplicates),
+//    and 1 / 4 worker threads;
+//  * the opt-in reference-lattice cache: cached sweeps must reproduce
+//    the uncached bits exactly, and copies must not share entries.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/delta.hpp"
+#include "core/planner.hpp"
+#include "core/reconstruction.hpp"
+#include "field/analytic_fields.hpp"
+#include "field/grid_field.hpp"
+#include "field/time_varying.hpp"
+#include "parallel/thread_pool.hpp"
+#include "trace/greenorbs.hpp"
+
+namespace cps {
+namespace {
+
+const num::Rect kRegion{0.0, 0.0, 100.0, 100.0};
+
+// --- value_row vs scalar value() -----------------------------------------
+
+/// Rows chosen to hit interior lattice rows, exact sample rows, and the
+/// clamped boundary rows of grid-backed fields.
+const double kRows[] = {0.0, 0.5, 13.37, 50.0, 99.5, 100.0};
+
+std::vector<double> abscissae() {
+  std::vector<double> xs;
+  for (double x = 0.0; x <= 100.0; x += 1.7) xs.push_back(x);
+  xs.push_back(100.0);  // Exactly the right edge (clamp path).
+  return xs;
+}
+
+void expect_row_matches_scalar(const field::Field& f, const char* label) {
+  const std::vector<double> xs = abscissae();
+  std::vector<double> batch(xs.size());
+  for (const double y : kRows) {
+    SCOPED_TRACE(std::string(label) + " y=" + std::to_string(y));
+    f.value_row(y, xs, batch.data());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      EXPECT_EQ(batch[i], f.value(xs[i], y)) << "x=" << xs[i];
+    }
+  }
+}
+
+TEST(ValueRowEquivalence, AnalyticZooMatchesScalar) {
+  expect_row_matches_scalar(
+      field::AnalyticField(
+          [](double x, double y) { return 0.3 * x - 0.7 * y + x * y / 97.0; }),
+      "analytic");
+  expect_row_matches_scalar(field::ConstantField(4.25), "constant");
+  expect_row_matches_scalar(field::PlaneField(1.0, 0.25, -0.125), "plane");
+  expect_row_matches_scalar(
+      field::QuadricField({30.0, 60.0}, 0.01, -0.002, 0.005), "quadric");
+  expect_row_matches_scalar(field::PeaksField(kRegion), "peaks");
+  expect_row_matches_scalar(
+      field::GaussianMixtureField(1.0, {{{20.0, 20.0}, 9.0, 3.0},
+                                        {{70.0, 55.0}, -2.0, 14.0}}),
+      "gaussians");
+}
+
+TEST(ValueRowEquivalence, GridFieldMatchesScalar) {
+  const field::PeaksField relief(kRegion);
+  const field::GridField g = field::GridField::sample(relief, kRegion, 37, 29);
+  expect_row_matches_scalar(g, "grid");
+}
+
+TEST(ValueRowEquivalence, TimeVaryingSlicesMatchScalar) {
+  const trace::GreenOrbsField orbs{trace::GreenOrbsConfig{}};
+  expect_row_matches_scalar(
+      field::FieldSlice(orbs, trace::minutes(10, 0)), "greenorbs");
+
+  const field::StaticTimeField still(
+      std::make_shared<field::PeaksField>(kRegion));
+  expect_row_matches_scalar(field::FieldSlice(still, 5.0), "static");
+
+  // Two-frame sequence sliced strictly between the keyframes: the blend
+  // kernel (scratch hi-row buffer) must reproduce the scalar blend bits.
+  std::vector<field::GridField> frames;
+  frames.push_back(orbs.snapshot(trace::minutes(9, 0), 41, 41));
+  frames.push_back(orbs.snapshot(trace::minutes(11, 0), 41, 41));
+  const field::FrameSequenceField seq(std::move(frames), {0.0, 10.0});
+  expect_row_matches_scalar(field::FieldSlice(seq, 3.75), "frameseq");
+}
+
+// --- DeltaEngine: raster spans vs the locate-walk oracle ------------------
+
+field::AnalyticField reference_surface() {
+  return field::AnalyticField([](double x, double y) {
+    return 10.0 + 0.05 * x * y / 100.0 + 3.0 * (x > 40 && x < 60) +
+           2.0 * (y > 20 && y < 50);
+  });
+}
+
+double delta_with_engine(const field::Field& f,
+                         std::span<const geo::Vec2> positions,
+                         core::DeltaEngine engine, core::CornerPolicy policy,
+                         std::size_t resolution = 64) {
+  core::DeltaMetric metric(kRegion, resolution);
+  metric.set_engine(engine);
+  return metric.delta_of_deployment(f, positions, policy);
+}
+
+TEST(DeltaEngineEquivalence, RasterMatchesWalkAcrossPoliciesAndThreads) {
+  const auto f = reference_surface();
+  const auto plan =
+      core::RandomPlanner(7).plan(f, core::PlanRequest{kRegion, 50, 10.0});
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    par::set_thread_count(threads);
+    for (const auto policy : {core::CornerPolicy::kNearestSample,
+                              core::CornerPolicy::kFieldValue}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) + " policy=" +
+                   std::to_string(static_cast<int>(policy)));
+      const double walk = delta_with_engine(f, plan.positions,
+                                            core::DeltaEngine::kWalk, policy);
+      const double raster = delta_with_engine(
+          f, plan.positions, core::DeltaEngine::kRaster, policy);
+      EXPECT_EQ(walk, raster);  // Bitwise, not approximately.
+    }
+  }
+  par::set_thread_count(1);
+}
+
+TEST(DeltaEngineEquivalence, DegenerateSampleSets) {
+  const auto f = reference_surface();
+  // Collinear interior points (sliver triangles against the corners) and
+  // exact duplicates: the raster pre-pass must agree with the walk on
+  // whatever triangulation reconstruction produces.
+  const std::vector<std::vector<geo::Vec2>> cases = {
+      {{25.0, 50.0}, {50.0, 50.0}, {75.0, 50.0}},           // Collinear.
+      {{30.0, 30.0}, {30.0, 30.0}, {60.0, 70.0}},           // Duplicate.
+      {{50.0, 50.0}},                                       // Single point.
+      {},                                                   // Corners only.
+  };
+  for (std::size_t c = 0; c < cases.size(); ++c) {
+    SCOPED_TRACE("case " + std::to_string(c));
+    const double walk =
+        delta_with_engine(f, cases[c], core::DeltaEngine::kWalk,
+                          core::CornerPolicy::kFieldValue);
+    const double raster =
+        delta_with_engine(f, cases[c], core::DeltaEngine::kRaster,
+                          core::CornerPolicy::kFieldValue);
+    EXPECT_EQ(walk, raster);
+  }
+}
+
+TEST(DeltaEngineEquivalence, ResolutionOneLattice) {
+  // A 1x1 evaluation lattice: one midpoint, one span row.  Both engines
+  // must survive it and agree.
+  const auto f = reference_surface();
+  core::DeltaMetric walk_metric(kRegion, 1);
+  walk_metric.set_engine(core::DeltaEngine::kWalk);
+  core::DeltaMetric raster_metric(kRegion, 1);
+  raster_metric.set_engine(core::DeltaEngine::kRaster);
+  const auto dt = core::reconstruct_surface(
+      {}, kRegion, core::CornerPolicy::kFieldValue, &f);
+  EXPECT_EQ(walk_metric.delta(f, dt), raster_metric.delta(f, dt));
+  EXPECT_GT(raster_metric.delta(f, dt), 0.0);
+}
+
+// --- Reference-lattice cache ----------------------------------------------
+
+TEST(ReferenceCache, CachedSweepReproducesUncachedBits) {
+  const trace::GreenOrbsField orbs{trace::GreenOrbsConfig{}};
+  const field::FieldSlice frame(orbs, trace::minutes(10, 0));
+
+  std::vector<std::vector<geo::Vec2>> deployments;
+  for (std::size_t i = 0; i < 4; ++i) {
+    deployments.push_back(
+        core::RandomPlanner(40 + i)
+            .plan(frame, core::PlanRequest{kRegion, 30, 10.0})
+            .positions);
+  }
+
+  const core::DeltaMetric plain(kRegion, 50);
+  core::DeltaMetric cached(kRegion, 50);
+  cached.set_reference_cache_capacity(4);
+  EXPECT_EQ(cached.reference_cache_size(), 0u);
+  for (std::size_t i = 0; i < deployments.size(); ++i) {
+    SCOPED_TRACE("deployment " + std::to_string(i));
+    const double want = plain.delta_of_deployment(
+        frame, deployments[i], core::CornerPolicy::kFieldValue);
+    const double got = cached.delta_of_deployment(
+        frame, deployments[i], core::CornerPolicy::kFieldValue);
+    EXPECT_EQ(want, got);
+  }
+  // One frame evaluated four times: a single cache entry.
+  EXPECT_EQ(cached.reference_cache_size(), 1u);
+
+  // Fresh slice temporaries of the same frame must hit the same entry
+  // (keying is underlying-field + time, not slice address).
+  const double again = cached.delta_of_deployment(
+      field::FieldSlice(orbs, trace::minutes(10, 0)), deployments[0],
+      core::CornerPolicy::kFieldValue);
+  EXPECT_EQ(again, plain.delta_of_deployment(frame, deployments[0],
+                                             core::CornerPolicy::kFieldValue));
+  EXPECT_EQ(cached.reference_cache_size(), 1u);
+
+  // A different time is a different entry.
+  const field::FieldSlice other(orbs, trace::minutes(14, 0));
+  cached.delta_of_deployment(other, deployments[0],
+                             core::CornerPolicy::kFieldValue);
+  EXPECT_EQ(cached.reference_cache_size(), 2u);
+
+  cached.clear_reference_cache();
+  EXPECT_EQ(cached.reference_cache_size(), 0u);
+}
+
+TEST(ReferenceCache, CopiesShareConfigurationButNotEntries) {
+  const trace::GreenOrbsField orbs{trace::GreenOrbsConfig{}};
+  const field::FieldSlice frame(orbs, trace::minutes(10, 0));
+  core::DeltaMetric metric(kRegion, 30);
+  metric.set_reference_cache_capacity(2);
+  metric.delta_of_deployment(frame, std::vector<geo::Vec2>{{50.0, 50.0}},
+                             core::CornerPolicy::kFieldValue);
+  ASSERT_EQ(metric.reference_cache_size(), 1u);
+
+  const core::DeltaMetric copy(metric);
+  EXPECT_EQ(copy.reference_cache_capacity(), 2u);
+  EXPECT_EQ(copy.reference_cache_size(), 0u);
+  EXPECT_EQ(copy.engine(), metric.engine());
+
+  // Eviction: capacity 2, three distinct frames.
+  for (const int minute : {20, 40, 59}) {
+    metric.delta_of_deployment(
+        field::FieldSlice(orbs, trace::minutes(10, minute)),
+        std::vector<geo::Vec2>{{50.0, 50.0}},
+        core::CornerPolicy::kFieldValue);
+  }
+  EXPECT_EQ(metric.reference_cache_size(), 2u);
+}
+
+}  // namespace
+}  // namespace cps

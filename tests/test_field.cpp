@@ -142,6 +142,38 @@ TEST(GridField, ClampsOutsideQueries) {
   EXPECT_NEAR(g.value(120.0, 50.0), 100.0, 1e-12);  // Clamped to x = 100.
 }
 
+TEST(GridField, SmallestGridInterpolatesEverywhere) {
+  // A 2x2 grid has a single bilinear cell; every query lands in it and
+  // the row kernel's i0 = min(cx, nx - 2) clamp must keep indices valid.
+  const AnalyticField f(
+      [](double x, double y) { return 1.0 + 0.02 * x - 0.01 * y; });
+  const GridField g = GridField::sample(f, kRegion, 2, 2);
+  for (double x = 0.0; x <= 100.0; x += 12.5) {
+    for (double y = 0.0; y <= 100.0; y += 12.5) {
+      EXPECT_NEAR(g.value(x, y), f.value(x, y), 1e-12);
+    }
+  }
+}
+
+TEST(GridField, BoundaryRowsAndColumnsMatchSamples) {
+  // Queries exactly on the first/last grid row and column hit the weight
+  // degeneracies tx = 0, ty = 0 and the cx = nx - 1 / cy = ny - 1 clamps;
+  // they must reproduce the stored samples bit for bit.  Spacings of 10
+  // and 25 are exactly representable, so the lattice arithmetic
+  // round-trips and the interpolation weights are exact.
+  const PeaksField relief(kRegion);
+  const GridField g = GridField::sample(relief, kRegion, 11, 5);
+  for (std::size_t i = 0; i < 11; ++i) {
+    EXPECT_EQ(g.value(g.sample_position(i, 0)), g.at(i, 0)) << "bottom " << i;
+    EXPECT_EQ(g.value(g.sample_position(i, 4)), g.at(i, 4)) << "top " << i;
+  }
+  for (std::size_t j = 0; j < 5; ++j) {
+    EXPECT_EQ(g.value(g.sample_position(0, j)), g.at(0, j)) << "left " << j;
+    EXPECT_EQ(g.value(g.sample_position(10, j)), g.at(10, j))
+        << "right " << j;
+  }
+}
+
 TEST(GridField, MinMaxAndSetters) {
   GridField g(kRegion, 3, 3);
   g.set(1, 2, 5.0);
