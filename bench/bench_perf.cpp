@@ -19,19 +19,26 @@
 // (hardware threads, CPS_THREADS, pool size, default engines) so the perf
 // trajectory is comparable across runners.
 //
-// The counters — not the wall times — are the regression signal: they are
-// deterministic, thread-count independent, and machine independent, so a
-// checked-in BENCH_baseline.json can gate CI (--check fails on any
-// counter more than 10% above baseline) without flaking on noisy runners.
+// The counters — not the wall times — are the primary regression signal:
+// they are deterministic, thread-count independent, and machine
+// independent, so a checked-in BENCH_baseline.json can gate CI (--check
+// fails on any counter more than 10% above baseline) without flaking on
+// noisy runners.  Wall time is gated too, but coarsely: each record is
+// repeat-sampled (--repeats, default 3) into an obs::Histogram and the
+// p50/p99 estimates must stay under baseline * band, with wide
+// multiplicative bands (stored in the baseline's `latency_gate`) chosen
+// to absorb both runner noise and the histogram's power-of-two bucket
+// quantisation — the latency gate catches order-of-magnitude blowups, not
+// percent-level drift.
 //
 // Every paired sweep doubles as an equivalence oracle: heap-vs-scan must
 // select bit-identical deployments and grid-vs-full must produce
-// bit-identical node trajectories and delivery counters, or the bench
-// exits non-zero.
+// bit-identical node trajectories, delivery counters, and per-reason drop
+// counters, or the bench exits non-zero.
 //
 // Flags: --quick (CI-sized sweep), --out PATH (default BENCH_perf.json),
-// --check BASELINE.json (compare counters, >10% regression fails),
-// --threads N.
+// --check BASELINE.json (compare counters + latency percentiles),
+// --repeats N (latency samples per record, default 3), --threads N.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -64,12 +71,49 @@ struct Record {
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   std::vector<std::pair<std::string, double>> derived;
 
+  /// Wall-time distribution over the --repeats runs of this record,
+  /// estimated through an obs::Histogram (so the percentile math gated in
+  /// CI is the same code the service layer will report p50/p99 with).
+  struct Latency {
+    std::uint64_t samples = 0;
+    double p50_ms = 0.0;
+    double p90_ms = 0.0;
+    double p99_ms = 0.0;
+    double mean_ms = 0.0;
+    double min_ms = 0.0;
+    double max_ms = 0.0;
+  };
+  Latency latency;
+
   std::uint64_t counter(const std::string& name) const {
     for (const auto& [n, v] : counters)
       if (n == name) return v;
     return 0;
   }
 };
+
+// Runs one record builder `repeats` times, feeding each run's wall time
+// into a histogram; keeps the last run's counters/outputs (they are
+// deterministic, so every repeat agrees) and attaches the percentile
+// summary.
+template <typename F>
+Record timed_repeat(std::size_t repeats, F&& run_once) {
+  obs::Histogram lat;
+  Record rec = run_once();
+  lat.observe(rec.wall_ms);
+  for (std::size_t r = 1; r < repeats; ++r) {
+    rec = run_once();
+    lat.observe(rec.wall_ms);
+  }
+  rec.latency.samples = lat.count();
+  rec.latency.p50_ms = lat.quantile(0.5);
+  rec.latency.p90_ms = lat.quantile(0.9);
+  rec.latency.p99_ms = lat.quantile(0.99);
+  rec.latency.mean_ms = lat.mean();
+  rec.latency.min_ms = lat.min();
+  rec.latency.max_ms = lat.max();
+  return rec;
+}
 
 std::uint64_t cval(const char* name) {
   return obs::registry().counter(name).value();
@@ -125,9 +169,19 @@ Record run_fra(const field::Field& frame, std::size_t k,
   if (engine == core::SelectionEngine::kHeap) {
     const double pops =
         static_cast<double>(std::max<std::uint64_t>(1, cval("core.fra.heap_pops")));
-    rec.derived.emplace_back(
-        "stale_pop_ratio",
-        static_cast<double>(cval("core.fra.heap_stale_pops")) / pops);
+    const double stale_ratio =
+        static_cast<double>(cval("core.fra.heap_stale_pops")) / pops;
+    rec.derived.emplace_back("stale_pop_ratio", stale_ratio);
+    // The known small-k pathology (ROADMAP): when nearly every pop is
+    // stale the heap degrades to a slow scan.  Flag it in every sidecar
+    // so the regression stays visible ahead of the fix.
+    if (stale_ratio > 0.9) {
+      rec.derived.emplace_back("heap_degraded", 1.0);
+      std::fprintf(stderr,
+                   "warning: %s heap degraded — stale_pop_ratio %.3f > 0.9 "
+                   "(core.fra.heap_stale_pop_ratio)\n",
+                   rec.id.c_str(), stale_ratio);
+    }
   }
   return rec;
 }
@@ -170,7 +224,10 @@ Record run_cma(const field::TimeVaryingField& env, std::size_t n,
   for (const char* name :
        {"net.bus.transmit_attempts", "net.bus.deliveries",
         "net.bus.delivery_failures", "net.bus.messages_sent",
-        "net.bus.grid_rebuilds"}) {
+        "net.bus.grid_rebuilds", "net.bus.drops_total",
+        "net.bus.drop.dead_sender", "net.bus.drop.dead_receiver",
+        "net.bus.drop.out_of_range", "net.bus.drop.link_loss_draw",
+        "net.bus.drop.ttl_expired"}) {
     rec.counters.emplace_back(name, cval(name));
   }
   rec.derived.emplace_back(
@@ -286,12 +343,26 @@ void write_json(std::ostream& out, const std::string& mode,
   out << "      \"delta_point_location\": \"raster\"\n";
   out << "    }\n";
   out << "  },\n";
+  // Multiplicative tolerance bands for the latency gate, stored with the
+  // baseline so the thresholds travel with the numbers they bound.  p50 of
+  // a 3-sample histogram can shift a full power-of-two bucket on an
+  // otherwise identical run; the bands absorb that plus runner noise.
+  out << "  \"latency_gate\": {\"p50_band\": 4.0, \"p99_band\": 6.0},\n";
   out << "  \"records\": [\n";
   for (std::size_t i = 0; i < records.size(); ++i) {
     const Record& r = records[i];
     out << "    {\n";
     out << "      \"id\": \"" << r.id << "\",\n";
     out << "      \"wall_ms\": " << r.wall_ms << ",\n";
+    if (r.latency.samples > 0) {
+      out << "      \"latency\": {\"samples\": " << r.latency.samples
+          << ", \"p50_ms\": " << r.latency.p50_ms
+          << ", \"p90_ms\": " << r.latency.p90_ms
+          << ", \"p99_ms\": " << r.latency.p99_ms
+          << ", \"mean_ms\": " << r.latency.mean_ms
+          << ", \"min_ms\": " << r.latency.min_ms
+          << ", \"max_ms\": " << r.latency.max_ms << "},\n";
+    }
     out << "      \"counters\": {";
     for (std::size_t j = 0; j < r.counters.size(); ++j) {
       out << (j == 0 ? "\n" : ",\n") << "        \"" << r.counters[j].first
@@ -314,7 +385,10 @@ void write_json(std::ostream& out, const std::string& mode,
 
 // Counters are deterministic, so "regression" is sharp: any counter more
 // than 10% above its checked-in baseline fails.  Decreases pass (that is
-// an improvement — refresh the baseline to lock it in).
+// an improvement — refresh the baseline to lock it in).  Latency
+// percentiles are gated with the baseline's own tolerance bands
+// (latency_gate) when both sides carry latency data; old baselines
+// without it gate counters only.
 int check_against_baseline(const std::string& path,
                            const std::vector<Record>& records) {
   std::ifstream in(path);
@@ -338,8 +412,17 @@ int check_against_baseline(const std::string& path,
   std::map<std::string, const Record*> by_id;
   for (const Record& r : records) by_id[r.id] = &r;
 
+  double p50_band = 4.0;
+  double p99_band = 6.0;
+  if (baseline.has("latency_gate")) {
+    const bench::Json& gate = baseline.at("latency_gate");
+    if (gate.has("p50_band")) p50_band = gate.at("p50_band").number;
+    if (gate.has("p99_band")) p99_band = gate.at("p99_band").number;
+  }
+
   int regressions = 0;
   std::size_t compared = 0;
+  std::size_t latency_compared = 0;
   for (const bench::Json& base_rec : baseline.at("records").array) {
     const std::string& id = base_rec.at("id").string;
     const auto it = by_id.find(id);
@@ -362,10 +445,31 @@ int check_against_baseline(const std::string& path,
         ++regressions;
       }
     }
+    if (base_rec.has("latency") && it->second->latency.samples > 0) {
+      const bench::Json& base_lat = base_rec.at("latency");
+      // +1 ms of absolute slack: sub-millisecond records quantise into
+      // the same few histogram buckets regardless of real speed, so a
+      // pure multiplicative band would flake on them.
+      const auto gate_percentile = [&](const char* key, double cur,
+                                       double band) {
+        if (!base_lat.has(key)) return;
+        const double base = base_lat.at(key).number;
+        ++latency_compared;
+        if (cur > base * band + 1.0) {
+          std::fprintf(stderr,
+                       "REGRESSION %s: %s = %.2f ms exceeds baseline "
+                       "%.2f ms by more than %.1fx\n",
+                       id.c_str(), key, cur, base, band);
+          ++regressions;
+        }
+      };
+      gate_percentile("p50_ms", it->second->latency.p50_ms, p50_band);
+      gate_percentile("p99_ms", it->second->latency.p99_ms, p99_band);
+    }
   }
-  std::printf("baseline check: %zu counters compared against %s, "
-              "%d regression(s)\n",
-              compared, path.c_str(), regressions);
+  std::printf("baseline check: %zu counters and %zu latency percentiles "
+              "compared against %s, %d regression(s)\n",
+              compared, latency_compared, path.c_str(), regressions);
   return regressions == 0 ? 0 : 1;
 }
 
@@ -378,6 +482,7 @@ int main(int argc, char** argv) {
   bool quick = false;
   std::string out_path = "BENCH_perf.json";
   std::string baseline_path;
+  std::size_t repeats = 3;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
@@ -385,6 +490,9 @@ int main(int argc, char** argv) {
       out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
       baseline_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--repeats") == 0 && i + 1 < argc) {
+      repeats = static_cast<std::size_t>(
+          std::max(1L, std::atol(argv[++i])));
     }
   }
   bench::print_header("Perf trajectory",
@@ -416,11 +524,13 @@ int main(int argc, char** argv) {
     std::vector<geo::Vec2> heap_pos, scan_pos;
     // Build records as locals and push copies: references into `records`
     // would dangle when a later push_back reallocates the vector.
-    const Record heap =
-        run_fra(frame, k, core::SelectionEngine::kHeap, heap_pos);
+    const Record heap = timed_repeat(repeats, [&] {
+      return run_fra(frame, k, core::SelectionEngine::kHeap, heap_pos);
+    });
     records.push_back(heap);
-    const Record scan =
-        run_fra(frame, k, core::SelectionEngine::kScan, scan_pos);
+    const Record scan = timed_repeat(repeats, [&] {
+      return run_fra(frame, k, core::SelectionEngine::kScan, scan_pos);
+    });
     records.push_back(scan);
     if (!same_positions(heap_pos, scan_pos)) {
       std::fprintf(stderr,
@@ -442,11 +552,15 @@ int main(int argc, char** argv) {
   for (const std::size_t n : cma_ns) {
     for (const std::string model : {"disk", "distloss", "gilbert"}) {
       std::vector<geo::Vec2> grid_pos, full_pos;
-      const Record grid = run_cma(recorded, n, model,
-                                  net::DeliveryMode::kGrid, slots, grid_pos);
+      const Record grid = timed_repeat(repeats, [&] {
+        return run_cma(recorded, n, model, net::DeliveryMode::kGrid, slots,
+                       grid_pos);
+      });
       records.push_back(grid);
-      const Record full = run_cma(recorded, n, model,
-                                  net::DeliveryMode::kFull, slots, full_pos);
+      const Record full = timed_repeat(repeats, [&] {
+        return run_cma(recorded, n, model, net::DeliveryMode::kFull, slots,
+                       full_pos);
+      });
       records.push_back(full);
       if (!same_positions(grid_pos, full_pos)) {
         std::fprintf(stderr,
@@ -457,7 +571,13 @@ int main(int argc, char** argv) {
       }
       for (const char* name : {"net.bus.deliveries",
                                "net.bus.delivery_failures",
-                               "net.bus.messages_sent"}) {
+                               "net.bus.messages_sent",
+                               "net.bus.drops_total",
+                               "net.bus.drop.dead_sender",
+                               "net.bus.drop.dead_receiver",
+                               "net.bus.drop.out_of_range",
+                               "net.bus.drop.link_loss_draw",
+                               "net.bus.drop.ttl_expired"}) {
         if (grid.counter(name) != full.counter(name)) {
           std::fprintf(stderr,
                        "EQUIVALENCE FAILURE cma.n%zu.%s: %s differs "
@@ -487,12 +607,15 @@ int main(int argc, char** argv) {
     const std::size_t res = 256;
     double delta_walk = 0.0;
     double delta_raster = 0.0;
-    const Record walk = run_delta_eval(frame, plan.positions, res,
-                                       core::DeltaEngine::kWalk, delta_walk);
+    const Record walk = timed_repeat(repeats, [&] {
+      return run_delta_eval(frame, plan.positions, res,
+                            core::DeltaEngine::kWalk, delta_walk);
+    });
     records.push_back(walk);
-    const Record raster =
-        run_delta_eval(frame, plan.positions, res, core::DeltaEngine::kRaster,
-                       delta_raster);
+    const Record raster = timed_repeat(repeats, [&] {
+      return run_delta_eval(frame, plan.positions, res,
+                            core::DeltaEngine::kRaster, delta_raster);
+    });
     records.push_back(raster);
     if (delta_walk != delta_raster) {
       std::fprintf(stderr,
@@ -536,8 +659,9 @@ int main(int argc, char** argv) {
       }
     }
     std::vector<double> cached_deltas;
-    const Record sweep =
-        run_delta_refcache_sweep(frame, deployments, cached_deltas);
+    const Record sweep = timed_repeat(repeats, [&] {
+      return run_delta_refcache_sweep(frame, deployments, cached_deltas);
+    });
     records.push_back(sweep);
     for (std::size_t i = 0; i < kDeployments; ++i) {
       if (cached_deltas[i] != uncached_deltas[i]) {

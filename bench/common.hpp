@@ -62,7 +62,12 @@ inline std::string output_dir() {
 ///
 ///  * `<output_dir>/<name>_metrics.json` — the full metrics registry
 ///    (per-phase wall-time histograms from the CPS_TIMER scopes, plus the
-///    FRA/CMA/geometry/net counters), always written.
+///    FRA/CMA/geometry/net counters), always written.  The footer carries
+///    the trace-truncation tally ("trace": {"events", "dropped"}) so a
+///    capped trace is visibly incomplete.
+///  * `<output_dir>/<name>_timeline.jsonl` — the slot-scoped telemetry
+///    timeline (one delta sample per phase boundary), written when any
+///    samples were recorded.
 ///  * the file named by env CPS_TRACE_OUT (Chrome trace JSON; open in
 ///    chrome://tracing or https://ui.perfetto.dev), only when the variable
 ///    is set.  CPS_TRACE_JSONL names an optional JSONL sidecar stream.
@@ -77,6 +82,13 @@ class ObsSession {
     obs::set_enabled(true);
     obs::registry().reset();
     obs::trace().clear();
+#if defined(CPS_OBS_ENABLED)
+    // Arm only in instrumented builds: an armed timeline switches the
+    // delta reductions onto the chunk-pinned path, and obs-off benches
+    // must keep the seed-identical serial shortcut.
+    obs::timeline().clear();
+    obs::timeline().set_armed(true);
+#endif
   }
 
   ObsSession(const ObsSession&) = delete;
@@ -88,14 +100,38 @@ class ObsSession {
   void finish() {
     if (finished_) return;
     finished_ = true;
+    obs::timeline().set_armed(false);
+    const std::uint64_t trace_dropped = obs::trace().dropped();
+    if (trace_dropped > 0) {
+      std::fprintf(stderr,
+                   "warning: trace truncated — %llu events dropped past the "
+                   "capacity cap; the trace sidecar is incomplete\n",
+                   static_cast<unsigned long long>(trace_dropped));
+    }
     const std::string metrics_path =
         output_dir() + "/" + name_ + "_metrics.json";
     std::ofstream metrics(metrics_path);
     if (metrics) {
-      obs::registry().write_json(metrics);
+      const std::string footer =
+          "\"trace\": {\"events\": " +
+          std::to_string(obs::trace().snapshot().size()) +
+          ", \"dropped\": " + std::to_string(trace_dropped) + "}";
+      obs::registry().write_json(metrics, footer);
       std::printf("metrics sidecar: %s\n", metrics_path.c_str());
     } else {
       std::printf("note: cannot write %s\n", metrics_path.c_str());
+    }
+    if (obs::timeline().sample_count() > 0) {
+      const std::string timeline_path =
+          output_dir() + "/" + name_ + "_timeline.jsonl";
+      std::ofstream timeline(timeline_path);
+      if (timeline) {
+        obs::timeline().write_jsonl(timeline);
+        std::printf("timeline sidecar: %s (%zu samples)\n",
+                    timeline_path.c_str(), obs::timeline().sample_count());
+      } else {
+        std::printf("note: cannot write %s\n", timeline_path.c_str());
+      }
     }
     write_trace_if_requested("CPS_TRACE_OUT", /*jsonl=*/false);
     write_trace_if_requested("CPS_TRACE_JSONL", /*jsonl=*/true);
@@ -140,6 +176,9 @@ inline void configure_threads(int argc, char** argv) {
   }
   par::set_thread_count(threads < 0 ? 0
                                     : static_cast<std::size_t>(threads));
+  // The pool size describes the host, not the workload: keep it out of
+  // the timeline so --threads 1 and --threads 4 stay byte-identical.
+  obs::registry().exclude_from_timeline("parallel.pool.threads");
   CPS_GAUGE("parallel.pool.threads", par::thread_count());
   std::printf("threads: %zu\n", par::thread_count());
 }

@@ -97,9 +97,11 @@ std::vector<std::vector<NeighborInfo>> CmaSimulation::refresh_neighbor_tables(
     // the fresh-beacons-only tables of the original implementation,
     // entry order included.
     auto& table = known_[i];
-    std::erase_if(table, [&](const KnownNeighbor& k) {
-      return slot - k.last_seen >= config_.neighbor_ttl;
-    });
+    const std::size_t aged_out =
+        std::erase_if(table, [&](const KnownNeighbor& k) {
+          return slot - k.last_seen >= config_.neighbor_ttl;
+        });
+    net::count_drops(net::DropReason::kTtlExpired, aged_out);
     for (const auto& delivery : bus_.inbox(i)) {
       if (delivery.message.kind != Message::Kind::kBeacon) continue;
       const NeighborInfo info{delivery.message.position,
@@ -306,6 +308,17 @@ void CmaSimulation::step() {
   CPS_GAUGE("core.cma.total_distance", total_distance_);
   CPS_TRACE_COUNTER("core.cma.lcm_chases", last_chases_);
   CPS_TRACE_COUNTER("core.cma.max_move", last_max_move_);
+
+  // Slot boundary: one timeline sample carrying this slot's context plus
+  // the per-slot deltas of every counter/histogram touched above (beacon
+  // deliveries, per-reason drops, force histograms, ...).  The annotation
+  // macros evaluate their value expressions only while armed, so the
+  // component census costs nothing in figure runs.
+  CPS_TIMELINE_ANNOTATE("alive", alive_count_);
+  CPS_TIMELINE_ANNOTATE("components", component_count());
+  CPS_TIMELINE_ANNOTATE("chases", last_chases_);
+  CPS_TIMELINE_ANNOTATE("max_move", last_max_move_);
+  CPS_TIMELINE_SAMPLE("core.cma.slot", steps_run_);
 
   time_ += config_.dt;
   ++steps_run_;

@@ -1,6 +1,7 @@
 #include "core/delta.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cmath>
 #include <cstdint>
@@ -16,6 +17,23 @@
 
 namespace cps::core {
 namespace {
+
+// Row-sweep reduction used by both point-location engines.  While the
+// telemetry timeline is armed the chunk layout is pinned at every thread
+// count (parallel_reduce_chunked) so the annotated δ, the walk-hint
+// counters, and therefore the timeline JSONL are bit-identical across
+// --threads values; disarmed runs keep parallel_reduce's serial shortcut,
+// bit-identical to the original serial evaluation.
+template <typename Map>
+double reduce_rows(std::size_t n, Map&& map) {
+  const auto combine = [](double a, double b) { return a + b; };
+  if (obs::timeline().armed()) {
+    return par::parallel_reduce_chunked(n, 0.0, std::forward<Map>(map),
+                                        combine, /*grain=*/4);
+  }
+  return par::parallel_reduce(n, 0.0, std::forward<Map>(map), combine,
+                              /*grain=*/4);
+}
 
 double interpolate_in(const geo::Delaunay& dt, int tri, geo::Vec2 p) {
   const auto& t = dt.triangle(tri);
@@ -188,7 +206,20 @@ double DeltaMetric::delta(const field::Field& reference,
   const double sum = engine_ == DeltaEngine::kRaster
                          ? delta_raster(reference, dt, lat, ref_lattice)
                          : delta_walk(reference, dt, lat, ref_lattice);
-  return sum * lat.hx() * lat.hy();
+  const double value = sum * lat.hx() * lat.hy();
+  // δ-evaluation boundary for the telemetry timeline: the figure drivers
+  // sample δ sparsely (every few slots), so each evaluation gets its own
+  // sample carrying the value; counters between two evaluations attribute
+  // cache/raster work to the right evaluation interval.
+#if defined(CPS_OBS_ENABLED)
+  if (obs::timeline().armed()) {
+    static std::atomic<std::int64_t> eval_seq{0};
+    CPS_TIMELINE_ANNOTATE("delta", value);
+    CPS_TIMELINE_SAMPLE("core.delta.eval",
+                        eval_seq.fetch_add(1, std::memory_order_relaxed));
+  }
+#endif
+  return value;
 }
 
 double DeltaMetric::delta_walk(const field::Field& reference,
@@ -202,8 +233,8 @@ double DeltaMetric::delta_walk(const field::Field& reference,
   // The reference field is sampled one batched row at a time (or read from
   // the memoized lattice — same bits either way).
   const std::span<const double> xs = lat.xs();
-  return par::parallel_reduce(
-      resolution_, 0.0,
+  return reduce_rows(
+      resolution_,
       [&](std::size_t row_begin, std::size_t row_end) {
         double s = 0.0;
         int hint = -1;
@@ -226,8 +257,7 @@ double DeltaMetric::delta_walk(const field::Field& reference,
           }
         }
         return s;
-      },
-      [](double a, double b) { return a + b; }, /*grain=*/4);
+      });
 }
 
 double DeltaMetric::delta_raster(const field::Field& reference,
@@ -307,8 +337,8 @@ double DeltaMetric::delta_raster(const field::Field& reference,
   }
   CPS_COUNT("core.delta.raster_spans", spans_emitted);
 
-  return par::parallel_reduce(
-      resolution_, 0.0,
+  return reduce_rows(
+      resolution_,
       [&](std::size_t row_begin, std::size_t row_end) {
         double s = 0.0;
         int hint = -1;
@@ -362,8 +392,7 @@ double DeltaMetric::delta_raster(const field::Field& reference,
         CPS_COUNT("core.delta.raster_fast_assigns", fast);
         CPS_COUNT("core.delta.raster_fallback_locates", fallback);
         return s;
-      },
-      [](double a, double b) { return a + b; }, /*grain=*/4);
+      });
 }
 
 double DeltaMetric::delta_from_samples(const field::Field& reference,

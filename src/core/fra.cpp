@@ -376,8 +376,14 @@ FraResult FraPlanner::plan_detailed(const field::Field& reference,
   };
 
   CPS_TIMER("core.fra.refine_loop");
+  std::size_t timeline_iteration = 0;
   while (selected.size() < request.k) {
     CPS_COUNT("core.fra.iterations", 1);
+    // Iteration boundary for the telemetry timeline: each sample's deltas
+    // (heap pops, rebuckets, scans) cover the *previous* iteration; the
+    // first covers lattice seeding, the closing sample after the loop the
+    // final iteration plus the bucket audit.
+    CPS_TIMELINE_SAMPLE("core.fra.iteration", timeline_iteration++);
     // Foresight (Table 1 lines 5-8): when the remaining budget is no more
     // than the relay count needed for connectivity, spend it on relays.
     // On top of the paper's trigger, candidate selection below only
@@ -563,13 +569,14 @@ FraResult FraPlanner::plan_detailed(const field::Field& reference,
 
   if (use_heap) {
     CPS_COUNT("core.fra.heap_pushes", heap_pushes);
-    CPS_GAUGE("core.fra.heap_stale_ratio",
+    CPS_GAUGE("core.fra.heap_stale_pop_ratio",
               heap_pops == 0 ? 0.0
                              : static_cast<double>(heap_stale_pops) /
                                    static_cast<double>(heap_pops));
   }
   CPS_GAUGE("core.fra.triangle_count", dt.triangle_count());
   CPS_GAUGE("core.fra.vertex_count", dt.vertex_count());
+  CPS_TIMELINE_SAMPLE("core.fra.iteration", timeline_iteration);
   result.deployment.positions = std::move(selected);
   return result;
 }

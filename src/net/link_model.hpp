@@ -29,10 +29,61 @@
 #include "geometry/vec2.hpp"
 #include "net/radio.hpp"
 #include "numerics/rng.hpp"
+#include "obs/obs.hpp"
 
 namespace cps::net {
 
 using NodeId = std::size_t;
+
+/// Why a message (or a learned neighbour entry) was dropped.  Replaces the
+/// single undifferentiated drop count: per-reason counters are what the
+/// timeline and the sharded-CMA ghost-ring validation need — "losses rose
+/// at slot 117" is useless without knowing whether the channel faded
+/// (link_loss_draw), the swarm thinned (dead_*) or it stretched out of
+/// range (out_of_range).
+enum class DropReason {
+  kDeadSender,    ///< Sender dead at broadcast, or died with msgs in flight.
+  kDeadReceiver,  ///< Receiver dead at delivery time.
+  kOutOfRange,    ///< Receiver alive but beyond the link radius.
+  kLinkLossDraw,  ///< In-range attempt lost to the channel's random draw.
+  kTtlExpired,    ///< Learned neighbour entry aged out (no beacon within TTL).
+};
+
+constexpr const char* drop_reason_name(DropReason r) noexcept {
+  switch (r) {
+    case DropReason::kDeadSender: return "dead_sender";
+    case DropReason::kDeadReceiver: return "dead_receiver";
+    case DropReason::kOutOfRange: return "out_of_range";
+    case DropReason::kLinkLossDraw: return "link_loss_draw";
+    case DropReason::kTtlExpired: return "ttl_expired";
+  }
+  return "unknown";
+}
+
+/// Counts `n` drops for `reason` (net.bus.drop.<reason>) and the aggregate
+/// net.bus.drops_total.  One CPS_COUNT call site per reason so each metric
+/// name stays a literal (the macro caches the registry lookup per site).
+inline void count_drops(DropReason reason, std::uint64_t n) {
+  if (n == 0) return;
+  switch (reason) {
+    case DropReason::kDeadSender:
+      CPS_COUNT("net.bus.drop.dead_sender", n);
+      break;
+    case DropReason::kDeadReceiver:
+      CPS_COUNT("net.bus.drop.dead_receiver", n);
+      break;
+    case DropReason::kOutOfRange:
+      CPS_COUNT("net.bus.drop.out_of_range", n);
+      break;
+    case DropReason::kLinkLossDraw:
+      CPS_COUNT("net.bus.drop.link_loss_draw", n);
+      break;
+    case DropReason::kTtlExpired:
+      CPS_COUNT("net.bus.drop.ttl_expired", n);
+      break;
+  }
+  CPS_COUNT("net.bus.drops_total", n);
+}
 
 /// Channel model sampled once per directed transmission attempt.
 class LinkModel {

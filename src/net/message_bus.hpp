@@ -125,7 +125,8 @@ class MessageBus {
       throw std::out_of_range("MessageBus::broadcast");
     }
     if (!alive_[from]) {
-      CPS_COUNT("net.bus.dead_broadcasts", 1);
+      CPS_COUNT("net.bus.dead_broadcasts", 1);  // Legacy aggregate name.
+      count_drops(DropReason::kDeadSender, 1);
       return;
     }
     ++total_broadcasts_;
@@ -148,8 +149,24 @@ class MessageBus {
   void step() {
     for (auto& inbox : inboxes_) inbox.clear();
     if (mode_ == DeliveryMode::kGrid) refresh_grid();
+    // Per-reason drop accounting is arithmetic over per-message tallies,
+    // never per-probe: the grid mode skips most dead/out-of-range
+    // receivers without probing them, so counting inside probe() would
+    // make the taxonomy depend on the delivery mode.  With `delivered`
+    // and `lost` tallied per message, the remaining receivers decompose
+    // exactly — identically under kGrid and kFull:
+    //   dead_receiver = node_count - alive_now          (per message)
+    //   out_of_range  = (alive_now - 1) - delivered - lost
+    const bool account = obs::enabled();
+    const std::size_t alive_now = account ? alive_count() : 0;
     for (auto& pending : outbox_) {
-      if (!alive_[pending.from]) continue;  // Died with messages in flight.
+      if (!alive_[pending.from]) {
+        // Died with messages in flight: the whole broadcast is lost.
+        count_drops(DropReason::kDeadSender, 1);
+        continue;
+      }
+      delivered_ = 0;
+      lost_ = 0;
       if (mode_ == DeliveryMode::kGrid) {
         candidates_.clear();
         const std::size_t cells = grid_->collect_candidates(
@@ -167,6 +184,14 @@ class MessageBus {
           if (!alive_[to]) continue;
           probe(pending, to);
         }
+      }
+      if (account) {
+        count_drops(DropReason::kDeadReceiver,
+                    static_cast<std::uint64_t>(node_count() - alive_now));
+        count_drops(DropReason::kLinkLossDraw, lost_);
+        count_drops(
+            DropReason::kOutOfRange,
+            static_cast<std::uint64_t>(alive_now - 1) - delivered_ - lost_);
       }
     }
     outbox_.clear();
@@ -218,12 +243,13 @@ class MessageBus {
     if (link_->transmit(pending.from, to, pending.sent_from,
                         positions_[to])) {
       CPS_COUNT("net.bus.deliveries", 1);
+      ++delivered_;
       inboxes_[to].push_back(Delivery<M>{pending.from, pending.message});
-    } else {
+    } else if (link_->in_range(pending.sent_from, positions_[to])) {
       // A failed transmission to an in-range receiver is a radio loss;
       // out-of-range receivers are not delivery failures.
-      CPS_COUNT("net.bus.delivery_failures",
-                link_->in_range(pending.sent_from, positions_[to]) ? 1 : 0);
+      CPS_COUNT("net.bus.delivery_failures", 1);  // Legacy aggregate name.
+      ++lost_;
     }
   }
 
@@ -249,6 +275,9 @@ class MessageBus {
   std::vector<geo::Vec2> positions_;
   std::vector<char> alive_;
   std::vector<Pending> outbox_;
+  // Per-message probe tallies for the drop-reason arithmetic in step().
+  std::uint64_t delivered_ = 0;
+  std::uint64_t lost_ = 0;
   std::vector<std::vector<Delivery<M>>> inboxes_;
   std::size_t total_broadcasts_ = 0;
   DeliveryMode mode_ = DeliveryMode::kGrid;

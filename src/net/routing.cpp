@@ -108,11 +108,20 @@ const CollectionTree& RecoveryMonitor::observe(
   const bool partitioned = tree_->unreachable_count() > 0;
   if (partitioned && !outage_start_) {
     outage_start_ = slot;  // New outage begins this slot.
+    // Episode markers on the telemetry timeline: an outage-start sample
+    // carrying how many nodes fell off the tree, ...
+    CPS_TRACE_INSTANT("net.routing.outage_start");
+    CPS_TIMELINE_ANNOTATE("unreachable", tree_->unreachable_count());
+    CPS_TIMELINE_SAMPLE("net.routing.outage", slot);
   } else if (!partitioned && outage_start_) {
     // Fully reachable again: the outage lasted [start, slot).
     const std::size_t slots = slot - *outage_start_;
     recoveries_.push_back(Recovery{*outage_start_, slot, slots});
     CPS_HIST("net.routing.recovery_slots", static_cast<double>(slots));
+    // ... and a recovery sample closing the episode with its duration.
+    CPS_TRACE_INSTANT("net.routing.outage_recovered");
+    CPS_TIMELINE_ANNOTATE("outage_slots", slots);
+    CPS_TIMELINE_SAMPLE("net.routing.recovery", slot);
     outage_start_.reset();
   }
   return *tree_;

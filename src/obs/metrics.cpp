@@ -8,6 +8,7 @@
 #include <memory>
 #include <mutex>
 #include <ostream>
+#include <set>
 #include <stdexcept>
 
 namespace cps::obs {
@@ -127,6 +128,10 @@ struct Registry::Impl {
   mutable std::mutex mutex;
   // Ordered map: snapshot/JSON output is deterministic without a sort.
   std::map<std::string, MetricSlot, std::less<>> metrics;
+  // Names the Timeline must not diff (wall-time histograms, environment
+  // gauges).  Kept separate from the slots so a name can be excluded
+  // before the metric is first registered.
+  std::set<std::string, std::less<>> timeline_excluded;
 
   MetricSlot& slot(std::string_view name, MetricKind kind) {
     if (!valid_name(name)) {
@@ -197,6 +202,25 @@ Histogram& Registry::histogram(std::string_view name) {
   return *impl_->slot(name, MetricKind::kHistogram).histogram;
 }
 
+Histogram& Registry::duration_histogram(std::string_view name) {
+  Histogram& h = *impl_->slot(name, MetricKind::kHistogram).histogram;
+  exclude_from_timeline(name);
+  return h;
+}
+
+void Registry::exclude_from_timeline(std::string_view name) {
+  std::lock_guard lock(impl_->mutex);
+  if (impl_->timeline_excluded.find(name) == impl_->timeline_excluded.end()) {
+    impl_->timeline_excluded.emplace(name);
+  }
+}
+
+bool Registry::timeline_excluded(std::string_view name) const {
+  std::lock_guard lock(impl_->mutex);
+  return impl_->timeline_excluded.find(name) !=
+         impl_->timeline_excluded.end();
+}
+
 std::size_t Registry::size() const {
   std::lock_guard lock(impl_->mutex);
   return impl_->metrics.size();
@@ -213,7 +237,41 @@ void Registry::reset() {
   }
 }
 
-void Registry::write_json(std::ostream& out) const {
+std::vector<MetricSnapshot> Registry::snapshot() const {
+  std::lock_guard lock(impl_->mutex);
+  std::vector<MetricSnapshot> out;
+  out.reserve(impl_->metrics.size());
+  for (const auto& [name, slot] : impl_->metrics) {
+    MetricSnapshot snap;
+    snap.name = name;
+    snap.kind = slot.kind;
+    snap.timeline_excluded = impl_->timeline_excluded.find(name) !=
+                             impl_->timeline_excluded.end();
+    switch (slot.kind) {
+      case MetricKind::kCounter:
+        snap.counter = slot.counter->value();
+        break;
+      case MetricKind::kGauge:
+        snap.gauge = slot.gauge->value();
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram& h = *slot.histogram;
+        snap.hist_count = h.count();
+        for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+          const std::uint64_t n = h.bucket(i);
+          if (n != 0) {
+            snap.hist_buckets.emplace_back(static_cast<std::uint8_t>(i), n);
+          }
+        }
+        break;
+      }
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+void Registry::write_json(std::ostream& out, std::string_view extra_json) const {
   std::lock_guard lock(impl_->mutex);
   const auto section = [&](MetricKind kind, const char* label,
                            bool trailing_comma) {
@@ -266,7 +324,10 @@ void Registry::write_json(std::ostream& out) const {
   out << "{\n";
   section(MetricKind::kCounter, "counters", true);
   section(MetricKind::kGauge, "gauges", true);
-  section(MetricKind::kHistogram, "histograms", false);
+  section(MetricKind::kHistogram, "histograms", !extra_json.empty());
+  if (!extra_json.empty()) {
+    out << "  " << extra_json << "\n";
+  }
   out << "}\n";
 }
 

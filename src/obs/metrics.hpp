@@ -27,6 +27,8 @@
 #include <iosfwd>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace cps::obs {
 
@@ -133,6 +135,24 @@ class Histogram {
 
 // --- Registry ------------------------------------------------------------
 
+/// One metric's state as captured by Registry::snapshot() — the raw
+/// material the Timeline diffs into per-interval deltas.  Histogram
+/// buckets are stored sparsely (index, count) since most of the 64
+/// log-scale buckets are empty.
+struct MetricSnapshot {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  bool timeline_excluded = false;
+  std::uint64_t counter = 0;                  ///< kCounter only.
+  double gauge = 0.0;                         ///< kGauge only.
+  std::uint64_t hist_count = 0;               ///< kHistogram only.
+  /// Non-empty histogram buckets as (bucket index, count) pairs,
+  /// ascending by index.  Deliberately no sum/min/max: bucket counts are
+  /// deterministic for deterministic observations at any thread count,
+  /// while the float sum depends on observation order.
+  std::vector<std::pair<std::uint8_t, std::uint64_t>> hist_buckets;
+};
+
 /// Process-wide name -> metric table.  Lookup is mutex-guarded; returned
 /// references are stable for the process lifetime.
 class Registry {
@@ -152,15 +172,38 @@ class Registry {
   Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name);
 
+  /// histogram() plus a timeline-exclusion mark: wall-clock durations are
+  /// not deterministic, so duration histograms must never leak into the
+  /// Timeline's bit-identical JSONL output.  ScopedTimer records through
+  /// this entry point.
+  Histogram& duration_histogram(std::string_view name);
+
+  /// Marks `name` as excluded from Timeline snapshots (idempotent; the
+  /// metric need not be registered yet).  For metrics that describe the
+  /// host environment (pool size) or wall time rather than deterministic
+  /// algorithmic work.
+  void exclude_from_timeline(std::string_view name);
+
+  /// True when `name` has been marked timeline-excluded.
+  bool timeline_excluded(std::string_view name) const;
+
   std::size_t size() const;
 
   /// Zeroes every metric's value; registrations (and references) survive.
   void reset();
 
+  /// Captures every registered metric's current value, sorted by name —
+  /// the Timeline's diff source.  See MetricSnapshot for what is
+  /// (deliberately) not captured.
+  std::vector<MetricSnapshot> snapshot() const;
+
   /// Serialises all metrics as one JSON object, names sorted, shaped
   /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count,
   /// sum, min, max, mean, p50, p90, p99, buckets: [[ub, n], ...]}}}.
-  void write_json(std::ostream& out) const;
+  /// When `extra_json` is non-empty it is spliced verbatim as additional
+  /// top-level members (no surrounding braces) — ObsSession uses it for
+  /// the trace-truncation footer.
+  void write_json(std::ostream& out, std::string_view extra_json = {}) const;
 
   /// True when `name` follows the naming scheme (non-empty, [a-z0-9_.],
   /// no leading/trailing/doubled dots, at least one dot).

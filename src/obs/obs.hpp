@@ -18,6 +18,7 @@
 #pragma once
 
 #include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "obs/timer.hpp"
 #include "obs/trace.hpp"
 
@@ -79,6 +80,26 @@
     if (::cps::obs::enabled()) ::cps::obs::trace().instant(name);       \
   } while (0)
 
+/// Attaches a context field to the next timeline sample.  `v` is
+/// evaluated only while the timeline is armed, so expensive context
+/// (component counts) costs nothing in figure runs.
+#define CPS_TIMELINE_ANNOTATE(key, v)                                   \
+  do {                                                                  \
+    if (::cps::obs::timeline().armed()) {                               \
+      ::cps::obs::timeline().annotate(key, static_cast<double>(v));     \
+    }                                                                   \
+  } while (0)
+
+/// Marks a phase boundary: diffs the metrics registry against the
+/// previous boundary and records the delta (plus pending annotations).
+#define CPS_TIMELINE_SAMPLE(label, index)                               \
+  do {                                                                  \
+    if (::cps::obs::timeline().armed()) {                               \
+      ::cps::obs::timeline().sample(label,                              \
+                                    static_cast<std::int64_t>(index));  \
+    }                                                                   \
+  } while (0)
+
 #else  // !CPS_OBS_ENABLED — everything vanishes.
 
 #define CPS_TIMER(name) ((void)0)
@@ -87,5 +108,7 @@
 #define CPS_HIST(name, v) ((void)0)
 #define CPS_TRACE_COUNTER(name, v) ((void)0)
 #define CPS_TRACE_INSTANT(name) ((void)0)
+#define CPS_TIMELINE_ANNOTATE(key, v) ((void)0)
+#define CPS_TIMELINE_SAMPLE(label, index) ((void)0)
 
 #endif  // CPS_OBS_ENABLED

@@ -1,0 +1,211 @@
+#include "obs/timeline.hpp"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <ostream>
+
+namespace cps::obs {
+namespace {
+
+// Bitwise gauge comparison: -0.0 vs 0.0 and NaN payloads count as changes,
+// which is what "emit when anything changed" wants and keeps the diff free
+// of float-compare edge cases.
+bool same_bits(double a, double b) noexcept {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+void write_json_escaped(std::ostream& out, std::string_view s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+}
+
+void write_double(std::ostream& out, double v) {
+  // JSON has no Infinity/NaN literals; annotations should never produce
+  // them, but a sidecar must stay parseable if one slips through.
+  if (std::isnan(v)) {
+    out << "\"nan\"";
+  } else if (std::isinf(v)) {
+    out << (v > 0 ? "\"inf\"" : "\"-inf\"");
+  } else {
+    out << v;
+  }
+}
+
+}  // namespace
+
+Timeline& Timeline::instance() {
+  static Timeline t;
+  return t;
+}
+
+void Timeline::annotate(std::string_view key, double value) {
+  if (!armed()) return;
+  pending_fields_.emplace_back(std::string(key), value);
+}
+
+void Timeline::sample(std::string_view label, std::int64_t index) {
+  if (!armed()) return;
+  std::vector<MetricSnapshot> cur = registry().snapshot();
+
+  TimelineSample s;
+  s.seq = samples_.size();
+  s.label = std::string(label);
+  s.index = index;
+  s.fields = std::move(pending_fields_);
+  pending_fields_.clear();
+
+  // Both snapshots are sorted by name (registry map order); merge-walk.
+  // A metric absent from prev_ is new since the last sample — its previous
+  // value is zero.  Metrics are never unregistered, so a prev_ entry with
+  // no cur partner cannot happen; the walk tolerates it anyway.
+  std::size_t pi = 0;
+  for (const MetricSnapshot& c : cur) {
+    if (c.timeline_excluded) continue;
+    while (pi < prev_.size() && prev_[pi].name < c.name) ++pi;
+    const MetricSnapshot* p =
+        (have_prev_ && pi < prev_.size() && prev_[pi].name == c.name)
+            ? &prev_[pi]
+            : nullptr;
+    switch (c.kind) {
+      case MetricKind::kCounter: {
+        const std::uint64_t before = p ? p->counter : 0;
+        // A smaller current value means the registry was reset since the
+        // last sample; everything currently counted happened after it.
+        const std::uint64_t delta =
+            c.counter >= before ? c.counter - before : c.counter;
+        if (delta != 0) s.counter_deltas.emplace_back(c.name, delta);
+        break;
+      }
+      case MetricKind::kGauge: {
+        const double before = p ? p->gauge : 0.0;
+        if (!same_bits(c.gauge, before)) {
+          s.gauge_values.emplace_back(c.name, c.gauge);
+        }
+        break;
+      }
+      case MetricKind::kHistogram: {
+        const std::uint64_t before = p ? p->hist_count : 0;
+        const bool reset = c.hist_count < before;
+        const std::uint64_t count_delta =
+            reset ? c.hist_count : c.hist_count - before;
+        if (count_delta == 0) break;
+        TimelineSample::HistDelta hd;
+        hd.name = c.name;
+        hd.count_delta = count_delta;
+        // Merge-walk the sparse bucket lists (both ascending by index).
+        std::size_t bi = 0;
+        for (const auto& [idx, n] : c.hist_buckets) {
+          std::uint64_t bucket_before = 0;
+          if (p && !reset) {
+            while (bi < p->hist_buckets.size() &&
+                   p->hist_buckets[bi].first < idx) {
+              ++bi;
+            }
+            if (bi < p->hist_buckets.size() &&
+                p->hist_buckets[bi].first == idx) {
+              bucket_before = p->hist_buckets[bi].second;
+            }
+          }
+          if (n > bucket_before) {
+            hd.bucket_deltas.emplace_back(idx, n - bucket_before);
+          }
+        }
+        s.hist_deltas.push_back(std::move(hd));
+        break;
+      }
+    }
+  }
+
+  samples_.push_back(std::move(s));
+  prev_ = std::move(cur);
+  have_prev_ = true;
+}
+
+void Timeline::clear() {
+  prev_.clear();
+  have_prev_ = false;
+  pending_fields_.clear();
+  samples_.clear();
+}
+
+void Timeline::write_jsonl(std::ostream& out) const {
+  const auto saved_precision = out.precision();
+  out.precision(std::numeric_limits<double>::max_digits10);
+  for (const TimelineSample& s : samples_) {
+    out << "{\"seq\": " << s.seq << ", \"label\": \"";
+    write_json_escaped(out, s.label);
+    out << "\", \"index\": " << s.index;
+    if (!s.fields.empty()) {
+      out << ", \"fields\": {";
+      bool first = true;
+      for (const auto& [k, v] : s.fields) {
+        if (!first) out << ", ";
+        first = false;
+        out << '"';
+        write_json_escaped(out, k);
+        out << "\": ";
+        write_double(out, v);
+      }
+      out << '}';
+    }
+    if (!s.counter_deltas.empty()) {
+      out << ", \"counters\": {";
+      bool first = true;
+      for (const auto& [k, v] : s.counter_deltas) {
+        if (!first) out << ", ";
+        first = false;
+        out << '"';
+        write_json_escaped(out, k);
+        out << "\": " << v;
+      }
+      out << '}';
+    }
+    if (!s.gauge_values.empty()) {
+      out << ", \"gauges\": {";
+      bool first = true;
+      for (const auto& [k, v] : s.gauge_values) {
+        if (!first) out << ", ";
+        first = false;
+        out << '"';
+        write_json_escaped(out, k);
+        out << "\": ";
+        write_double(out, v);
+      }
+      out << '}';
+    }
+    if (!s.hist_deltas.empty()) {
+      out << ", \"histograms\": {";
+      bool first = true;
+      for (const auto& hd : s.hist_deltas) {
+        if (!first) out << ", ";
+        first = false;
+        out << '"';
+        write_json_escaped(out, hd.name);
+        out << "\": {\"count\": " << hd.count_delta << ", \"buckets\": [";
+        bool first_bucket = true;
+        for (const auto& [idx, n] : hd.bucket_deltas) {
+          if (!first_bucket) out << ", ";
+          first_bucket = false;
+          const double ub =
+              Histogram::bucket_upper_bound(static_cast<std::size_t>(idx));
+          out << '[';
+          if (std::isinf(ub)) {
+            out << "\"inf\"";
+          } else {
+            out << ub;
+          }
+          out << ", " << n << ']';
+        }
+        out << "]}";
+      }
+      out << '}';
+    }
+    out << "}\n";
+  }
+  out.precision(saved_precision);
+}
+
+}  // namespace cps::obs

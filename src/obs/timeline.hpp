@@ -1,0 +1,119 @@
+// Slot-scoped telemetry timeline: per-interval metric deltas.
+//
+// The registry answers "what happened over the whole run"; the figures in
+// the paper are trajectories — δ(t) under CMA churn, δ(k) under FRA growth
+// — so the interesting question is "what happened *between* slot 116 and
+// slot 117".  The Timeline answers it by snapshotting the registry at
+// phase boundaries (CmaSimulation::step, Fra iterations, δ evaluations)
+// and storing only the diff against the previous snapshot:
+//
+//  * counters as per-interval increments,
+//  * gauges as their new value when the bits changed,
+//  * histograms as mergeable bucket diffs (count delta + per-bucket count
+//    deltas) — summing a run of samples reconstructs the cumulative
+//    histogram exactly.
+//
+// Determinism contract: for a deterministic simulation the JSONL output is
+// byte-identical at any thread-pool size.  That is why samples carry a
+// sequence number instead of a timestamp, why histogram deltas omit the
+// float sum (its value depends on observation order across threads), and
+// why wall-time histograms and environment gauges are registered
+// timeline-excluded (Registry::duration_histogram / exclude_from_timeline).
+//
+// Like the TraceRecorder, the Timeline is a process-wide singleton armed
+// by ObsSession; sample() and annotate() are cheap no-ops while disarmed,
+// so instrumented phase boundaries cost one relaxed atomic load in
+// figure-generation runs.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace cps::obs {
+
+/// One phase boundary: everything that changed since the previous sample.
+struct TimelineSample {
+  std::uint64_t seq = 0;       ///< 0-based position in the timeline.
+  std::string label;           ///< Boundary kind, e.g. "core.cma.slot".
+  std::int64_t index = 0;      ///< Caller's phase index (slot, iteration).
+  /// Caller-supplied context (alive count, δ value, ...) attached via
+  /// annotate() since the previous sample, in annotation order.
+  std::vector<std::pair<std::string, double>> fields;
+  /// Counter increments since the previous sample (nonzero only).
+  std::vector<std::pair<std::string, std::uint64_t>> counter_deltas;
+  /// Gauges whose bits changed since the previous sample (new value).
+  std::vector<std::pair<std::string, double>> gauge_values;
+  /// Histogram deltas: count increment + (bucket index, count increment)
+  /// pairs for buckets that grew.
+  struct HistDelta {
+    std::string name;
+    std::uint64_t count_delta = 0;
+    std::vector<std::pair<std::uint8_t, std::uint64_t>> bucket_deltas;
+  };
+  std::vector<HistDelta> hist_deltas;
+};
+
+/// The process-wide timeline.  Thread-compatible, not thread-safe: samples
+/// are taken at phase boundaries, which are single-threaded by
+/// construction (worker fan-in has completed before the boundary).
+class Timeline {
+ public:
+  static Timeline& instance();
+
+  /// Arm/disarm sampling.  Disarmed (the default) sample()/annotate() are
+  /// no-ops; arming does NOT clear accumulated samples (call clear()).
+  void set_armed(bool on) noexcept {
+    armed_.store(on, std::memory_order_relaxed);
+  }
+  bool armed() const noexcept {
+    return armed_.load(std::memory_order_relaxed);
+  }
+
+  /// Attaches a context field to the *next* sample().  `key` is kept as a
+  /// string; values are doubles (counts fit exactly up to 2^53).
+  void annotate(std::string_view key, double value);
+
+  /// Snapshots the registry, diffs against the previous snapshot, and
+  /// appends a sample carrying the pending annotations.  A metric whose
+  /// current counter/histogram value is *smaller* than the previous
+  /// snapshot's was reset in between (ObsSession does this per bench
+  /// record); the delta is then the current value, i.e. everything since
+  /// the reset.
+  void sample(std::string_view label, std::int64_t index);
+
+  /// Drops all samples, pending annotations and the baseline snapshot.
+  void clear();
+
+  std::size_t sample_count() const { return samples_.size(); }
+  const TimelineSample& sample_at(std::size_t i) const {
+    return samples_.at(i);
+  }
+
+  /// One JSON object per line, shaped
+  /// {"seq": N, "label": "...", "index": I, "fields": {...},
+  ///  "counters": {...}, "gauges": {...},
+  ///  "histograms": {name: {"count": dc, "buckets": [[ub, dn], ...]}}},
+  /// with empty sections omitted.  Doubles print round-trip exact
+  /// (max_digits10) so equal samples are byte-equal.
+  void write_jsonl(std::ostream& out) const;
+
+ private:
+  Timeline() = default;
+
+  std::atomic<bool> armed_{false};
+  std::vector<MetricSnapshot> prev_;
+  bool have_prev_ = false;
+  std::vector<std::pair<std::string, double>> pending_fields_;
+  std::vector<TimelineSample> samples_;
+};
+
+/// Singleton shorthand, mirroring obs::trace().
+inline Timeline& timeline() { return Timeline::instance(); }
+
+}  // namespace cps::obs

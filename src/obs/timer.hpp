@@ -30,7 +30,9 @@ class ScopedTimer {
   ~ScopedTimer() {
     if (name_ == nullptr) return;
     const std::int64_t dur = now_us() - start_us_;
-    histogram(name_).observe(static_cast<double>(dur));
+    // duration_histogram: wall time is nondeterministic, so timer
+    // histograms are registered timeline-excluded.
+    registry().duration_histogram(name_).observe(static_cast<double>(dur));
     trace().complete(name_, start_us_, dur);
   }
 

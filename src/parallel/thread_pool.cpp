@@ -131,6 +131,18 @@ void ThreadPool::run(std::size_t chunk_count, void (*fn)(void*, std::size_t),
     for (std::size_t c = 0; c < chunk_count; ++c) fn(ctx, c);
     return;
   }
+#if defined(CPS_OBS_ENABLED)
+  // Scheduler metrics describe the host's worker count, not the workload:
+  // a serial pool runs regions inline and counts nothing.  Keep them out
+  // of the timeline or its output would differ across --threads values.
+  static const bool timeline_excluded = [] {
+    obs::registry().exclude_from_timeline("parallel.pool.regions");
+    obs::registry().exclude_from_timeline("parallel.pool.chunks");
+    obs::registry().exclude_from_timeline("parallel.pool.threads");
+    return true;
+  }();
+  (void)timeline_excluded;
+#endif
   CPS_COUNT("parallel.pool.regions", 1);
   CPS_COUNT("parallel.pool.chunks", chunk_count);
   std::lock_guard<std::mutex> region(impl_->region_mu);
@@ -192,6 +204,8 @@ ThreadPool& ThreadPool::process_pool() {
   if (!p.pool || p.pool->thread_count() != want) {
     p.pool.reset();  // Join any old workers before spawning anew.
     p.pool = std::make_unique<ThreadPool>(want);
+    // Host property, not workload: never in the timeline (see run()).
+    obs::registry().exclude_from_timeline("parallel.pool.threads");
     CPS_GAUGE("parallel.pool.threads", want);
   }
   return *p.pool;

@@ -164,4 +164,29 @@ T parallel_reduce(std::size_t n, T identity, Map&& map, Combine&& combine,
   return acc;
 }
 
+/// parallel_reduce with the chunk layout pinned at EVERY thread count:
+/// threads == 1 folds the same (n, grain) chunks serially in ascending
+/// order instead of taking the single-chain serial shortcut, so the
+/// result — float association, chunk-local state like point-location
+/// hints, and any counters the map records — is bit-identical to every
+/// multithreaded run.  Telemetry paths use this while the timeline is
+/// armed; the plain parallel_reduce serial shortcut stays bit-identical
+/// to the original serial code and remains the default everywhere else.
+template <typename T, typename Map, typename Combine>
+T parallel_reduce_chunked(std::size_t n, T identity, Map&& map,
+                          Combine&& combine, std::size_t grain = 0) {
+  if (n == 0) return identity;
+  ThreadPool& pool = ThreadPool::process_pool();
+  if (pool.thread_count() != 1) {
+    return parallel_reduce(n, std::move(identity), std::forward<Map>(map),
+                           std::forward<Combine>(combine), grain);
+  }
+  const std::size_t g = detail::resolve_grain(grain);
+  T acc = std::move(identity);
+  for (std::size_t begin = 0; begin < n; begin += g) {
+    acc = combine(std::move(acc), map(begin, begin + g < n ? begin + g : n));
+  }
+  return acc;
+}
+
 }  // namespace cps::par

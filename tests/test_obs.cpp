@@ -154,6 +154,34 @@ TEST(Histogram, BucketBoundaries) {
   }
 }
 
+TEST(Histogram, QuantileOnEmptyAndSingleBucket) {
+  Histogram empty;
+  // Every quantile of an empty histogram is 0 — no observations, no range.
+  EXPECT_EQ(empty.quantile(0.0), 0.0);
+  EXPECT_EQ(empty.quantile(0.5), 0.0);
+  EXPECT_EQ(empty.quantile(0.99), 0.0);
+  EXPECT_EQ(empty.quantile(1.0), 0.0);
+
+  // All observations in one bucket: every quantile is clamped into the
+  // observed [min, max] range, never the bucket's nominal bounds.
+  Histogram single;
+  single.observe(1.25);
+  single.observe(1.5);
+  single.observe(1.75);  // All land in bucket (1, 2].
+  for (const double q : {0.0, 0.25, 0.5, 0.75, 0.99, 1.0}) {
+    EXPECT_GE(single.quantile(q), 1.25) << "q=" << q;
+    EXPECT_LE(single.quantile(q), 1.75) << "q=" << q;
+  }
+  EXPECT_EQ(single.quantile(1.0), 1.75);
+
+  // One observation: every quantile IS that observation.
+  Histogram one;
+  one.observe(3.5);
+  EXPECT_EQ(one.quantile(0.0), 3.5);
+  EXPECT_EQ(one.quantile(0.5), 3.5);
+  EXPECT_EQ(one.quantile(1.0), 3.5);
+}
+
 TEST(Histogram, StatsAndQuantiles) {
   Histogram h;
   EXPECT_EQ(h.quantile(0.5), 0.0);  // Empty.
@@ -257,6 +285,209 @@ TEST(Trace, CapacityCapDropsAndCounts) {
   EXPECT_EQ(trace().dropped(), 92u);
   trace().set_capacity(1u << 20);
   trace().clear();
+}
+
+/// Arms the timeline for one test, restoring disarmed + cleared state.
+class TimelineScope {
+ public:
+  TimelineScope() {
+    timeline().clear();
+    timeline().set_armed(true);
+  }
+  ~TimelineScope() {
+    timeline().set_armed(false);
+    timeline().clear();
+  }
+};
+
+TEST(Timeline, DisarmedIsNoOp) {
+  timeline().clear();
+  timeline().set_armed(false);
+  timeline().annotate("ignored", 1.0);
+  timeline().sample("test.timeline.disarmed", 0);
+  EXPECT_EQ(timeline().sample_count(), 0u);
+}
+
+TEST(Timeline, CounterDeltasArePerInterval) {
+  EnabledScope armed(true);
+  TimelineScope tl;
+  Counter& c = counter("test.timeline.steps");
+  c.reset();
+  timeline().sample("test.timeline.baseline", 0);  // Baseline snapshot.
+
+  c.add(3);
+  timeline().sample("test.timeline.slot", 1);
+  c.add(4);
+  timeline().sample("test.timeline.slot", 2);
+  timeline().sample("test.timeline.slot", 3);  // Nothing changed.
+
+  ASSERT_EQ(timeline().sample_count(), 4u);
+  const auto find_delta = [](const TimelineSample& s, const char* name) {
+    for (const auto& [n, d] : s.counter_deltas) {
+      if (n == name) return d;
+    }
+    return std::uint64_t{0};
+  };
+  EXPECT_EQ(find_delta(timeline().sample_at(1), "test.timeline.steps"), 3u);
+  EXPECT_EQ(find_delta(timeline().sample_at(2), "test.timeline.steps"), 4u);
+  EXPECT_EQ(find_delta(timeline().sample_at(3), "test.timeline.steps"), 0u);
+  EXPECT_EQ(timeline().sample_at(3).counter_deltas.size(), 0u);
+}
+
+TEST(Timeline, ResetReportsValueSinceReset) {
+  EnabledScope armed(true);
+  TimelineScope tl;
+  Counter& c = counter("test.timeline.reset_counter");
+  c.reset();
+  c.add(10);
+  timeline().sample("test.timeline.slot", 0);
+  // A reset between samples makes the current value smaller than the
+  // previous snapshot; the delta is then everything since the reset.
+  c.reset();
+  c.add(2);
+  timeline().sample("test.timeline.slot", 1);
+  const TimelineSample& s = timeline().sample_at(1);
+  ASSERT_EQ(s.counter_deltas.size(), 1u);
+  EXPECT_EQ(s.counter_deltas[0].second, 2u);
+}
+
+TEST(Timeline, GaugeEmittedOnlyWhenBitsChange) {
+  EnabledScope armed(true);
+  TimelineScope tl;
+  Gauge& g = gauge("test.timeline.some_gauge");
+  g.set(1.5);
+  timeline().sample("test.timeline.slot", 0);
+  g.set(1.5);  // Same bits: no entry.
+  timeline().sample("test.timeline.slot", 1);
+  g.set(2.5);
+  timeline().sample("test.timeline.slot", 2);
+
+  const auto has_gauge = [](const TimelineSample& s, const char* name) {
+    for (const auto& [n, v] : s.gauge_values) {
+      if (n == name) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_gauge(timeline().sample_at(0),
+                        "test.timeline.some_gauge"));
+  EXPECT_FALSE(has_gauge(timeline().sample_at(1),
+                         "test.timeline.some_gauge"));
+  EXPECT_TRUE(has_gauge(timeline().sample_at(2),
+                        "test.timeline.some_gauge"));
+}
+
+TEST(Timeline, HistogramBucketDeltasMerge) {
+  EnabledScope armed(true);
+  TimelineScope tl;
+  Histogram& h = histogram("test.timeline.some_hist");
+  h.reset();
+  timeline().sample("test.timeline.baseline", 0);
+  h.observe(1.5);  // Bucket (1, 2].
+  h.observe(1.5);
+  h.observe(3.0);  // Bucket (2, 4].
+  timeline().sample("test.timeline.slot", 1);
+
+  const TimelineSample& s = timeline().sample_at(1);
+  const TimelineSample::HistDelta* hd = nullptr;
+  for (const auto& d : s.hist_deltas) {
+    if (d.name == "test.timeline.some_hist") hd = &d;
+  }
+  ASSERT_NE(hd, nullptr);
+  EXPECT_EQ(hd->count_delta, 3u);
+  std::uint64_t bucket_total = 0;
+  for (const auto& [bucket, n] : hd->bucket_deltas) bucket_total += n;
+  // Bucket deltas are mergeable: they sum to the count delta exactly.
+  EXPECT_EQ(bucket_total, hd->count_delta);
+  ASSERT_EQ(hd->bucket_deltas.size(), 2u);
+  EXPECT_EQ(hd->bucket_deltas[0].first, Histogram::bucket_index(1.5));
+  EXPECT_EQ(hd->bucket_deltas[0].second, 2u);
+  EXPECT_EQ(hd->bucket_deltas[1].first, Histogram::bucket_index(3.0));
+  EXPECT_EQ(hd->bucket_deltas[1].second, 1u);
+}
+
+TEST(Timeline, AnnotationsAttachToNextSampleOnly) {
+  EnabledScope armed(true);
+  TimelineScope tl;
+  timeline().annotate("delta", 42.5);
+  timeline().annotate("alive", 100.0);
+  timeline().sample("test.timeline.slot", 7);
+  timeline().sample("test.timeline.slot", 8);
+
+  const TimelineSample& first = timeline().sample_at(0);
+  EXPECT_EQ(first.index, 7);
+  ASSERT_EQ(first.fields.size(), 2u);
+  EXPECT_EQ(first.fields[0].first, "delta");
+  EXPECT_EQ(first.fields[0].second, 42.5);
+  EXPECT_EQ(first.fields[1].first, "alive");
+  EXPECT_EQ(first.fields[1].second, 100.0);
+  EXPECT_EQ(timeline().sample_at(1).fields.size(), 0u);
+}
+
+TEST(Timeline, DurationHistogramsAndExclusionsStayOut) {
+  EnabledScope armed(true);
+  TimelineScope tl;
+  // Wall-time histograms (ScopedTimer) and explicitly excluded metrics are
+  // environment-dependent; the timeline must never carry them.
+  registry().duration_histogram("test.timeline.wall_hist").observe(1.0);
+  counter("test.timeline.excluded_counter");
+  registry().exclude_from_timeline("test.timeline.excluded_counter");
+  timeline().sample("test.timeline.baseline", 0);
+  registry().duration_histogram("test.timeline.wall_hist").observe(2.0);
+  counter("test.timeline.excluded_counter").add(5);
+  counter("test.timeline.included_counter").add(1);
+  timeline().sample("test.timeline.slot", 1);
+
+  const TimelineSample& s = timeline().sample_at(1);
+  for (const auto& d : s.hist_deltas) {
+    EXPECT_NE(d.name, "test.timeline.wall_hist");
+  }
+  bool saw_included = false;
+  for (const auto& [n, v] : s.counter_deltas) {
+    EXPECT_NE(n, "test.timeline.excluded_counter");
+    saw_included |= n == "test.timeline.included_counter";
+  }
+  EXPECT_TRUE(saw_included);
+}
+
+TEST(Timeline, JsonlDeterministicAndWellFormed) {
+  EnabledScope armed(true);
+  const auto record_run = [] {
+    TimelineScope tl;
+    Counter& c = counter("test.timeline.jsonl_counter");
+    c.reset();
+    gauge("test.timeline.jsonl_gauge").set(0.0);
+    histogram("test.timeline.jsonl_hist").reset();
+    timeline().sample("test.timeline.baseline", 0);
+    c.add(7);
+    gauge("test.timeline.jsonl_gauge").set(2.25);
+    histogram("test.timeline.jsonl_hist").observe(1.5);
+    timeline().annotate("delta", 3.0625);
+    timeline().sample("test.timeline.slot", 1);
+    std::ostringstream out;
+    timeline().write_jsonl(out);
+    return out.str();
+  };
+  const std::string first = record_run();
+  const std::string second = record_run();
+  // Byte-identical across identical runs — the determinism contract the
+  // cross-thread-count tests build on.
+  EXPECT_EQ(first, second);
+
+  std::istringstream lines(first);
+  std::string line;
+  std::size_t line_count = 0;
+  while (std::getline(lines, line)) {
+    ++line_count;
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+  EXPECT_EQ(line_count, 2u);
+  EXPECT_NE(first.find("\"label\": \"test.timeline.slot\""),
+            std::string::npos);
+  EXPECT_NE(first.find("\"delta\": 3.0625"), std::string::npos);
+  EXPECT_NE(first.find("\"test.timeline.jsonl_counter\": 7"),
+            std::string::npos);
 }
 
 TEST(Macros, DisabledRecordsNothing) {

@@ -7,7 +7,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/cma.hpp"
@@ -19,6 +22,7 @@
 #include "field/time_varying.hpp"
 #include "graph/geometric_graph.hpp"
 #include "numerics/rng.hpp"
+#include "obs/obs.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace cps::core {
@@ -140,6 +144,49 @@ TEST(ParallelDeterminism, DeltaMetricIdenticalAcrossMultithreadedCounts) {
   // threads = 1 accumulates in one chain rather than per-chunk partials;
   // agreement is to rounding, not bits.
   EXPECT_NEAR(at1, at2, 1e-9 * std::abs(at1));
+}
+
+// With the telemetry timeline armed the delta reductions switch onto the
+// chunk-pinned path (par::parallel_reduce_chunked), which folds the SAME
+// chunk layout serially at threads = 1 instead of the single-chain
+// shortcut — so the annotated δ value, and every counter delta the sample
+// carries (walk steps depend on per-chunk hint chains), are bit-identical
+// at EVERY thread count, including 1.
+TEST(ParallelDeterminism, ArmedTimelineDeltaIdenticalAtEveryThreadCount) {
+  const auto f = test_field();
+  const DeltaMetric metric(kRegion, 100);
+  const auto grid = GridPlanner::make_grid(kRegion, 36);
+  const auto samples = take_samples(f, grid.positions);
+
+  const bool obs_was_enabled = obs::enabled();
+  obs::set_enabled(true);
+  std::vector<double> values;
+  std::vector<std::vector<std::pair<std::string, double>>> fields;
+  std::vector<std::vector<std::pair<std::string, std::uint64_t>>> counters;
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    ThreadScope scope(threads);
+    obs::registry().reset();  // Per-run counts: first-sample deltas match.
+    obs::timeline().clear();
+    obs::timeline().set_armed(true);
+    values.push_back(metric.delta_from_samples(f, samples));
+    obs::timeline().set_armed(false);
+#if defined(CPS_OBS_ENABLED)
+    ASSERT_EQ(obs::timeline().sample_count(), 1u) << threads << " threads";
+    fields.push_back(obs::timeline().sample_at(0).fields);
+    counters.push_back(obs::timeline().sample_at(0).counter_deltas);
+#endif
+    obs::timeline().clear();
+  }
+  obs::set_enabled(obs_was_enabled);
+
+  EXPECT_EQ(values[0], values[1]);
+  EXPECT_EQ(values[1], values[2]);
+#if defined(CPS_OBS_ENABLED)
+  EXPECT_EQ(fields[0], fields[1]);
+  EXPECT_EQ(fields[1], fields[2]);
+  EXPECT_EQ(counters[0], counters[1]);
+  EXPECT_EQ(counters[1], counters[2]);
+#endif
 }
 
 TEST(ParallelDeterminism, DeltaBetweenIdenticalAcrossMultithreadedCounts) {
