@@ -2,8 +2,9 @@
 // hot paths and their replacements side by side.
 //
 // Sweeps
-//   * FRA planning at k in {100, 500, 2000} (quick: {50, 200}) with both
-//     selection engines (lazy-deletion heap vs full lattice scan), and
+//   * FRA planning at k in {100, 500, 2000} (quick: {50, 100, 200}) with
+//     both selection engines (indexed decrease-key heap vs full lattice
+//     scan), and
 //   * CMA at N in {100, 400, 1000} nodes (quick: {60, 150}) for 200 slots
 //     (quick: 50) under each link model (disk / distance-loss /
 //     Gilbert-Elliott) with both bus delivery modes (grid-pruned vs
@@ -24,12 +25,17 @@
 // independent, so a checked-in BENCH_baseline.json can gate CI (--check
 // fails on any counter more than 10% above baseline) without flaking on
 // noisy runners.  Wall time is gated too, but coarsely: each record is
-// repeat-sampled (--repeats, default 3) into an obs::Histogram and the
-// p50/p99 estimates must stay under baseline * band, with wide
+// repeat-sampled (--repeats, default 3) and the exact order-statistic
+// p50/p99 over the retained samples must stay under baseline * band, with
 // multiplicative bands (stored in the baseline's `latency_gate`) chosen
-// to absorb both runner noise and the histogram's power-of-two bucket
-// quantisation — the latency gate catches order-of-magnitude blowups, not
-// percent-level drift.
+// to absorb runner noise — the latency gate catches order-of-magnitude
+// blowups, not percent-level drift.  --check additionally enforces two
+// absolute FRA gates independent of the baseline's numbers: any record
+// flagged `heap_degraded` fails, and fra.k100's `win_margin_vs_scan`
+// must stay >= 1.0 — the heap engine earns its default by never losing
+// to the scan it replaced.  The margin is the median of per-repeat
+// paired ratios (scan_i / heap_i) over interleaved samples, so machine
+// drift cancels pairwise instead of biasing the engine measured first.
 //
 // Every paired sweep doubles as an equivalence oracle: heap-vs-scan must
 // select bit-identical deployments and grid-vs-full must produce
@@ -39,7 +45,9 @@
 // Flags: --quick (CI-sized sweep), --out PATH (default BENCH_perf.json),
 // --check BASELINE.json (compare counters + latency percentiles),
 // --repeats N (latency samples per record, default 3), --threads N.
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -71,9 +79,13 @@ struct Record {
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   std::vector<std::pair<std::string, double>> derived;
 
-  /// Wall-time distribution over the --repeats runs of this record,
-  /// estimated through an obs::Histogram (so the percentile math gated in
-  /// CI is the same code the service layer will report p50/p99 with).
+  /// Wall-time distribution over the --repeats runs of this record.
+  /// Percentiles are exact order statistics over the retained samples —
+  /// with n this small (the --repeats count) a bucketed estimator is the
+  /// wrong tool: obs::Histogram's power-of-two buckets can move a
+  /// 3-sample p50 by ~2x between identical runs.  The histogram remains
+  /// the estimator for the telemetry timeline and the service layer,
+  /// which stream unbounded sample counts and cannot retain them.
   struct Latency {
     std::uint64_t samples = 0;
     double p50_ms = 0.0;
@@ -90,29 +102,88 @@ struct Record {
       if (n == name) return v;
     return 0;
   }
+
+  const double* derived_value(const std::string& name) const {
+    for (const auto& [n, v] : derived)
+      if (n == name) return &v;
+    return nullptr;
+  }
 };
 
-// Runs one record builder `repeats` times, feeding each run's wall time
-// into a histogram; keeps the last run's counters/outputs (they are
-// deterministic, so every repeat agrees) and attaches the percentile
-// summary.
+/// Nearest-rank order statistic over sorted samples: the smallest sample
+/// with at least a q fraction of the distribution at or below it
+/// (rank = ceil(q * n), clamped to [1, n]).  Exact for any n.
+double exact_quantile(const std::vector<double>& sorted, double q) {
+  const std::size_t n = sorted.size();
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(n)));
+  return sorted[std::min(n - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+/// Sorts the retained samples into a record's exact percentile summary.
+void finalize_latency(Record& rec, std::vector<double> samples) {
+  double sum = 0.0;
+  for (const double s : samples) sum += s;
+  std::sort(samples.begin(), samples.end());
+  rec.latency.samples = samples.size();
+  rec.latency.p50_ms = exact_quantile(samples, 0.5);
+  rec.latency.p90_ms = exact_quantile(samples, 0.9);
+  rec.latency.p99_ms = exact_quantile(samples, 0.99);
+  rec.latency.mean_ms = sum / static_cast<double>(samples.size());
+  rec.latency.min_ms = samples.front();
+  rec.latency.max_ms = samples.back();
+}
+
+// Runs one record builder `repeats` times, retaining every run's wall
+// time; keeps the last run's counters/outputs (they are deterministic, so
+// every repeat agrees) and attaches the exact percentile summary.
 template <typename F>
 Record timed_repeat(std::size_t repeats, F&& run_once) {
-  obs::Histogram lat;
+  std::vector<double> samples;
+  samples.reserve(repeats);
+  // One untimed warmup run per record: cold caches and page faults
+  // otherwise land in the first sample's percentiles.
   Record rec = run_once();
-  lat.observe(rec.wall_ms);
-  for (std::size_t r = 1; r < repeats; ++r) {
+  for (std::size_t r = 0; r < repeats; ++r) {
     rec = run_once();
-    lat.observe(rec.wall_ms);
+    samples.push_back(rec.wall_ms);
   }
-  rec.latency.samples = lat.count();
-  rec.latency.p50_ms = lat.quantile(0.5);
-  rec.latency.p90_ms = lat.quantile(0.9);
-  rec.latency.p99_ms = lat.quantile(0.99);
-  rec.latency.mean_ms = lat.mean();
-  rec.latency.min_ms = lat.min();
-  rec.latency.max_ms = lat.max();
+  finalize_latency(rec, std::move(samples));
   return rec;
+}
+
+// A/B variant for engine pairs: interleaves the two builders' samples
+// (a, b, a, b, ...) after one warmup each, so both engines see the same
+// machine epoch.  Block ordering (all of A, then all of B) lets slow
+// drift — frequency ramps, allocator growth across a long bench — bias
+// whichever block runs first by more than the structural delta the
+// win-margin gate watches at k = 100.  When `pair_ratios` is given it
+// receives b_i / a_i per repeat: adjacent samples share an epoch, so the
+// median of those paired ratios estimates the A-vs-B margin with the
+// drift cancelled — much tighter than the ratio of independent p50s.
+template <typename FA, typename FB>
+std::pair<Record, Record> timed_repeat_pair(
+    std::size_t repeats, FA&& run_a, FB&& run_b,
+    std::vector<double>* pair_ratios = nullptr) {
+  std::vector<double> sa, sb;
+  sa.reserve(repeats);
+  sb.reserve(repeats);
+  Record ra = run_a();
+  Record rb = run_b();
+  for (std::size_t r = 0; r < repeats; ++r) {
+    ra = run_a();
+    sa.push_back(ra.wall_ms);
+    rb = run_b();
+    sb.push_back(rb.wall_ms);
+  }
+  if (pair_ratios) {
+    for (std::size_t r = 0; r < repeats; ++r) {
+      pair_ratios->push_back(sa[r] == 0.0 ? 0.0 : sb[r] / sa[r]);
+    }
+  }
+  finalize_latency(ra, std::move(sa));
+  finalize_latency(rb, std::move(sb));
+  return {std::move(ra), std::move(rb)};
 }
 
 std::uint64_t cval(const char* name) {
@@ -150,20 +221,25 @@ Record run_fra(const field::Field& frame, std::size_t k,
   for (const char* name :
        {"core.fra.iterations", "core.fra.candidates_scanned",
         "core.fra.heap_pushes", "core.fra.heap_pops",
-        "core.fra.heap_stale_pops", "core.fra.heap_parked",
-        "core.fra.candidates_rebucketed", "core.fra.mst_recomputes",
-        "core.fra.foresight_triggers", "graph.relay.mst_recomputes"}) {
+        "core.fra.heap_updates", "core.fra.heap_rebuilds",
+        "core.fra.heap_flat_scans", "core.fra.heap_stale_pops",
+        "core.fra.heap_parked", "core.fra.candidates_rebucketed",
+        "core.fra.mst_recomputes", "core.fra.foresight_triggers",
+        "graph.relay.mst_recomputes"}) {
     rec.counters.emplace_back(name, cval(name));
   }
 
   const double iters =
       static_cast<double>(std::max<std::uint64_t>(1, cval("core.fra.iterations")));
   // The comparable work rate: candidates examined per selection.  The
-  // scan touches the whole lattice every iteration; the heap touches only
-  // what it pops.
-  const std::uint64_t examined = engine == core::SelectionEngine::kHeap
-                                     ? cval("core.fra.heap_pops")
-                                     : cval("core.fra.candidates_scanned");
+  // scan touches the whole lattice every iteration; the heap touches what
+  // it pops plus whatever its storm-mode flat scans swept (the indexed
+  // heap folds those into candidates_scanned, which the heap engine
+  // otherwise leaves at zero).
+  const std::uint64_t examined =
+      engine == core::SelectionEngine::kHeap
+          ? cval("core.fra.heap_pops") + cval("core.fra.candidates_scanned")
+          : cval("core.fra.candidates_scanned");
   rec.derived.emplace_back("scans_per_iteration",
                            static_cast<double>(examined) / iters);
   if (engine == core::SelectionEngine::kHeap) {
@@ -172,9 +248,10 @@ Record run_fra(const field::Field& frame, std::size_t k,
     const double stale_ratio =
         static_cast<double>(cval("core.fra.heap_stale_pops")) / pops;
     rec.derived.emplace_back("stale_pop_ratio", stale_ratio);
-    // The known small-k pathology (ROADMAP): when nearly every pop is
-    // stale the heap degrades to a slow scan.  Flag it in every sidecar
-    // so the regression stays visible ahead of the fix.
+    // The indexed decrease-key heap holds one live entry per candidate —
+    // stale pops are structurally impossible, so a nonzero ratio means
+    // the engine regressed to lazy deletion.  --check makes this flag a
+    // hard failure (see check_against_baseline).
     if (stale_ratio > 0.9) {
       rec.derived.emplace_back("heap_degraded", 1.0);
       std::fprintf(stderr,
@@ -284,7 +361,8 @@ Record run_delta_refcache_sweep(
   rec.id = "delta.refcache.m" + std::to_string(deployments.size());
 
   core::DeltaMetric metric = bench::canonical_metric();
-  // The frame outlives the sweep, so address-keyed caching is sound here.
+  // Content-keyed caching is on by default; pin the capacity anyway so the
+  // record measures a fixed configuration even if the default moves.
   metric.set_reference_cache_capacity(8);
 
   obs::registry().reset();
@@ -344,10 +422,11 @@ void write_json(std::ostream& out, const std::string& mode,
   out << "    }\n";
   out << "  },\n";
   // Multiplicative tolerance bands for the latency gate, stored with the
-  // baseline so the thresholds travel with the numbers they bound.  p50 of
-  // a 3-sample histogram can shift a full power-of-two bucket on an
-  // otherwise identical run; the bands absorb that plus runner noise.
-  out << "  \"latency_gate\": {\"p50_band\": 4.0, \"p99_band\": 6.0},\n";
+  // baseline so the thresholds travel with the numbers they bound.  The
+  // percentiles are exact order statistics now, so the bands only have to
+  // absorb runner noise (shared CI machines still jitter plenty) — they
+  // used to also cover histogram bucket quantisation.
+  out << "  \"latency_gate\": {\"p50_band\": 3.0, \"p99_band\": 5.0},\n";
   out << "  \"records\": [\n";
   for (std::size_t i = 0; i < records.size(); ++i) {
     const Record& r = records[i];
@@ -412,8 +491,8 @@ int check_against_baseline(const std::string& path,
   std::map<std::string, const Record*> by_id;
   for (const Record& r : records) by_id[r.id] = &r;
 
-  double p50_band = 4.0;
-  double p99_band = 6.0;
+  double p50_band = 3.0;
+  double p99_band = 5.0;
   if (baseline.has("latency_gate")) {
     const bench::Json& gate = baseline.at("latency_gate");
     if (gate.has("p50_band")) p50_band = gate.at("p50_band").number;
@@ -467,6 +546,32 @@ int check_against_baseline(const std::string& path,
       gate_percentile("p99_ms", it->second->latency.p99_ms, p99_band);
     }
   }
+  // Absolute FRA gates, independent of the baseline's numbers.  A
+  // degraded heap (stale-pop dominated selection) is a hard failure: the
+  // indexed engine cannot produce stale pops, so the flag means the
+  // engine itself regressed.  And at the canonical k = 100 — the point
+  // the lazy-deletion heap used to lose — the heap must not fall behind
+  // the scan it replaced.
+  for (const Record& r : records) {
+    if (const double* flag = r.derived_value("heap_degraded");
+        flag != nullptr && *flag != 0.0) {
+      std::fprintf(stderr,
+                   "REGRESSION %s: heap_degraded is set — selection heap "
+                   "fell back to stale-pop-dominated behaviour\n",
+                   r.id.c_str());
+      ++regressions;
+    }
+    if (r.id == "fra.k100.heap") {
+      if (const double* margin = r.derived_value("win_margin_vs_scan");
+          margin != nullptr && *margin < 1.0) {
+        std::fprintf(stderr,
+                     "REGRESSION %s: win_margin_vs_scan %.3f < 1.0 — heap "
+                     "engine lost to the scan oracle at k=100\n",
+                     r.id.c_str(), *margin);
+        ++regressions;
+      }
+    }
+  }
   std::printf("baseline check: %zu counters and %zu latency percentiles "
               "compared against %s, %d regression(s)\n",
               compared, latency_compared, path.c_str(), regressions);
@@ -499,8 +604,11 @@ int main(int argc, char** argv) {
                       quick ? "quadratic-path counters (quick sweep)"
                             : "quadratic-path counters (full sweep)");
 
+  // k = 100 rides in both modes: it is the paper's canonical density AND
+  // the size the lazy-deletion heap used to lose, so the quick (CI) sweep
+  // must cover it for the win-margin gate to bite.
   const std::vector<std::size_t> fra_ks =
-      quick ? std::vector<std::size_t>{50, 200}
+      quick ? std::vector<std::size_t>{50, 100, 200}
             : std::vector<std::size_t>{100, 500, 2000};
   const std::vector<std::size_t> cma_ns =
       quick ? std::vector<std::size_t>{60, 150}
@@ -519,18 +627,32 @@ int main(int argc, char** argv) {
   std::vector<Record> records;
   int failures = 0;
 
-  // FRA: heap vs scan, bit-identical deployments required.
+  // FRA: heap vs scan, bit-identical deployments required.  The pair is
+  // sampled with extra repeats: FRA records are milliseconds (unlike the
+  // CMA blocks), and the k=100 win margin gates on them, so the added
+  // samples are cheap insurance against container noise.
+  const std::size_t fra_repeats = std::max<std::size_t>(repeats, 7);
   for (const std::size_t k : fra_ks) {
     std::vector<geo::Vec2> heap_pos, scan_pos;
+    std::vector<double> pair_ratios;
     // Build records as locals and push copies: references into `records`
     // would dangle when a later push_back reallocates the vector.
-    const Record heap = timed_repeat(repeats, [&] {
-      return run_fra(frame, k, core::SelectionEngine::kHeap, heap_pos);
-    });
+    auto [heap, scan] = timed_repeat_pair(
+        fra_repeats,
+        [&] {
+          return run_fra(frame, k, core::SelectionEngine::kHeap, heap_pos);
+        },
+        [&] {
+          return run_fra(frame, k, core::SelectionEngine::kScan, scan_pos);
+        },
+        &pair_ratios);
+    // Heap-over-scan speedup as the median of per-repeat paired ratios
+    // (scan_i / heap_i); > 1 means the heap won.  --check hard-gates this
+    // at k = 100 (see check_against_baseline).
+    std::sort(pair_ratios.begin(), pair_ratios.end());
+    heap.derived.emplace_back("win_margin_vs_scan",
+                              exact_quantile(pair_ratios, 0.5));
     records.push_back(heap);
-    const Record scan = timed_repeat(repeats, [&] {
-      return run_fra(frame, k, core::SelectionEngine::kScan, scan_pos);
-    });
     records.push_back(scan);
     if (!same_positions(heap_pos, scan_pos)) {
       std::fprintf(stderr,

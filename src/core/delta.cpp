@@ -13,6 +13,7 @@
 
 #include "geometry/predicates.hpp"
 #include "obs/obs.hpp"
+#include "parallel/simd.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace cps::core {
@@ -42,61 +43,94 @@ double interpolate_in(const geo::Delaunay& dt, int tri, geo::Vec2 p) {
                                  dt.vertex(t.v[2]).z, p);
 }
 
-/// True when p is strictly inside the triangle: every walk edge predicate
-/// is strictly positive.  These are the same filtered orient2d calls (same
-/// vertex order) Delaunay::walk_from evaluates, so a strict pass here
-/// guarantees the walk's closed-containment test accepts this triangle and
-/// rejects every other (p is on no edge, and triangle interiors are
-/// disjoint) — i.e. locate_from returns this triangle for ANY hint.
-bool strictly_inside(const geo::Delaunay& dt, int tri, geo::Vec2 p) {
-  const auto& t = dt.triangle(tri);
-  for (int e = 0; e < 3; ++e) {
-    const geo::Vec2 a =
-        dt.vertex(t.v[static_cast<std::size_t>((e + 1) % 3)]).pos;
-    const geo::Vec2 b =
-        dt.vertex(t.v[static_cast<std::size_t>((e + 2) % 3)]).pos;
-    if (geo::orient2d(a, b, p) <= 0) return false;
-  }
-  return true;
-}
-
 /// One triangle's column interval on one lattice row (inclusive, with a
 /// one-column conservative guard on each end — precision only affects how
 /// many candidates a point tests, never which triangle it is assigned).
+/// `slot` indexes the TriangleSoA mirror built for the same sweep.
 struct RowSpan {
   int tri = -1;
+  std::uint32_t slot = 0;
   int ilo = 0;
   int ihi = -1;
 };
 
+/// Structure-of-arrays mirror of the alive triangles: vertex coordinates,
+/// vertex z values, and the hoisted barycentric denominator
+/// orient2d_value(a, b, c) — one flat array per component, so the row
+/// sweep's containment tests and interpolations stream 8-byte lanes
+/// instead of chasing Delaunay vertex records through triangle indices.
+/// Coordinates are copied verbatim and the interpolation below replays
+/// interpolate_linear's exact expression on them, so assignments and δ
+/// contributions stay bit-identical to the pointer-chasing form.
+struct TriangleSoA {
+  std::vector<double> ax, ay, bx, by, cx, cy;
+  std::vector<double> za, zb, zc;
+  std::vector<double> total;              // orient2d_value(a, b, c).
+  std::vector<std::uint32_t> slot_of;     // Triangle id -> slot.
+
+  void build(const geo::Delaunay& dt, const std::vector<int>& alive) {
+    const std::size_t n = alive.size();
+    ax.resize(n); ay.resize(n); bx.resize(n); by.resize(n);
+    cx.resize(n); cy.resize(n); za.resize(n); zb.resize(n); zc.resize(n);
+    total.resize(n);
+    slot_of.assign(dt.triangle_slots(), 0);
+    for (std::size_t s = 0; s < n; ++s) {
+      const int tid = alive[s];
+      const auto& t = dt.triangle(tid);
+      const geo::Vec2 a = dt.vertex(t.v[0]).pos;
+      const geo::Vec2 b = dt.vertex(t.v[1]).pos;
+      const geo::Vec2 c = dt.vertex(t.v[2]).pos;
+      ax[s] = a.x; ay[s] = a.y;
+      bx[s] = b.x; by[s] = b.y;
+      cx[s] = c.x; cy[s] = c.y;
+      za[s] = dt.vertex(t.v[0]).z;
+      zb[s] = dt.vertex(t.v[1]).z;
+      zc[s] = dt.vertex(t.v[2]).z;
+      total[s] = geo::orient2d_value(a, b, c);
+      slot_of[static_cast<std::size_t>(tid)] =
+          static_cast<std::uint32_t>(s);
+    }
+  }
+
+  geo::Vec2 a(std::uint32_t s) const noexcept { return {ax[s], ay[s]}; }
+  geo::Vec2 b(std::uint32_t s) const noexcept { return {bx[s], by[s]}; }
+  geo::Vec2 c(std::uint32_t s) const noexcept { return {cx[s], cy[s]}; }
+};
+
+/// True when p is strictly inside the triangle at SoA slot s: every walk
+/// edge predicate is strictly positive.  These are the same filtered
+/// orient2d calls, in the same (B,C), (C,A), (A,B) edge order, that
+/// Delaunay::walk_from evaluates, on coordinates copied verbatim into the
+/// mirror — so a strict pass here guarantees the walk's closed-containment
+/// test accepts this triangle and rejects every other (p is on no edge,
+/// and triangle interiors are disjoint), i.e. locate_from returns this
+/// triangle for ANY hint.
+bool strictly_inside(const TriangleSoA& soa, std::uint32_t s, geo::Vec2 p) {
+  if (geo::orient2d(soa.b(s), soa.c(s), p) <= 0) return false;
+  if (geo::orient2d(soa.c(s), soa.a(s), p) <= 0) return false;
+  return geo::orient2d(soa.a(s), soa.b(s), p) > 0;
+}
+
 }  // namespace
 
 struct DeltaMetric::RefCache {
-  struct Key {
-    const void* id = nullptr;
-    std::uint64_t time_bits = 0;
-    bool operator==(const Key&) const = default;
-  };
+  using Key = std::uint64_t;
   struct Entry {
     Key key;
     std::shared_ptr<const std::vector<double>> rows;
   };
 
+  /// The field's content key IS the cache key: parameter hashes for the
+  /// analytic zoo (equal-parameter fields share entries), never-reused
+  /// instance ids elsewhere, and FieldSlice folds its slice time in.
+  /// Nothing address-derived — a recycled allocation cannot resurrect a
+  /// dead field's entry (the PR 5 ABA hazard that kept the cache opt-in).
   static Key key_for(const field::Field& reference) {
-    if (const auto* slice =
-            dynamic_cast<const field::FieldSlice*>(&reference)) {
-      return Key{&slice->underlying(),
-                 std::bit_cast<std::uint64_t>(slice->time())};
-    }
-    // Static fields have no time axis; a NaN sentinel keeps the key space
-    // disjoint from any real slice time.
-    return Key{&reference,
-               std::bit_cast<std::uint64_t>(
-                   std::numeric_limits<double>::quiet_NaN())};
+    return reference.content_key();
   }
 
   mutable std::mutex mutex;
-  std::size_t capacity = 0;
+  std::size_t capacity = kDefaultReferenceCacheCapacity;
   std::list<Entry> entries;  // Front = most recently used.
 };
 
@@ -276,13 +310,16 @@ double DeltaMetric::delta_raster(const field::Field& reference,
   const double hx = lat.hx();
   const double hy = lat.hy();
   const auto res = static_cast<long>(resolution_);
+  const std::vector<int> alive = dt.alive_triangles();
+  TriangleSoA soa;
+  soa.build(dt, alive);
   std::vector<std::vector<RowSpan>> row_spans(resolution_);
   std::size_t spans_emitted = 0;
-  for (const int tid : dt.alive_triangles()) {
-    const geo::Triangle tri = dt.triangle_geometry(tid);
-    const geo::Vec2 a = tri.a();
-    const geo::Vec2 b = tri.b();
-    const geo::Vec2 c = tri.c();
+  for (std::size_t slot = 0; slot < alive.size(); ++slot) {
+    const int tid = alive[slot];
+    const geo::Vec2 a = soa.a(static_cast<std::uint32_t>(slot));
+    const geo::Vec2 b = soa.b(static_cast<std::uint32_t>(slot));
+    const geo::Vec2 c = soa.c(static_cast<std::uint32_t>(slot));
     const double ymin = std::min({a.y, b.y, c.y});
     const double ymax = std::max({a.y, b.y, c.y});
     // Midpoint rows are y0 + (j + 0.5) hy; the +-1 row guard absorbs any
@@ -325,7 +362,8 @@ double DeltaMetric::delta_raster(const field::Field& reference,
                        1);
       if (ilo > ihi) continue;
       row_spans[static_cast<std::size_t>(j)].push_back(
-          RowSpan{tid, static_cast<int>(ilo), static_cast<int>(ihi)});
+          RowSpan{tid, static_cast<std::uint32_t>(slot),
+                  static_cast<int>(ilo), static_cast<int>(ihi)});
       ++spans_emitted;
     }
   }
@@ -347,6 +385,8 @@ double DeltaMetric::delta_raster(const field::Field& reference,
         std::vector<double> row_buf;
         if (ref_lattice == nullptr) row_buf.resize(resolution_);
         std::vector<RowSpan> active;
+        std::vector<std::uint32_t> slots(resolution_);
+        std::vector<double> diffs(resolution_);
         for (std::size_t j = row_begin; j < row_end; ++j) {
           const double y = lat.y(j);
           const double* ref;
@@ -357,6 +397,9 @@ double DeltaMetric::delta_raster(const field::Field& reference,
             CPS_COUNT("core.delta.batch_rows", 1);
             ref = row_buf.data();
           }
+          // Phase 1 — assignment: the span sweep decides each point's
+          // triangle (SoA slot), threading the same hint chain as before
+          // so fallback walks replay bit-for-bit.
           const auto& spans = row_spans[j];
           std::size_t next = 0;
           active.clear();
@@ -367,27 +410,56 @@ double DeltaMetric::delta_raster(const field::Field& reference,
             }
             const geo::Vec2 p{xs[i], y};
             int assigned = -1;
+            std::uint32_t slot = 0;
             for (std::size_t k = 0; k < active.size();) {
               if (active[k].ihi < col) {
                 active[k] = active.back();
                 active.pop_back();
                 continue;
               }
-              if (strictly_inside(dt, active[k].tri, p)) {
+              if (strictly_inside(soa, active[k].slot, p)) {
                 assigned = active[k].tri;
+                slot = active[k].slot;
                 break;
               }
               ++k;
             }
             if (assigned < 0) {
               assigned = dt.locate_from(p, hint);
+              slot = soa.slot_of[static_cast<std::size_t>(assigned)];
               ++fallback;
             } else {
               ++fast;
             }
             hint = assigned;
-            s += std::abs(ref[i] - interpolate_in(dt, assigned, p));
+            slots[i] = slot;
           }
+          // Phase 2 — interpolation: interpolate_linear's exact
+          // expression (barycentric via orient2d_value over the hoisted
+          // denominator) gathered from the SoA mirror; element-wise, so
+          // it vectorizes.  The degenerate-denominator guard replays the
+          // scalar path's all-zero-weights result (never taken for a
+          // Delaunay triangulation, which stores no degenerate
+          // triangles).
+          CPS_SIMD
+          for (std::size_t i = 0; i < resolution_; ++i) {
+            const std::uint32_t t = slots[i];
+            const double px = xs[i];
+            const double total = soa.total[t];
+            const double w0 = ((soa.bx[t] - px) * (soa.cy[t] - y) -
+                               (soa.by[t] - y) * (soa.cx[t] - px)) /
+                              total;
+            const double w1 = ((px - soa.ax[t]) * (soa.cy[t] - soa.ay[t]) -
+                               (y - soa.ay[t]) * (soa.cx[t] - soa.ax[t])) /
+                              total;
+            const double w2 = 1.0 - w0 - w1;
+            const double z =
+                w0 * soa.za[t] + w1 * soa.zb[t] + w2 * soa.zc[t];
+            diffs[i] = std::abs(ref[i] - (total == 0.0 ? 0.0 : z));
+          }
+          // Phase 3 — accumulation, kept serial in point order: the sum's
+          // rounding sequence is part of the bit-identity contract.
+          for (std::size_t i = 0; i < resolution_; ++i) s += diffs[i];
         }
         CPS_COUNT("core.delta.raster_fast_assigns", fast);
         CPS_COUNT("core.delta.raster_fallback_locates", fallback);
@@ -423,14 +495,21 @@ double DeltaMetric::delta_between(const field::Field& a,
         double s = 0.0;
         std::vector<double> row_a(resolution_);
         std::vector<double> row_b(resolution_);
+        std::vector<double> diffs(resolution_);
         for (std::size_t j = row_begin; j < row_end; ++j) {
           const double y = lat.y(j);
           a.value_row(y, xs, row_a.data());
           b.value_row(y, xs, row_b.data());
           CPS_COUNT("core.delta.batch_rows", 2);
+          const double* pa = row_a.data();
+          const double* pb = row_b.data();
+          double* pd = diffs.data();
+          CPS_SIMD
           for (std::size_t i = 0; i < resolution_; ++i) {
-            s += std::abs(row_a[i] - row_b[i]);
+            pd[i] = std::abs(pa[i] - pb[i]);
           }
+          // Summed serially in point order — bit-identity contract.
+          for (std::size_t i = 0; i < resolution_; ++i) s += pd[i];
         }
         return s;
       },

@@ -35,6 +35,10 @@ enum class DeltaEngine { kWalk, kRaster };
 /// GreenOrbs window); `resolution` is that lattice density per axis.
 class DeltaMetric {
  public:
+  /// Reference-lattice LRU entries held by default; one entry is
+  /// resolution^2 doubles (80 KB at the canonical 100 x 100 lattice).
+  static constexpr std::size_t kDefaultReferenceCacheCapacity = 8;
+
   /// Throws std::invalid_argument for an empty region or zero resolution.
   DeltaMetric(const num::Rect& region, std::size_t resolution = 100);
   ~DeltaMetric();
@@ -52,16 +56,18 @@ class DeltaMetric {
   DeltaEngine engine() const noexcept { return engine_; }
   void set_engine(DeltaEngine engine) noexcept { engine_ = engine; }
 
-  /// Opt-in memoization of the reference field's midpoint lattice, keyed
-  /// by (field identity, time): sweeps that evaluate many deployments
-  /// against the same frame (fig7 / fig10) sample the reference once.
-  /// FieldSlice references key on the underlying time-varying field plus
-  /// the slice time, so fresh slice temporaries of the same frame hit.
-  /// Off by default (capacity 0) because identity is the field's address:
-  /// enable it only while the referenced fields outlive the metric's use
-  /// (a destroyed field's address may be reused by a different one).
-  /// Cached rows are the same bits value_row produces, so results are
-  /// unchanged.  `max_entries` caps the LRU entry count.
+  /// Memoization of the reference field's midpoint lattice, keyed by the
+  /// field's content_key(): sweeps that evaluate many deployments against
+  /// the same frame (fig7 / fig10) sample the reference once.  FieldSlice
+  /// references fold the slice time into their key, so fresh slice
+  /// temporaries of the same frame hit.  On by default
+  /// (kDefaultReferenceCacheCapacity): content keys are never recycled —
+  /// parameter hashes for the analytic zoo, never-reused instance ids (plus
+  /// a mutation counter) elsewhere — so a destroyed field's cache entry can
+  /// never be served to an unrelated field, unlike the PR 5 address-keyed
+  /// cache this replaces.  Cached rows are the same bits value_row
+  /// produces, so results are unchanged.  `max_entries` caps the LRU entry
+  /// count; 0 disables caching.
   void set_reference_cache_capacity(std::size_t max_entries);
   std::size_t reference_cache_capacity() const noexcept;
   /// Entries currently held (for tests / benches).

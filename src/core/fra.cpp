@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <queue>
+#include <span>
 #include <stdexcept>
 
 #include "core/curvature.hpp"
@@ -28,27 +28,152 @@ struct Candidate {
   bool used = false;        // Already selected (or coincides with a vertex).
 };
 
-/// One lazy-deletion heap entry: the candidate's score at push time.  An
-/// entry is stale — and discarded at pop — once the candidate is used or
-/// its live score no longer equals the recorded one (every rebucket that
-/// changes a score pushes a fresh entry, so each unused candidate always
-/// owns at least one live entry).
-struct HeapEntry {
-  double score = 0.0;
-  std::uint32_t index = 0;
-};
+/// Score sentinel for used candidates in the heap engine's SoA score
+/// mirror.  Every selection measure is non-negative (|f - DT|, |G|, their
+/// product), so kUsedScore loses every ordered comparison and the storm
+/// fallback's flat argmax skips used candidates without a mask load.
+constexpr double kUsedScore = -1.0;
 
-/// Max-heap order: higher score wins; equal scores pop the *lowest*
-/// index first, matching the serial scan's first-maximum tie-break.
-struct HeapOrder {
-  bool operator()(const HeapEntry& a, const HeapEntry& b) const noexcept {
-    if (a.score != b.score) return a.score < b.score;
-    return a.index > b.index;
+/// Indexed max-heap over candidate indices, keyed by an externally owned
+/// live-score array, ordered (score desc, index asc) — the scan oracle's
+/// argmax tie-break.  Unlike the PR 4 lazy-deletion heap there is at most
+/// ONE entry per candidate (`pos_` tracks its slot), so a rebucket rescore
+/// is a decrease/increase-key sift instead of a duplicate push, and pops
+/// are never stale.  The planner pairs this with storm compaction: when a
+/// rebucket displaces a large fraction of the lattice (the early
+/// iterations, whose cavities cover most candidates), per-entry sifts
+/// would cost more than starting over, so the heap is invalidated
+/// wholesale, selections fall back to a flat argmax over the score array,
+/// and one Floyd build restores the heap once cavities shrink.
+class IndexedSelectionHeap {
+ public:
+  static constexpr std::uint32_t kAbsent = 0xffffffffu;
+
+  void reset(std::size_t n) {
+    pos_.assign(n, kAbsent);
+    heap_.clear();
+    valid_ = false;
   }
-};
 
-using SelectionHeap =
-    std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapOrder>;
+  bool valid() const noexcept { return valid_; }
+  bool empty() const noexcept { return heap_.empty(); }
+
+  /// Drops every entry in O(1); `pos_` is left stale and re-derived by the
+  /// next build().
+  void invalidate() noexcept { valid_ = false; }
+
+  /// Floyd build over every unused candidate at its current score.
+  /// Returns the number of entries (re)inserted.
+  std::size_t build(std::span<const double> scores,
+                    std::span<const std::uint8_t> used) {
+    std::fill(pos_.begin(), pos_.end(), kAbsent);
+    heap_.clear();
+    for (std::uint32_t ci = 0; ci < pos_.size(); ++ci) {
+      if (!used[ci]) heap_.push_back(Entry{scores[ci], ci});
+    }
+    for (std::size_t i = heap_.size() / 2; i-- > 0;) sift_down(i);
+    for (std::size_t i = 0; i < heap_.size(); ++i) {
+      pos_[heap_[i].idx] = static_cast<std::uint32_t>(i);
+    }
+    valid_ = true;
+    return heap_.size();
+  }
+
+  /// Removes and returns the best (score desc, index asc) candidate.
+  std::uint32_t pop(std::span<const double> /*scores*/) {
+    const std::uint32_t best = heap_.front().idx;
+    pos_[best] = kAbsent;
+    const Entry last = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+      heap_.front() = last;
+      pos_[last.idx] = 0;
+      sift_down(0);
+    }
+    return best;
+  }
+
+  /// Inserts a candidate that is not currently in the heap (parked-entry
+  /// restore after a selection).
+  void insert(std::uint32_t ci, std::span<const double> scores) {
+    heap_.push_back(Entry{scores[ci], ci});
+    pos_[ci] = static_cast<std::uint32_t>(heap_.size() - 1);
+    sift_up(heap_.size() - 1);
+  }
+
+  /// Re-establishes heap order around ci after scores[ci] changed; no-op
+  /// when ci is absent (already used, or popped this iteration).
+  void update(std::uint32_t ci, std::span<const double> scores) {
+    const std::uint32_t at = pos_[ci];
+    if (at == kAbsent) return;
+    heap_[at].score = scores[ci];
+    // One parent probe decides the direction; the common no-move case
+    // (most rebucket rescores keep their rank) pays a single compare in
+    // sift_down's first round instead of a full up-then-down pass.
+    if (at > 0 && better(heap_[at], heap_[(at - 1) / 2])) {
+      sift_up(at);
+    } else {
+      sift_down(at);
+    }
+  }
+
+ private:
+  // The key is embedded next to the index so a sift compare touches only
+  // the heap array (parent/child entries, usually the same cache lines)
+  // instead of gathering from the 10k-entry score mirror — the rebucket
+  // sift storm at k ~ 100 is bound by exactly those gathers.  The mirror
+  // stays authoritative for the storm-mode flat scans; entries are
+  // refreshed from it on build/insert/update.
+  struct Entry {
+    double score;
+    std::uint32_t idx;
+  };
+
+  /// Strict-weak "a selects before b": higher score first, lower index on
+  /// ties — exactly the serial scan's first-maximum rule.
+  static bool better(const Entry& a, const Entry& b) noexcept {
+    if (a.score != b.score) return a.score > b.score;
+    return a.idx < b.idx;
+  }
+
+  bool sift_up(std::size_t i) noexcept {
+    const Entry v = heap_[i];
+    bool moved = false;
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!better(v, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      pos_[heap_[i].idx] = static_cast<std::uint32_t>(i);
+      i = parent;
+      moved = true;
+    }
+    heap_[i] = v;
+    pos_[v.idx] = static_cast<std::uint32_t>(i);
+    return moved;
+  }
+
+  void sift_down(std::size_t i) noexcept {
+    const Entry v = heap_[i];
+    const std::size_t m = heap_.size();
+    for (;;) {
+      std::size_t child = 2 * i + 1;
+      if (child >= m) break;
+      if (child + 1 < m && better(heap_[child + 1], heap_[child])) {
+        ++child;
+      }
+      if (!better(heap_[child], v)) break;
+      heap_[i] = heap_[child];
+      pos_[heap_[i].idx] = static_cast<std::uint32_t>(i);
+      i = child;
+    }
+    heap_[i] = v;
+    pos_[v.idx] = static_cast<std::uint32_t>(i);
+  }
+
+  std::vector<Entry> heap_;         // (score, candidate) in heap order.
+  std::vector<std::uint32_t> pos_;  // Candidate -> heap slot, or kAbsent.
+  bool valid_ = false;
+};
 
 double interpolate_in(const geo::Delaunay& dt, int tri, geo::Vec2 p) {
   const auto& t = dt.triangle(tri);
@@ -231,30 +356,60 @@ FraResult FraPlanner::plan_detailed(const field::Field& reference,
     return 0.0;
   };
 
-  // Heap engine state (see SelectionEngine): one entry per unused
-  // candidate, refreshed on score changes, consumed lazily.  Curvature
-  // scores never change after the initial pass, so rebuckets need not
-  // push for kCurvature.
+  // Heap engine state (see SelectionEngine): at most one entry per unused
+  // candidate, kept ordered by decrease/increase-key sifts on rescoring
+  // rebuckets, with storm compaction when a cavity displaces too much of
+  // the lattice for per-entry sifts to pay.  `heap_scores` / `heap_used`
+  // are SoA mirrors of the candidate array: the sift comparator and the
+  // storm-fallback flat argmax stream them instead of the 64-byte
+  // Candidate records.  Curvature scores never change after the initial
+  // pass, so kCurvature neither rescores nor storms — its heap is built
+  // once and stays valid.
   const bool use_heap =
       config_.selection_engine == SelectionEngine::kHeap &&
       config_.measure != SelectionMeasure::kRandom;
   const bool heap_rescores =
       use_heap && config_.measure != SelectionMeasure::kCurvature;
-  SelectionHeap heap;
-  std::vector<HeapEntry> parked;  // Valid-but-unaffordable pops, restored.
-  std::size_t heap_pushes = 0, heap_pops = 0, heap_stale_pops = 0;
+  IndexedSelectionHeap heap;
+  std::vector<double> heap_scores;
+  std::vector<std::uint8_t> heap_used;
+  std::vector<std::uint32_t> parked;  // Unaffordable pops, restored.
+  std::size_t heap_pushes = 0, heap_pops = 0, heap_updates = 0;
+  std::size_t live_candidates = 0;
+  std::size_t last_displaced = 0;
   if (use_heap) {
-    std::vector<HeapEntry> initial;
-    initial.reserve(candidates.size());
+    heap.reset(candidates.size());
+    heap_scores.resize(candidates.size());
+    heap_used.resize(candidates.size());
     for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
-      if (!candidates[ci].used) {
-        initial.push_back(
-            HeapEntry{score_of(candidates[ci]), static_cast<std::uint32_t>(ci)});
-      }
+      // Used candidates carry kUsedScore instead of a real score: every
+      // measure is non-negative (|f - DT|, |G|, their product), so the
+      // sentinel loses any ordered comparison and the storm-fallback flat
+      // argmax needs no per-candidate used check at all.
+      heap_scores[ci] =
+          candidates[ci].used ? kUsedScore : score_of(candidates[ci]);
+      heap_used[ci] = candidates[ci].used ? 1 : 0;
+      if (!candidates[ci].used) ++live_candidates;
     }
-    heap_pushes += initial.size();
-    heap = SelectionHeap(HeapOrder{}, std::move(initial));
+    // Rescoring measures start storm-invalidated: the first insertions'
+    // cavities cover most of the lattice, so building the heap up front
+    // would only tear it down again.  kCurvature builds at the first
+    // selection and keeps the heap for the whole plan.
+    last_displaced = heap_rescores ? live_candidates : 0;
   }
+  // Storm hysteresis.  A rebucket that rescores >= live/3 candidates
+  // drops the heap (per-entry sifts cost more than a flat argmax at that
+  // scale); it is rebuilt only once a cavity displaces < live/12, so
+  // cavity-size noise inside the band cannot thrash build/invalidate
+  // cycles.  Both thresholds are pure performance knobs — every selection
+  // path computes the identical (score desc, index asc) argmax, so they
+  // never change which candidate wins.
+  const auto is_storm = [&](std::size_t displaced) noexcept {
+    return displaced * 3 >= live_candidates;
+  };
+  const auto is_calm = [&](std::size_t displaced) noexcept {
+    return displaced * 12 < live_candidates;
+  };
 
   // kRandom free-list: the unused candidate indices, kept ascending and
   // shrunk on used transitions instead of being rebuilt O(lattice) every
@@ -328,6 +483,13 @@ FraResult FraPlanner::plan_detailed(const field::Field& reference,
       displaced.insert(displaced.end(), bucket.begin(), bucket.end());
       bucket.clear();
     }
+    // Storm compaction decision, taken once per insertion from the known
+    // displacement count: a flooded heap is dropped up front so the loop
+    // below degrades to plain score writes.
+    if (heap_rescores && heap.valid() && is_storm(displaced.size())) {
+      heap.invalidate();
+    }
+    const bool sift_updates = heap_rescores && heap.valid();
     for (const std::size_t ci : displaced) {
       auto& c = candidates[ci];
       c.triangle = -1;
@@ -345,12 +507,22 @@ FraResult FraPlanner::plan_detailed(const field::Field& reference,
       c.error = std::abs(c.f_value - interpolate_in(dt, c.triangle, c.pos));
       buckets[static_cast<std::size_t>(c.triangle)].push_back(ci);
       if (heap_rescores && !c.used) {
-        // The displaced candidate's score moved: push the fresh value;
-        // the superseded entry dies as a stale pop later.
-        heap.push(HeapEntry{score_of(c), static_cast<std::uint32_t>(ci)});
-        ++heap_pushes;
+        // Used candidates keep their kUsedScore sentinel — their error is
+        // dead state as far as selection goes.
+        const double s = score_of(c);
+        if (heap_scores[ci] != s) {
+          heap_scores[ci] = s;
+          // Decrease/increase-key: the candidate keeps its single entry
+          // and sifts to its new rank.  During a storm the score write is
+          // all that is needed.
+          if (sift_updates) {
+            heap.update(static_cast<std::uint32_t>(ci), heap_scores);
+            ++heap_updates;
+          }
+        }
       }
     }
+    if (heap_rescores) last_displaced = displaced.size();
     CPS_COUNT("core.fra.candidates_rebucketed", displaced.size());
   };
 
@@ -437,36 +609,68 @@ FraResult FraPlanner::plan_detailed(const field::Field& reference,
             0, static_cast<std::int64_t>(pool->size()) - 1))];
       }
     } else if (use_heap) {
-      // Pop until the first live entry that is affordable this iteration:
-      // heap order (score desc, index asc) makes it the scan's argmax.
-      // Live-but-unaffordable entries are parked — affordability varies
-      // per iteration, so dropping them would lose candidates for good —
-      // and restored once the selection is decided.
-      std::size_t pops = 0, stale = 0;
-      parked.clear();
-      while (!heap.empty()) {
-        const HeapEntry entry = heap.top();
-        heap.pop();
-        ++pops;
-        const Candidate& c = candidates[entry.index];
-        if (c.used || score_of(c) != entry.score) {
-          ++stale;
-          continue;
-        }
-        if (!affordable(entry.index)) {
-          parked.push_back(entry);
-          continue;
-        }
-        best = entry.index;
-        break;
+      // Rebuild once the storm has subsided: one Floyd build over the
+      // current scores restores the single-entry invariant for every
+      // unused candidate.  While displacement stays stormy the flat
+      // argmax below serves selections straight from the SoA mirrors.
+      if (!heap.valid() && is_calm(last_displaced)) {
+        heap_pushes += heap.build(heap_scores, heap_used);
+        CPS_COUNT("core.fra.heap_rebuilds", 1);
       }
-      for (const HeapEntry& entry : parked) heap.push(entry);
-      heap_pops += pops;
-      heap_stale_pops += stale;
-      heap_pushes += parked.size();
-      CPS_COUNT("core.fra.heap_pops", pops);
-      CPS_COUNT("core.fra.heap_stale_pops", stale);
-      CPS_COUNT("core.fra.heap_parked", parked.size());
+      if (heap.valid()) {
+        // Pop until the first affordable candidate: heap order
+        // (score desc, index asc) makes it the scan's argmax, and every
+        // pop is live by construction.  Unaffordable pops are parked —
+        // affordability varies per iteration, so dropping them would
+        // lose candidates for good — and restored once the selection is
+        // decided.
+        std::size_t pops = 0;
+        parked.clear();
+        while (!heap.empty()) {
+          const std::uint32_t ci = heap.pop(heap_scores);
+          ++pops;
+          if (!affordable(ci)) {
+            parked.push_back(ci);
+            continue;
+          }
+          best = ci;
+          break;
+        }
+        for (const std::uint32_t ci : parked) heap.insert(ci, heap_scores);
+        heap_pops += pops;
+        heap_pushes += parked.size();
+        CPS_COUNT("core.fra.heap_pops", pops);
+        CPS_COUNT("core.fra.heap_parked", parked.size());
+      } else {
+        // Storm fallback: flat argmax over the score mirror.  Used
+        // candidates sit at kUsedScore, so the first pass is a pure
+        // unconstrained max — no per-candidate used or affordability
+        // test.  If the winner is affordable it *is* the oracle's
+        // argmax: the oracle's strict > / first-index rule picks the
+        // first candidate carrying the maximum affordable score, and an
+        // affordable global maximum is exactly that.  Only when the
+        // winner is unaffordable (a far-from-net pick under a tight
+        // relay budget — rare) does the filtered rescan run.
+        CPS_COUNT("core.fra.heap_flat_scans", 1);
+        CPS_COUNT("core.fra.candidates_scanned", candidates.size());
+        double best_score = kUsedScore;
+        for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
+          if (heap_scores[ci] > best_score) {
+            best_score = heap_scores[ci];
+            best = ci;
+          }
+        }
+        if (best != candidates.size() && !affordable(best)) {
+          best = candidates.size();
+          best_score = kUsedScore;
+          for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
+            if (heap_scores[ci] > best_score && affordable(ci)) {
+              best_score = heap_scores[ci];
+              best = ci;
+            }
+          }
+        }
+      }
     } else {
       // Ordered argmax over the lattice: strict > keeps the first (lowest
       // index) maximum within a chunk and the chunk-order combine keeps
@@ -524,6 +728,13 @@ FraResult FraPlanner::plan_detailed(const field::Field& reference,
 
     Candidate& chosen = candidates[best];
     chosen.used = true;
+    if (use_heap) {
+      // The chosen candidate left the heap through its pop (or was never
+      // in it during a storm); only the SoA mirrors need the transition.
+      heap_used[best] = 1;
+      heap_scores[best] = kUsedScore;
+      --live_candidates;
+    }
     if (config_.measure == SelectionMeasure::kRandom) {
       random_free.erase(std::lower_bound(random_free.begin(),
                                          random_free.end(), best));
@@ -569,10 +780,13 @@ FraResult FraPlanner::plan_detailed(const field::Field& reference,
 
   if (use_heap) {
     CPS_COUNT("core.fra.heap_pushes", heap_pushes);
-    CPS_GAUGE("core.fra.heap_stale_pop_ratio",
-              heap_pops == 0 ? 0.0
-                             : static_cast<double>(heap_stale_pops) /
-                                   static_cast<double>(heap_pops));
+    CPS_COUNT("core.fra.heap_updates", heap_updates);
+    // Stale pops are structurally impossible with the indexed heap (one
+    // entry per candidate, removed exactly at pop); the counter and ratio
+    // stay in the schema so the bench's heap_degraded gate keeps watching
+    // for a lazy-deletion-style regression.
+    CPS_COUNT("core.fra.heap_stale_pops", 0);
+    CPS_GAUGE("core.fra.heap_stale_pop_ratio", 0.0);
   }
   CPS_GAUGE("core.fra.triangle_count", dt.triangle_count());
   CPS_GAUGE("core.fra.vertex_count", dt.vertex_count());

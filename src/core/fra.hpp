@@ -38,16 +38,23 @@ enum class SelectionMeasure {
 
 /// How the per-iteration argmax over the candidate lattice is computed.
 ///
-/// kHeap (default) keeps a lazy-deletion max-heap keyed (score, index):
-/// the Garland–Heckbert rebucket pushes fresh entries only for displaced
-/// candidates, pops revalidate against the candidate's live (used, score)
-/// pair and drop stale entries, and valid-but-unaffordable pops are
-/// parked and restored after the selection (affordability is
-/// iteration-dependent).  O(k log n + displaced reinserts) overall.
-/// kScan is the full parallel_reduce lattice scan, O(k n), kept compiled
-/// in as the equivalence oracle.  Both produce bit-identical selections
-/// (strict max, lowest index on ties); SelectionMeasure::kRandom ignores
-/// the engine and uses its own incremental free-list.
+/// kHeap (default) keeps an *indexed* max-heap with at most one entry per
+/// unused candidate: a position array maps candidates to heap slots, so
+/// the Garland–Heckbert rebucket re-ranks a displaced candidate with a
+/// decrease/increase-key sift instead of pushing a duplicate, and every
+/// pop is live by construction (no stale entries to revalidate).  When an
+/// insertion's cavity displaces a large fraction of the lattice — the
+/// early-iteration storms that made the PR 4 lazy-deletion heap lose to
+/// the scan at small k — the heap is invalidated wholesale, selections
+/// are served by a flat argmax over the structure-of-arrays score mirror,
+/// and one Floyd build restores the heap once cavities shrink.
+/// Valid-but-unaffordable pops are parked and restored after the
+/// selection (affordability is iteration-dependent).  kScan is the full
+/// parallel_reduce lattice scan, O(k n), kept compiled in as the
+/// equivalence oracle.  Every path — heap pop, storm fallback, oracle
+/// scan — computes the identical (score desc, index asc) argmax, so the
+/// engines produce bit-identical selections; SelectionMeasure::kRandom
+/// ignores the engine and uses its own incremental free-list.
 enum class SelectionEngine { kScan, kHeap };
 
 /// FRA tuning knobs.

@@ -7,8 +7,22 @@
 
 #include "field/field.hpp"
 #include "numerics/quadrature.hpp"
+#include "parallel/simd.hpp"
 
 namespace cps::field {
+
+/// Type tags feeding the zoo's parameter-hashed content keys (see
+/// Field::content_key); distinct per concrete field so equal parameter
+/// lists of different types cannot collide structurally.
+namespace fieldtag {
+inline constexpr std::uint64_t kConstant = 0x6370732d636f6e73ull;
+inline constexpr std::uint64_t kPlane = 0x6370732d706c616eull;
+inline constexpr std::uint64_t kQuadric = 0x6370732d71756164ull;
+inline constexpr std::uint64_t kPeaks = 0x6370732d70656b73ull;
+inline constexpr std::uint64_t kMixture = 0x6370732d6d697874ull;
+inline constexpr std::uint64_t kGrid = 0x6370732d67726964ull;
+inline constexpr std::uint64_t kGreenOrbs = 0x6370732d676f7262ull;
+}  // namespace fieldtag
 
 /// Wraps an arbitrary callable as a Field.
 class AnalyticField final : public Field {
@@ -38,7 +52,12 @@ class ConstantField final : public Field {
 
   void do_value_row(double, std::span<const double> xs,
                     double* out) const override {
+    CPS_SIMD
     for (std::size_t i = 0; i < xs.size(); ++i) out[i] = c_;
+  }
+
+  std::uint64_t do_content_key() const override {
+    return fieldkey::combine(fieldtag::kConstant, fieldkey::bits(c_));
   }
 
   double c_;
@@ -58,9 +77,17 @@ class PlaneField final : public Field {
 
   void do_value_row(double y, std::span<const double> xs,
                     double* out) const override {
+    CPS_SIMD
     for (std::size_t i = 0; i < xs.size(); ++i) {
       out[i] = offset_ + gx_ * xs[i] + gy_ * y;
     }
+  }
+
+  std::uint64_t do_content_key() const override {
+    std::uint64_t h = fieldkey::combine(fieldtag::kPlane,
+                                        fieldkey::bits(offset_));
+    h = fieldkey::combine(h, fieldkey::bits(gx_));
+    return fieldkey::combine(h, fieldkey::bits(gy_));
   }
 
   double offset_;
@@ -84,10 +111,20 @@ class QuadricField final : public Field {
   void do_value_row(double y, std::span<const double> xs,
                     double* out) const override {
     const double dy = y - center_.y;
+    CPS_SIMD
     for (std::size_t i = 0; i < xs.size(); ++i) {
       const double dx = xs[i] - center_.x;
       out[i] = a_ * dx * dx + b_ * dx * dy + c_ * dy * dy;
     }
+  }
+
+  std::uint64_t do_content_key() const override {
+    std::uint64_t h = fieldkey::combine(fieldtag::kQuadric,
+                                        fieldkey::bits(center_.x));
+    h = fieldkey::combine(h, fieldkey::bits(center_.y));
+    h = fieldkey::combine(h, fieldkey::bits(a_));
+    h = fieldkey::combine(h, fieldkey::bits(b_));
+    return fieldkey::combine(h, fieldkey::bits(c_));
   }
 
   geo::Vec2 center_;
@@ -111,6 +148,7 @@ class PeaksField final : public Field {
   double do_value(geo::Vec2 p) const override;
   void do_value_row(double y, std::span<const double> xs,
                     double* out) const override;
+  std::uint64_t do_content_key() const override;
 
   num::Rect domain_;
 };
@@ -137,6 +175,7 @@ class GaussianMixtureField final : public Field {
   double do_value(geo::Vec2 p) const override;
   void do_value_row(double y, std::span<const double> xs,
                     double* out) const override;
+  std::uint64_t do_content_key() const override;
 
   double base_;
   std::vector<GaussianBump> bumps_;

@@ -24,12 +24,37 @@
 // differently-rounded recurrence.
 #pragma once
 
+#include <atomic>
+#include <bit>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 
 #include "geometry/vec2.hpp"
 
 namespace cps::field {
+
+/// Content-key hashing helpers (see Field::content_key).
+namespace fieldkey {
+
+/// Boost-style 64-bit hash combine; order-sensitive.
+inline std::uint64_t combine(std::uint64_t h, std::uint64_t v) noexcept {
+  return h ^ (v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2));
+}
+
+inline std::uint64_t bits(double d) noexcept {
+  return std::bit_cast<std::uint64_t>(d);
+}
+
+/// Process-unique, monotonically increasing id.  Never reused, which is
+/// the whole point: an address-based identity can be recycled by the
+/// allocator after a field dies (the ABA hazard), a counter cannot.
+inline std::uint64_t next_instance_key() noexcept {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace fieldkey
 
 /// A static scalar environment over the plane: z = f(x, y).
 ///
@@ -51,6 +76,27 @@ class Field {
     do_value_row(y, xs, out);
   }
 
+  /// Stable identity of this field's *content*: two fields with the same
+  /// key evaluate identically everywhere (the converse need not hold).
+  /// Consumers use it as a memoization key (DeltaMetric's reference-
+  /// lattice cache).  The default is a process-unique instance id — never
+  /// reused, so a cache entry can never be resurrected by an unrelated
+  /// field landing on a recycled allocation (the address-key ABA hazard).
+  /// Parameter-defined fields override do_content_key with a hash of
+  /// their type tag and parameters so equal-parameter instances share
+  /// cache entries; mutable fields must fold a mutation counter in.
+  std::uint64_t content_key() const { return do_content_key(); }
+
+ protected:
+  Field() noexcept : instance_key_(fieldkey::next_instance_key()) {}
+  /// Copies get their own instance key: the default content identity is
+  /// per-object, and a copy may diverge (e.g. GridField::set) after.
+  Field(const Field&) noexcept
+      : instance_key_(fieldkey::next_instance_key()) {}
+  Field& operator=(const Field&) noexcept { return *this; }
+
+  std::uint64_t instance_key() const noexcept { return instance_key_; }
+
  private:
   virtual double do_value(geo::Vec2 p) const = 0;
 
@@ -58,6 +104,10 @@ class Field {
                             double* out) const {
     for (std::size_t i = 0; i < xs.size(); ++i) out[i] = do_value({xs[i], y});
   }
+
+  virtual std::uint64_t do_content_key() const { return instance_key_; }
+
+  std::uint64_t instance_key_;
 };
 
 /// A time-varying scalar environment: z = f(x, y, t).  Time is in the
@@ -79,6 +129,20 @@ class TimeVaryingField {
     do_value_row(y, xs, t, out);
   }
 
+  /// Content identity over the whole time axis; same contract as
+  /// Field::content_key (FieldSlice folds the slice time in on top).
+  std::uint64_t content_key() const { return do_content_key(); }
+
+ protected:
+  TimeVaryingField() noexcept : instance_key_(fieldkey::next_instance_key()) {}
+  TimeVaryingField(const TimeVaryingField&) noexcept
+      : instance_key_(fieldkey::next_instance_key()) {}
+  TimeVaryingField& operator=(const TimeVaryingField&) noexcept {
+    return *this;
+  }
+
+  std::uint64_t instance_key() const noexcept { return instance_key_; }
+
  private:
   virtual double do_value(geo::Vec2 p, double t) const = 0;
 
@@ -88,6 +152,10 @@ class TimeVaryingField {
       out[i] = do_value({xs[i], y}, t);
     }
   }
+
+  virtual std::uint64_t do_content_key() const { return instance_key_; }
+
+  std::uint64_t instance_key_;
 };
 
 /// Non-owning view of a TimeVaryingField frozen at one instant, usable
@@ -102,7 +170,9 @@ class FieldSlice final : public Field {
 
   /// The sliced field.  Slices are cheap temporaries, so consumers that
   /// memoize per-frame work (DeltaMetric's reference cache) key on the
-  /// underlying field's identity plus time() rather than on the slice.
+  /// underlying field's content_key plus time() — which is exactly what
+  /// this slice's own content_key computes — rather than on the slice
+  /// object.
   const TimeVaryingField& underlying() const noexcept { return *field_; }
 
  private:
@@ -113,6 +183,10 @@ class FieldSlice final : public Field {
   void do_value_row(double y, std::span<const double> xs,
                     double* out) const override {
     field_->value_row(y, xs, t_, out);
+  }
+
+  std::uint64_t do_content_key() const override {
+    return fieldkey::combine(field_->content_key(), fieldkey::bits(t_));
   }
 
   const TimeVaryingField* field_;

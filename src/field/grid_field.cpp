@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "parallel/simd.hpp"
+
 namespace cps::field {
 
 GridField::GridField(const num::Rect& bounds, std::size_t nx, std::size_t ny)
@@ -49,6 +51,11 @@ double GridField::at(std::size_t i, std::size_t j) const {
 void GridField::set(std::size_t i, std::size_t j, double z) {
   if (i >= nx_ || j >= ny_) throw std::out_of_range("GridField::set");
   data_[j * nx_ + i] = z;
+  ++version_;  // Invalidate any content-keyed memoization of this grid.
+}
+
+std::uint64_t GridField::do_content_key() const {
+  return fieldkey::combine(instance_key(), version_);
 }
 
 double GridField::do_value(geo::Vec2 p) const {
@@ -92,6 +99,9 @@ void GridField::do_value_row(double y, std::span<const double> xs,
   const double wy0 = 1.0 - ty;
   const double* row0 = data_.data() + j0 * nx_;
   const double* row1 = row0 + nx_;
+  // Element-wise clamps, casts, and bilinear blends; the two source-row
+  // reads become gathers.  Exact ops only, so lanes match the scalar loop.
+  CPS_SIMD
   for (std::size_t k = 0; k < xs.size(); ++k) {
     const double fx = (xs[k] - bounds_.x0) / bounds_.width() *
                       static_cast<double>(nx_ - 1);

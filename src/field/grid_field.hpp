@@ -51,9 +51,16 @@ class GridField final : public Field {
   void do_value_row(double y, std::span<const double> xs,
                     double* out) const override;
 
+  /// Grids are mutable (set), so the key is instance-scoped rather than a
+  /// data hash: the never-reused instance id plus a mutation counter.  Two
+  /// equal-data grids don't share cache entries — conservative, but a
+  /// stale entry can never be read back.
+  std::uint64_t do_content_key() const override;
+
   num::Rect bounds_;
   std::size_t nx_ = 0;
   std::size_t ny_ = 0;
+  std::uint64_t version_ = 0;  ///< Bumped by set().
   std::vector<double> data_;
 };
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "parallel/simd.hpp"
+
 namespace cps::field {
 
 AnalyticTimeField::AnalyticTimeField(
@@ -59,8 +61,10 @@ void FrameSequenceField::do_value_row(double y, std::span<const double> xs,
   hi_row.resize(xs.size());
   frames_[lo].value_row(y, xs, out);
   frames_[hi].value_row(y, xs, hi_row.data());
+  const double* hi_p = hi_row.data();
+  CPS_SIMD
   for (std::size_t i = 0; i < xs.size(); ++i) {
-    out[i] = out[i] * (1.0 - w) + hi_row[i] * w;
+    out[i] = out[i] * (1.0 - w) + hi_p[i] * w;
   }
 }
 

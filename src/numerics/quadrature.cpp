@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "parallel/simd.hpp"
+
 namespace cps::num {
 namespace {
 
@@ -24,8 +26,10 @@ MidpointLattice::MidpointLattice(const Rect& rect, std::size_t nx,
       ny_(ny) {
   validate(rect, nx, ny);
   xs_.resize(nx);
+  double* xs = xs_.data();
+  CPS_SIMD
   for (std::size_t i = 0; i < nx; ++i) {
-    xs_[i] = rect.x0 + (static_cast<double>(i) + 0.5) * hx_;
+    xs[i] = rect.x0 + (static_cast<double>(i) + 0.5) * hx_;
   }
 }
 
@@ -36,6 +40,9 @@ double integrate_midpoint_rows(const Rect& rect, const RowFn& row,
   double sum = 0.0;
   for (std::size_t j = 0; j < ny; ++j) {
     row(lat.y(j), lat.xs(), buf.data());
+    // Serial accumulation, deliberately: a vectorized reduction would
+    // re-associate the sum and change the result's bits.  The row
+    // evaluation above is where the SIMD kernels earn their keep.
     for (std::size_t i = 0; i < nx; ++i) sum += buf[i];
   }
   return sum * lat.hx() * lat.hy();

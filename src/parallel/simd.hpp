@@ -1,0 +1,32 @@
+// Lane-parallelism annotations for the row kernels.
+//
+// CPS_SIMD expands to `#pragma omp simd` when the build compiles with
+// -fopenmp-simd (see the CPS_SIMD option in the top-level CMakeLists).
+// The pragma form needs no OpenMP runtime and spawns no threads — it only
+// licenses the compiler to run loop iterations in vector lanes.
+//
+// Bit-identity contract.  Every annotated loop must satisfy:
+//   * element-wise writes only — out[i] depends on index i alone, never on
+//     out[j] for j != i (no reductions, no recurrences: a vectorized
+//     reduction reorders floating-point addition and changes the result);
+//   * the lane body is the exact scalar expression — IEEE-754 +, -, *, /
+//     and sqrt are correctly rounded, so a vector lane computing the same
+//     expression yields the same bits as the scalar loop;
+//   * no libm transcendentals inside the loop — vectorized std::exp &co
+//     route to libmvec whose results are NOT bit-identical to scalar libm.
+//     Kernels split transcendentals out: a CPS_SIMD loop fills the
+//     argument buffer, a plain scalar loop applies exp.
+// Accumulations (delta sums, quadrature) therefore stay in their original
+// serial order and only the per-element work vectorizes.
+//
+// The tree builds with -ffp-contract default on a baseline x86-64 target
+// (SSE2, no FMA instruction), so contraction cannot introduce fused
+// multiply-adds behind the scalar oracle's back; do not add -march flags
+// that would change that without revisiting this contract.
+#pragma once
+
+#if defined(CPS_SIMD_ENABLED)
+#define CPS_SIMD _Pragma("omp simd")
+#else
+#define CPS_SIMD
+#endif

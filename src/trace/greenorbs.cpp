@@ -5,7 +5,9 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "field/analytic_fields.hpp"  // fieldtag::kGreenOrbs
 #include "numerics/rng.hpp"
+#include "parallel/simd.hpp"
 
 namespace cps::trace {
 
@@ -121,16 +123,62 @@ void GreenOrbsField::do_value_row(double y, std::span<const double> xs,
     row_gaps.push_back(RowGap{gap_center(g, t), g.amplitude * flutter,
                               2.0 * g.sigma * g.sigma});
   }
-  for (std::size_t i = 0; i < xs.size(); ++i) {
-    const geo::Vec2 p{xs[i], y};
-    double light = config_.base_light;
-    for (const auto& rg : row_gaps) {
-      const double r2 = geo::distance_sq(p, rg.center);
-      light += rg.fluttered_amplitude * std::exp(-r2 / rg.two_sigma_sq);
+  // Gap-outer restructuring (same shape as GaussianMixtureField): per
+  // point the accumulation still runs base + gap0 + gap1 + ... + noise in
+  // that order, so every intermediate rounding matches do_value.  Each
+  // gap's exponent arguments vectorize (distance_sq spelled out in its
+  // dx*dx + dy*dy order); std::exp and the fbm noise stay scalar — the
+  // vectorized libmvec variants are not bit-identical to scalar libm, and
+  // fbm branches per octave.
+  const std::size_t n = xs.size();
+  thread_local std::vector<double> light, arg;
+  light.resize(n);
+  arg.resize(n);
+  CPS_SIMD
+  for (std::size_t i = 0; i < n; ++i) light[i] = config_.base_light;
+  for (const auto& rg : row_gaps) {
+    const double cx = rg.center.x;
+    const double dy_sq = (y - rg.center.y) * (y - rg.center.y);
+    const double two_sigma_sq = rg.two_sigma_sq;
+    const double amplitude = rg.fluttered_amplitude;
+    CPS_SIMD
+    for (std::size_t i = 0; i < n; ++i) {
+      const double dx = xs[i] - cx;
+      const double r2 = dx * dx + dy_sq;
+      arg[i] = -r2 / two_sigma_sq;
     }
-    light += config_.noise_amplitude * noise_.fbm(p.x, p.y, 3);
-    out[i] = std::max(0.0, env * light);
+    for (std::size_t i = 0; i < n; ++i) arg[i] = std::exp(arg[i]);
+    CPS_SIMD
+    for (std::size_t i = 0; i < n; ++i) light[i] += amplitude * arg[i];
   }
+  for (std::size_t i = 0; i < n; ++i) {
+    light[i] += config_.noise_amplitude * noise_.fbm(xs[i], y, 3);
+  }
+  CPS_SIMD
+  for (std::size_t i = 0; i < n; ++i) out[i] = std::max(0.0, env * light[i]);
+}
+
+std::uint64_t GreenOrbsField::do_content_key() const {
+  namespace fk = field::fieldkey;
+  std::uint64_t h = field::fieldtag::kGreenOrbs;
+  h = fk::combine(h, fk::bits(config_.region.x0));
+  h = fk::combine(h, fk::bits(config_.region.y0));
+  h = fk::combine(h, fk::bits(config_.region.x1));
+  h = fk::combine(h, fk::bits(config_.region.y1));
+  h = fk::combine(h, config_.seed);
+  h = fk::combine(h, static_cast<std::uint64_t>(config_.gap_count));
+  h = fk::combine(h, fk::bits(config_.base_light));
+  h = fk::combine(h, fk::bits(config_.amplitude_min));
+  h = fk::combine(h, fk::bits(config_.amplitude_max));
+  h = fk::combine(h, fk::bits(config_.sigma_min));
+  h = fk::combine(h, fk::bits(config_.sigma_max));
+  h = fk::combine(h, fk::bits(config_.drift_speed));
+  h = fk::combine(h, fk::bits(config_.flutter_fraction));
+  h = fk::combine(h, fk::bits(config_.flutter_period));
+  h = fk::combine(h, fk::bits(config_.noise_amplitude));
+  h = fk::combine(h, fk::bits(config_.noise_frequency));
+  h = fk::combine(h, fk::bits(config_.sunrise));
+  return fk::combine(h, fk::bits(config_.sunset));
 }
 
 field::GridField GreenOrbsField::snapshot(double t, std::size_t nx,

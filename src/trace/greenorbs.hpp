@@ -85,6 +85,9 @@ class GreenOrbsField final : public field::TimeVaryingField {
   double do_value(geo::Vec2 p, double t) const override;
   void do_value_row(double y, std::span<const double> xs, double t,
                     double* out) const override;
+  /// Parameter hash: the field is a pure function of its config (all gap
+  /// randomness derives from the seed), so equal configs share content.
+  std::uint64_t do_content_key() const override;
 
   struct Gap {
     geo::Vec2 center0;       // Position at t = 0 (midnight).

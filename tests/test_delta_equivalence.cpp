@@ -7,11 +7,14 @@
 //  * DeltaMetric's raster span engine vs the locate-walk oracle, across
 //    corner policies, degenerate sample sets (collinear, duplicates),
 //    and 1 / 4 worker threads;
-//  * the opt-in reference-lattice cache: cached sweeps must reproduce
-//    the uncached bits exactly, and copies must not share entries.
+//  * the content-keyed reference-lattice cache (on by default): cached
+//    sweeps must reproduce the uncached bits exactly, copies must not
+//    share entries, keys must track parameters / slice time / mutation,
+//    and a recycled allocation must never resurrect a dead entry.
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -184,7 +187,8 @@ TEST(ReferenceCache, CachedSweepReproducesUncachedBits) {
             .positions);
   }
 
-  const core::DeltaMetric plain(kRegion, 50);
+  core::DeltaMetric plain(kRegion, 50);
+  plain.set_reference_cache_capacity(0);  // The truly-uncached baseline.
   core::DeltaMetric cached(kRegion, 50);
   cached.set_reference_cache_capacity(4);
   EXPECT_EQ(cached.reference_cache_size(), 0u);
@@ -216,6 +220,55 @@ TEST(ReferenceCache, CachedSweepReproducesUncachedBits) {
 
   cached.clear_reference_cache();
   EXPECT_EQ(cached.reference_cache_size(), 0u);
+}
+
+TEST(ReferenceCache, ContentKeysTrackIdentityParametersAndMutation) {
+  // Equal-parameter analytic fields share a key (so fig7-style sweeps
+  // that rebuild the reference each evaluation still hit) ...
+  const trace::GreenOrbsField a{trace::GreenOrbsConfig{}};
+  const trace::GreenOrbsField b{trace::GreenOrbsConfig{}};
+  EXPECT_EQ(a.content_key(), b.content_key());
+  // ... different parameters do not ...
+  trace::GreenOrbsConfig other;
+  other.seed = 7;
+  EXPECT_NE(a.content_key(), trace::GreenOrbsField{other}.content_key());
+  // ... a slice folds its time into the underlying key ...
+  const field::FieldSlice at10(a, trace::minutes(10, 0));
+  const field::FieldSlice same(b, trace::minutes(10, 0));
+  const field::FieldSlice at14(a, trace::minutes(14, 0));
+  EXPECT_EQ(at10.content_key(), same.content_key());
+  EXPECT_NE(at10.content_key(), at14.content_key());
+  // ... and mutating a grid retires its old key.
+  field::GridField grid(kRegion, 4, 4);
+  const std::uint64_t before = grid.content_key();
+  grid.set(1, 1, 3.5);
+  EXPECT_NE(grid.content_key(), before);
+}
+
+TEST(ReferenceCache, RecycledAllocationCannotResurrectDeadEntry) {
+  // The ABA hazard that kept the PR 5 cache opt-in: destroy a cached
+  // reference, let the allocator hand its storage to a different field,
+  // and evaluate again.  Address-keyed caching would serve the dead
+  // field's lattice; content keys are never reused, so the second field
+  // must miss and produce its own (different) delta.
+  core::DeltaMetric metric(kRegion, 30);  // Cache on by default.
+  const std::vector<geo::Vec2> probe{{50.0, 50.0}, {20.0, 80.0}};
+  std::vector<double> deltas;
+  for (const double fill : {1.0, 5.0}) {
+    auto f = std::make_unique<field::GridField>(
+        kRegion, 4, 4,
+        std::vector<double>(16, fill));
+    deltas.push_back(metric.delta_of_deployment(
+        *f, probe, core::CornerPolicy::kFieldValue));
+    // f destroyed here; the next GridField may reuse the allocation.
+  }
+  core::DeltaMetric fresh(kRegion, 30);
+  fresh.set_reference_cache_capacity(0);
+  const field::GridField five(kRegion, 4, 4, std::vector<double>(16, 5.0));
+  EXPECT_NE(deltas[0], deltas[1]);
+  EXPECT_EQ(deltas[1],
+            fresh.delta_of_deployment(five, probe,
+                                      core::CornerPolicy::kFieldValue));
 }
 
 TEST(ReferenceCache, CopiesShareConfigurationButNotEntries) {

@@ -154,7 +154,7 @@ TEST(ParallelDeterminism, DeltaMetricIdenticalAcrossMultithreadedCounts) {
 // at EVERY thread count, including 1.
 TEST(ParallelDeterminism, ArmedTimelineDeltaIdenticalAtEveryThreadCount) {
   const auto f = test_field();
-  const DeltaMetric metric(kRegion, 100);
+  DeltaMetric metric(kRegion, 100);
   const auto grid = GridPlanner::make_grid(kRegion, 36);
   const auto samples = take_samples(f, grid.positions);
 
@@ -166,6 +166,10 @@ TEST(ParallelDeterminism, ArmedTimelineDeltaIdenticalAtEveryThreadCount) {
   for (const std::size_t threads : {1u, 2u, 4u}) {
     ThreadScope scope(threads);
     obs::registry().reset();  // Per-run counts: first-sample deltas match.
+    // The reference cache is content-keyed and on by default, so the
+    // second run would hit where the first missed; empty it so every
+    // thread count does identical work (including the miss+fill path).
+    metric.clear_reference_cache();
     obs::timeline().clear();
     obs::timeline().set_armed(true);
     values.push_back(metric.delta_from_samples(f, samples));
