@@ -353,6 +353,61 @@ Record run_delta_eval(const field::Field& frame,
   return rec;
 }
 
+// FRA planning with the cavity-local δ tracker attached: every insertion's
+// cavity report re-rasters only the lattice rows it touched, so the
+// trajectory costs O(changed area) per step where the from-scratch path
+// would re-sweep all res² points per probe.  --check hard-gates the
+// savings ratio at 10x (`delta_degraded`, see check_against_baseline).
+Record run_delta_incremental(const field::Field& frame, std::size_t k,
+                             std::size_t resolution, double& delta_out,
+                             std::vector<geo::Vec2>& positions_out) {
+  Record rec;
+  rec.id = "delta.incremental.k" + std::to_string(k) + ".res" +
+           std::to_string(resolution);
+
+  core::DeltaMetric metric(bench::kRegion, resolution);
+  core::FraConfig cfg;
+  cfg.track_delta = &metric;
+  core::FraPlanner planner(cfg);
+
+  obs::registry().reset();
+  const double t0 = now_ms();
+  const core::FraResult result = planner.plan_detailed(
+      frame, core::PlanRequest{bench::kRegion, k, bench::kRc});
+  rec.wall_ms = now_ms() - t0;
+  delta_out = result.final_delta;
+  positions_out = result.deployment.positions;
+
+  for (const char* name :
+       {"core.delta.inc_events", "core.delta.inc_points",
+        "core.delta.inc_rows", "core.delta.inc_keep_assigns",
+        "core.delta.inc_relocates", "core.delta.inc_rebuilds",
+        "core.delta.inc_retargets", "geometry.delaunay.locates"}) {
+    rec.counters.emplace_back(name, cval(name));
+  }
+
+  const auto& ds = result.delta_stats;
+  const double events =
+      static_cast<double>(std::max<std::size_t>(ds.events, 1));
+  rec.derived.emplace_back(
+      "points_per_event",
+      static_cast<double>(ds.points_reevaluated) / events);
+  // What the per-step what-if sweeps would have cost from scratch versus
+  // what the tracker actually re-evaluated.
+  const double savings = ratio(static_cast<double>(ds.events) *
+                                   static_cast<double>(ds.full_sweep_points),
+                               static_cast<double>(ds.points_reevaluated));
+  rec.derived.emplace_back("full_sweep_savings", savings);
+  if (savings < 10.0) {
+    rec.derived.emplace_back("delta_degraded", 1.0);
+    std::fprintf(stderr,
+                 "warning: %s incremental engine degraded — "
+                 "full_sweep_savings %.1fx < 10x\n",
+                 rec.id.c_str(), savings);
+  }
+  return rec;
+}
+
 Record run_delta_refcache_sweep(
     const field::Field& frame,
     const std::vector<std::vector<geo::Vec2>>& deployments,
@@ -561,6 +616,18 @@ int check_against_baseline(const std::string& path,
                    r.id.c_str());
       ++regressions;
     }
+    // The cavity-local δ tracker's reason to exist is the O(changed area)
+    // bound: re-evaluating fewer than 10x under the per-event full-sweep
+    // cost means the cavity scoping regressed, regardless of wall time.
+    if (const double* flag = r.derived_value("delta_degraded");
+        flag != nullptr && *flag != 0.0) {
+      std::fprintf(stderr,
+                   "REGRESSION %s: delta_degraded is set — incremental "
+                   "tracker re-evaluated more than 1/10 of the full-sweep "
+                   "lattice work\n",
+                   r.id.c_str());
+      ++regressions;
+    }
     if (r.id == "fra.k100.heap") {
       if (const double* margin = r.derived_value("win_margin_vs_scan");
           margin != nullptr && *margin < 1.0) {
@@ -758,6 +825,41 @@ int main(int argc, char** argv) {
               static_cast<double>(
                   raster.counter("geometry.delaunay.locates"))),
         walk.wall_ms, raster.wall_ms);
+
+    // Cavity-local tracker: the same plan with FraConfig::track_delta set
+    // yields the same deployment, and its final tracked value must be
+    // bit-identical to the full raster sweep just measured — that is the
+    // tracker's oracle protocol (DESIGN.md §13).
+    double delta_inc = 0.0;
+    std::vector<geo::Vec2> inc_pos;
+    const Record inc = timed_repeat(repeats, [&] {
+      return run_delta_incremental(frame, 200, res, delta_inc, inc_pos);
+    });
+    records.push_back(inc);
+    if (!same_positions(inc_pos, plan.positions)) {
+      std::fprintf(stderr,
+                   "EQUIVALENCE FAILURE %s: tracked plan selected a "
+                   "different deployment than the untracked plan\n",
+                   inc.id.c_str());
+      ++failures;
+    }
+    if (delta_inc != delta_raster) {
+      std::fprintf(stderr,
+                   "EQUIVALENCE FAILURE %s: tracked %.17g vs full raster "
+                   "sweep %.17g\n",
+                   inc.id.c_str(), delta_inc, delta_raster);
+      ++failures;
+    }
+    const double* savings = inc.derived_value("full_sweep_savings");
+    std::printf(
+        "delta incremental k=200 res=%zu: %llu events re-evaluated %llu "
+        "lattice points (%.1fx fewer than per-event full sweeps)\n",
+        res,
+        static_cast<unsigned long long>(
+            inc.counter("core.delta.inc_events")),
+        static_cast<unsigned long long>(
+            inc.counter("core.delta.inc_points")),
+        savings != nullptr ? *savings : 0.0);
   }
 
   // Reference-lattice cache: the fig10-style sweep — several deployments

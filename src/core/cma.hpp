@@ -141,6 +141,13 @@ class CmaSimulation {
   void run(std::size_t n);
 
   double time() const noexcept { return time_; }
+
+  /// The sensed environment (kept by reference; see the constructor).
+  /// CmaDeltaTracker slices it per slot to retarget its reference.
+  const field::TimeVaryingField& environment() const noexcept {
+    return *environment_;
+  }
+
   std::size_t node_count() const noexcept { return positions_.size(); }
   const std::vector<geo::Vec2>& positions() const noexcept {
     return positions_;

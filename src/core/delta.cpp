@@ -1,5 +1,8 @@
 #include "core/delta.hpp"
 
+#include "core/delta_detail.hpp"
+#include "core/delta_incremental.hpp"
+
 #include <algorithm>
 #include <atomic>
 #include <bit>
@@ -43,73 +46,12 @@ double interpolate_in(const geo::Delaunay& dt, int tri, geo::Vec2 p) {
                                  dt.vertex(t.v[2]).z, p);
 }
 
-/// One triangle's column interval on one lattice row (inclusive, with a
-/// one-column conservative guard on each end — precision only affects how
-/// many candidates a point tests, never which triangle it is assigned).
-/// `slot` indexes the TriangleSoA mirror built for the same sweep.
-struct RowSpan {
-  int tri = -1;
-  std::uint32_t slot = 0;
-  int ilo = 0;
-  int ihi = -1;
-};
-
-/// Structure-of-arrays mirror of the alive triangles: vertex coordinates,
-/// vertex z values, and the hoisted barycentric denominator
-/// orient2d_value(a, b, c) — one flat array per component, so the row
-/// sweep's containment tests and interpolations stream 8-byte lanes
-/// instead of chasing Delaunay vertex records through triangle indices.
-/// Coordinates are copied verbatim and the interpolation below replays
-/// interpolate_linear's exact expression on them, so assignments and δ
-/// contributions stay bit-identical to the pointer-chasing form.
-struct TriangleSoA {
-  std::vector<double> ax, ay, bx, by, cx, cy;
-  std::vector<double> za, zb, zc;
-  std::vector<double> total;              // orient2d_value(a, b, c).
-  std::vector<std::uint32_t> slot_of;     // Triangle id -> slot.
-
-  void build(const geo::Delaunay& dt, const std::vector<int>& alive) {
-    const std::size_t n = alive.size();
-    ax.resize(n); ay.resize(n); bx.resize(n); by.resize(n);
-    cx.resize(n); cy.resize(n); za.resize(n); zb.resize(n); zc.resize(n);
-    total.resize(n);
-    slot_of.assign(dt.triangle_slots(), 0);
-    for (std::size_t s = 0; s < n; ++s) {
-      const int tid = alive[s];
-      const auto& t = dt.triangle(tid);
-      const geo::Vec2 a = dt.vertex(t.v[0]).pos;
-      const geo::Vec2 b = dt.vertex(t.v[1]).pos;
-      const geo::Vec2 c = dt.vertex(t.v[2]).pos;
-      ax[s] = a.x; ay[s] = a.y;
-      bx[s] = b.x; by[s] = b.y;
-      cx[s] = c.x; cy[s] = c.y;
-      za[s] = dt.vertex(t.v[0]).z;
-      zb[s] = dt.vertex(t.v[1]).z;
-      zc[s] = dt.vertex(t.v[2]).z;
-      total[s] = geo::orient2d_value(a, b, c);
-      slot_of[static_cast<std::size_t>(tid)] =
-          static_cast<std::uint32_t>(s);
-    }
-  }
-
-  geo::Vec2 a(std::uint32_t s) const noexcept { return {ax[s], ay[s]}; }
-  geo::Vec2 b(std::uint32_t s) const noexcept { return {bx[s], by[s]}; }
-  geo::Vec2 c(std::uint32_t s) const noexcept { return {cx[s], cy[s]}; }
-};
-
-/// True when p is strictly inside the triangle at SoA slot s: every walk
-/// edge predicate is strictly positive.  These are the same filtered
-/// orient2d calls, in the same (B,C), (C,A), (A,B) edge order, that
-/// Delaunay::walk_from evaluates, on coordinates copied verbatim into the
-/// mirror — so a strict pass here guarantees the walk's closed-containment
-/// test accepts this triangle and rejects every other (p is on no edge,
-/// and triangle interiors are disjoint), i.e. locate_from returns this
-/// triangle for ANY hint.
-bool strictly_inside(const TriangleSoA& soa, std::uint32_t s, geo::Vec2 p) {
-  if (geo::orient2d(soa.b(s), soa.c(s), p) <= 0) return false;
-  if (geo::orient2d(soa.c(s), soa.a(s), p) <= 0) return false;
-  return geo::orient2d(soa.a(s), soa.b(s), p) > 0;
-}
+// RowSpan, TriangleSoA, strictly_inside, and the span-emission guard
+// formulas moved to core/delta_detail.hpp so the incremental engine shares
+// the raster's exact arithmetic (the bit-identity contract).
+using detail::RowSpan;
+using detail::TriangleSoA;
+using detail::strictly_inside;
 
 }  // namespace
 
@@ -235,12 +177,22 @@ DeltaMetric::cached_reference_lattice(const field::Field& reference,
 double DeltaMetric::delta(const field::Field& reference,
                           const geo::Delaunay& dt) const {
   const num::MidpointLattice lat(region_, resolution_, resolution_);
-  const auto cached = cached_reference_lattice(reference, lat);
-  const double* ref_lattice = cached ? cached->data() : nullptr;
-  const double sum = engine_ == DeltaEngine::kRaster
-                         ? delta_raster(reference, dt, lat, ref_lattice)
-                         : delta_walk(reference, dt, lat, ref_lattice);
-  const double value = sum * lat.hx() * lat.hy();
+  double value;
+  if (engine_ == DeltaEngine::kIncremental) {
+    // A stateless call has no event stream to consume: build the tracker
+    // from scratch against this triangulation and read its running total.
+    // This keeps the engine enum total (sweeps can select kIncremental
+    // uniformly) and doubles as the from-scratch oracle entry point; the
+    // savings come from holding an IncrementalDelta across events instead.
+    value = IncrementalDelta(*this, reference, dt).value();
+  } else {
+    const auto cached = cached_reference_lattice(reference, lat);
+    const double* ref_lattice = cached ? cached->data() : nullptr;
+    const double sum = engine_ == DeltaEngine::kRaster
+                           ? delta_raster(reference, dt, lat, ref_lattice)
+                           : delta_walk(reference, dt, lat, ref_lattice);
+    value = sum * lat.hx() * lat.hy();
+  }
   // δ-evaluation boundary for the telemetry timeline: the figure drivers
   // sample δ sparsely (every few slots), so each evaluation gets its own
   // sample carrying the value; counters between two evaluations attribute
@@ -307,8 +259,6 @@ double DeltaMetric::delta_raster(const field::Field& reference,
   // at that point (fast assignments equal the walk result, so the hint
   // chain replays bit-for-bit), keeping assignments identical to kWalk.
   const std::span<const double> xs = lat.xs();
-  const double hx = lat.hx();
-  const double hy = lat.hy();
   const auto res = static_cast<long>(resolution_);
   const std::vector<int> alive = dt.alive_triangles();
   TriangleSoA soa;
@@ -317,55 +267,16 @@ double DeltaMetric::delta_raster(const field::Field& reference,
   std::size_t spans_emitted = 0;
   for (std::size_t slot = 0; slot < alive.size(); ++slot) {
     const int tid = alive[slot];
-    const geo::Vec2 a = soa.a(static_cast<std::uint32_t>(slot));
-    const geo::Vec2 b = soa.b(static_cast<std::uint32_t>(slot));
-    const geo::Vec2 c = soa.c(static_cast<std::uint32_t>(slot));
-    const double ymin = std::min({a.y, b.y, c.y});
-    const double ymax = std::max({a.y, b.y, c.y});
-    // Midpoint rows are y0 + (j + 0.5) hy; the +-1 row guard absorbs any
-    // rounding in the inverse map.
-    const long jlo = std::max(
-        0L, static_cast<long>(
-                std::floor((ymin - region_.y0) / hy - 0.5)) -
-                1);
-    const long jhi = std::min(
-        res - 1, static_cast<long>(
-                     std::ceil((ymax - region_.y0) / hy - 0.5)) +
-                     1);
-    for (long j = jlo; j <= jhi; ++j) {
-      const double y = lat.y(static_cast<std::size_t>(j));
-      double xlo = std::numeric_limits<double>::infinity();
-      double xhi = -xlo;
-      const geo::Vec2 edges[3][2] = {{a, b}, {b, c}, {c, a}};
-      for (const auto& edge : edges) {
-        const geo::Vec2 p = edge[0];
-        const geo::Vec2 q = edge[1];
-        if (std::min(p.y, q.y) > y || std::max(p.y, q.y) < y) continue;
-        if (p.y == q.y) {
-          xlo = std::min({xlo, p.x, q.x});
-          xhi = std::max({xhi, p.x, q.x});
-        } else {
-          const double t = (y - p.y) / (q.y - p.y);
-          const double x = p.x + t * (q.x - p.x);
-          xlo = std::min(xlo, x);
-          xhi = std::max(xhi, x);
-        }
-      }
-      if (xhi < xlo) continue;  // Row inside the guard band only.
-      const long ilo = std::max(
-          0L, static_cast<long>(
-                  std::floor((xlo - region_.x0) / hx - 0.5)) -
-                  1);
-      const long ihi = std::min(
-          res - 1, static_cast<long>(
-                       std::ceil((xhi - region_.x0) / hx - 0.5)) +
-                       1);
-      if (ilo > ihi) continue;
-      row_spans[static_cast<std::size_t>(j)].push_back(
-          RowSpan{tid, static_cast<std::uint32_t>(slot),
-                  static_cast<int>(ilo), static_cast<int>(ihi)});
-      ++spans_emitted;
-    }
+    detail::for_each_covered_range(
+        soa.a(static_cast<std::uint32_t>(slot)),
+        soa.b(static_cast<std::uint32_t>(slot)),
+        soa.c(static_cast<std::uint32_t>(slot)), region_, lat, res,
+        [&](long j, long ilo, long ihi) {
+          row_spans[static_cast<std::size_t>(j)].push_back(
+              RowSpan{tid, static_cast<std::uint32_t>(slot),
+                      static_cast<int>(ilo), static_cast<int>(ihi)});
+          ++spans_emitted;
+        });
   }
   for (auto& spans : row_spans) {
     std::sort(spans.begin(), spans.end(),
@@ -465,6 +376,27 @@ double DeltaMetric::delta_raster(const field::Field& reference,
         CPS_COUNT("core.delta.raster_fallback_locates", fallback);
         return s;
       });
+}
+
+std::shared_ptr<const std::vector<double>> DeltaMetric::reference_lattice(
+    const field::Field& reference) const {
+  const num::MidpointLattice lat(region_, resolution_, resolution_);
+  if (auto cached = cached_reference_lattice(reference, lat)) return cached;
+  // Caching disabled: build a private buffer with the same row-batched
+  // sampling (same bits; the incremental engine needs the lattice either
+  // way, it just doesn't get shared).
+  auto rows = std::make_shared<std::vector<double>>(resolution_ * resolution_);
+  par::parallel_for_chunks(
+      resolution_,
+      [&](std::size_t row_begin, std::size_t row_end) {
+        for (std::size_t j = row_begin; j < row_end; ++j) {
+          reference.value_row(lat.y(j), lat.xs(),
+                              rows->data() + j * resolution_);
+          CPS_COUNT("core.delta.batch_rows", 1);
+        }
+      },
+      /*grain=*/4);
+  return rows;
 }
 
 double DeltaMetric::delta_from_samples(const field::Field& reference,

@@ -8,6 +8,7 @@
 #include <cstddef>
 #include <memory>
 #include <span>
+#include <vector>
 
 #include "core/reconstruction.hpp"
 #include "core/types.hpp"
@@ -28,7 +29,13 @@ namespace cps::core {
 /// assignments (and the accumulated delta) are bit-identical to kWalk.
 /// kWalk runs locate_from on every lattice point and stays compiled in as
 /// the equivalence oracle, mirroring FraConfig::selection_engine.
-enum class DeltaEngine { kWalk, kRaster };
+///
+/// kIncremental evaluates through core/delta_incremental.hpp's stateful
+/// tracker: delta() builds the tracker from scratch (bit-identical to
+/// kRaster by the oracle protocol, DESIGN.md §13); the O(changed area)
+/// savings come from holding an IncrementalDelta across triangulation
+/// events — FRA's refinement loop and CMA's per-slot trajectory do.
+enum class DeltaEngine { kWalk, kRaster, kIncremental };
 
 /// Evaluates delta by midpoint quadrature on a fixed evaluation grid.
 /// The paper evaluates on the sqrt(A) x sqrt(A) lattice (100 x 100 for the
@@ -76,6 +83,14 @@ class DeltaMetric {
 
   /// Volume between the referential field and a rebuilt surface.
   double delta(const field::Field& reference, const geo::Delaunay& dt) const;
+
+  /// The reference field sampled over this metric's midpoint lattice
+  /// (row-major, resolution² doubles) — served from the reference cache
+  /// when enabled, built fresh otherwise; the same bits value_row
+  /// produces either way.  The incremental engine keeps one of these
+  /// pinned for its running |f - DT| folds.
+  std::shared_ptr<const std::vector<double>> reference_lattice(
+      const field::Field& reference) const;
 
   /// Convenience: reconstructs from samples first, then measures.  The
   /// corner policy chooses the reconstruction's scaffolding values: OSD

@@ -1,0 +1,194 @@
+// Shared scan-conversion machinery for the δ engines (core/delta.cpp and
+// core/delta_incremental.cpp).
+//
+// kRaster and kIncremental must assign lattice points to triangles — and
+// interpolate them — through the *same* arithmetic, or their sums drift by
+// a bit and the oracle protocol (incremental ≡ fresh raster ≡ walk,
+// bitwise) collapses.  Everything here is therefore exactly the code the
+// raster engine ran before the split: the SoA mirror copies coordinates
+// verbatim, the guard-range formulas keep their float expressions
+// unreordered, and the interpolation helper replays interpolate_linear's
+// barycentric expression term for term.  Edit with a bit-identity test in
+// hand (tests/test_delta_incremental.cpp).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "geometry/delaunay.hpp"
+#include "geometry/predicates.hpp"
+#include "numerics/quadrature.hpp"
+
+namespace cps::core::detail {
+
+/// One triangle's column interval on one lattice row (inclusive, with a
+/// one-column conservative guard on each end — precision only affects how
+/// many candidates a point tests, never which triangle it is assigned).
+/// `slot` indexes the TriangleSoA mirror built for the same sweep.
+struct RowSpan {
+  int tri = -1;
+  std::uint32_t slot = 0;
+  int ilo = 0;
+  int ihi = -1;
+};
+
+/// Structure-of-arrays mirror of the alive triangles: vertex coordinates,
+/// vertex z values, and the hoisted barycentric denominator
+/// orient2d_value(a, b, c) — one flat array per component, so the row
+/// sweep's containment tests and interpolations stream 8-byte lanes
+/// instead of chasing Delaunay vertex records through triangle indices.
+/// Coordinates are copied verbatim and the interpolation below replays
+/// interpolate_linear's exact expression on them, so assignments and δ
+/// contributions stay bit-identical to the pointer-chasing form.
+struct TriangleSoA {
+  std::vector<double> ax, ay, bx, by, cx, cy;
+  std::vector<double> za, zb, zc;
+  std::vector<double> total;              // orient2d_value(a, b, c).
+  std::vector<std::uint32_t> slot_of;     // Triangle id -> slot.
+
+  void build(const geo::Delaunay& dt, const std::vector<int>& alive) {
+    const std::size_t n = alive.size();
+    ax.resize(n); ay.resize(n); bx.resize(n); by.resize(n);
+    cx.resize(n); cy.resize(n); za.resize(n); zb.resize(n); zc.resize(n);
+    total.resize(n);
+    slot_of.assign(dt.triangle_slots(), 0);
+    for (std::size_t s = 0; s < n; ++s) {
+      const int tid = alive[s];
+      const auto& t = dt.triangle(tid);
+      const geo::Vec2 a = dt.vertex(t.v[0]).pos;
+      const geo::Vec2 b = dt.vertex(t.v[1]).pos;
+      const geo::Vec2 c = dt.vertex(t.v[2]).pos;
+      ax[s] = a.x; ay[s] = a.y;
+      bx[s] = b.x; by[s] = b.y;
+      cx[s] = c.x; cy[s] = c.y;
+      za[s] = dt.vertex(t.v[0]).z;
+      zb[s] = dt.vertex(t.v[1]).z;
+      zc[s] = dt.vertex(t.v[2]).z;
+      total[s] = geo::orient2d_value(a, b, c);
+      slot_of[static_cast<std::size_t>(tid)] =
+          static_cast<std::uint32_t>(s);
+    }
+  }
+
+  geo::Vec2 a(std::uint32_t s) const noexcept { return {ax[s], ay[s]}; }
+  geo::Vec2 b(std::uint32_t s) const noexcept { return {bx[s], by[s]}; }
+  geo::Vec2 c(std::uint32_t s) const noexcept { return {cx[s], cy[s]}; }
+};
+
+/// True when p is strictly inside the triangle at SoA slot s: every walk
+/// edge predicate is strictly positive.  These are the same filtered
+/// orient2d calls, in the same (B,C), (C,A), (A,B) edge order, that
+/// Delaunay::walk_from evaluates, on coordinates copied verbatim into the
+/// mirror — so a strict pass here guarantees the walk's closed-containment
+/// test accepts this triangle and rejects every other (p is on no edge,
+/// and triangle interiors are disjoint), i.e. locate_from returns this
+/// triangle for ANY hint.
+inline bool strictly_inside(const TriangleSoA& soa, std::uint32_t s,
+                            geo::Vec2 p) {
+  if (geo::orient2d(soa.b(s), soa.c(s), p) <= 0) return false;
+  if (geo::orient2d(soa.c(s), soa.a(s), p) <= 0) return false;
+  return geo::orient2d(soa.a(s), soa.b(s), p) > 0;
+}
+
+/// strictly_inside against the triangulation's own records: the same three
+/// predicates on the same doubles (the SoA copies coordinates verbatim),
+/// for callers that track assignments across topology changes and have no
+/// current SoA mirror.
+inline bool strictly_inside(const geo::Delaunay& dt, int tid, geo::Vec2 p) {
+  const auto& t = dt.triangle(tid);
+  const geo::Vec2 a = dt.vertex(t.v[0]).pos;
+  const geo::Vec2 b = dt.vertex(t.v[1]).pos;
+  const geo::Vec2 c = dt.vertex(t.v[2]).pos;
+  if (geo::orient2d(b, c, p) <= 0) return false;
+  if (geo::orient2d(c, a, p) <= 0) return false;
+  return geo::orient2d(a, b, p) > 0;
+}
+
+/// The raster phase-2 interpolation expression (barycentric weights via
+/// the hoisted orient2d_value denominator), term for term — callers that
+/// recompute a single point's contribution get the same bits the SIMD row
+/// loop produced.  The degenerate-denominator guard replays the scalar
+/// interpolate_linear all-zero-weights result.
+inline double interpolate_point(double ax, double ay, double bx, double by,
+                                double cx, double cy, double za, double zb,
+                                double zc, double total, double px,
+                                double py) {
+  const double w0 = ((bx - px) * (cy - py) - (by - py) * (cx - px)) / total;
+  const double w1 =
+      ((px - ax) * (cy - ay) - (py - ay) * (cx - ax)) / total;
+  const double w2 = 1.0 - w0 - w1;
+  const double z = w0 * za + w1 * zb + w2 * zc;
+  return total == 0.0 ? 0.0 : z;
+}
+
+/// interpolate_point fed from the triangulation's records (verbatim the
+/// doubles a SoA mirror would hold).
+inline double interpolate_point(const geo::Delaunay& dt, int tid,
+                                geo::Vec2 p) {
+  const auto& t = dt.triangle(tid);
+  const geo::Vec2 a = dt.vertex(t.v[0]).pos;
+  const geo::Vec2 b = dt.vertex(t.v[1]).pos;
+  const geo::Vec2 c = dt.vertex(t.v[2]).pos;
+  return interpolate_point(a.x, a.y, b.x, b.y, c.x, c.y,
+                           dt.vertex(t.v[0]).z, dt.vertex(t.v[1]).z,
+                           dt.vertex(t.v[2]).z, geo::orient2d_value(a, b, c),
+                           p.x, p.y);
+}
+
+/// Scan-converts one triangle into per-row inclusive column ranges over
+/// the midpoint lattice and calls sink(j, ilo, ihi) for every non-empty
+/// row.  Midpoint rows are y0 + (j + 0.5) hy; the ±1 row/column guard
+/// absorbs any rounding in the inverse map, so emitted ranges are a
+/// conservative superset of the triangle's closed coverage.  This is the
+/// raster engine's span-emission loop verbatim; the incremental engine
+/// reuses it to mark dirty cells, which is what makes "dirty region ⊇
+/// raster coverage of the changed triangles" hold by construction.
+template <typename Sink>
+void for_each_covered_range(geo::Vec2 a, geo::Vec2 b, geo::Vec2 c,
+                            const num::Rect& region,
+                            const num::MidpointLattice& lat, long res,
+                            Sink&& sink) {
+  const double hx = lat.hx();
+  const double hy = lat.hy();
+  const double ymin = std::min({a.y, b.y, c.y});
+  const double ymax = std::max({a.y, b.y, c.y});
+  const long jlo = std::max(
+      0L, static_cast<long>(std::floor((ymin - region.y0) / hy - 0.5)) - 1);
+  const long jhi = std::min(
+      res - 1,
+      static_cast<long>(std::ceil((ymax - region.y0) / hy - 0.5)) + 1);
+  for (long j = jlo; j <= jhi; ++j) {
+    const double y = lat.y(static_cast<std::size_t>(j));
+    double xlo = std::numeric_limits<double>::infinity();
+    double xhi = -xlo;
+    const geo::Vec2 edges[3][2] = {{a, b}, {b, c}, {c, a}};
+    for (const auto& edge : edges) {
+      const geo::Vec2 p = edge[0];
+      const geo::Vec2 q = edge[1];
+      if (std::min(p.y, q.y) > y || std::max(p.y, q.y) < y) continue;
+      if (p.y == q.y) {
+        xlo = std::min({xlo, p.x, q.x});
+        xhi = std::max({xhi, p.x, q.x});
+      } else {
+        const double t = (y - p.y) / (q.y - p.y);
+        const double x = p.x + t * (q.x - p.x);
+        xlo = std::min(xlo, x);
+        xhi = std::max(xhi, x);
+      }
+    }
+    if (xhi < xlo) continue;  // Row inside the guard band only.
+    const long ilo = std::max(
+        0L, static_cast<long>(std::floor((xlo - region.x0) / hx - 0.5)) - 1);
+    const long ihi = std::min(
+        res - 1,
+        static_cast<long>(std::ceil((xhi - region.x0) / hx - 0.5)) + 1);
+    if (ilo > ihi) continue;
+    sink(j, ilo, ihi);
+  }
+}
+
+}  // namespace cps::core::detail

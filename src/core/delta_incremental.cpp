@@ -1,0 +1,330 @@
+#include "core/delta_incremental.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <stdexcept>
+
+#include "core/delta_detail.hpp"
+#include "obs/obs.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace cps::core {
+
+IncrementalDelta::IncrementalDelta(const DeltaMetric& metric,
+                                   const field::Field& reference,
+                                   const geo::Delaunay& dt)
+    : region_(metric.region()),
+      res_(metric.resolution()),
+      lat_(metric.region(), metric.resolution(), metric.resolution()),
+      ref_rows_(metric.reference_lattice(reference)) {
+  stats_.full_sweep_points = res_ * res_;
+  rebuild(dt);
+}
+
+bool IncrementalDelta::chunk_first(std::size_t k) const noexcept {
+  return k % (chunk_rows_ * res_) == 0;
+}
+
+std::size_t IncrementalDelta::chunk_of(std::size_t k) const noexcept {
+  return k / (chunk_rows_ * res_);
+}
+
+void IncrementalDelta::refold_chunk(std::size_t c) {
+  const std::size_t begin = c * chunk_rows_ * res_;
+  const std::size_t end =
+      std::min(begin + chunk_rows_ * res_, res_ * res_);
+  // Serial point-order fold of |ref - DT|: the rounding sequence is the
+  // bit-identity contract (per-point deltas do not recompose under
+  // re-association), and std::abs of the stored phase-2 value is exact,
+  // so folding from interp_ reproduces the raster's diff sum bitwise.
+  const double* ref = ref_rows_->data();
+  double s = 0.0;
+  for (std::size_t k = begin; k < end; ++k) {
+    s += std::abs(ref[k] - interp_[k]);
+  }
+  chunk_sums_[c] = s;
+}
+
+void IncrementalDelta::rebuild(const geo::Delaunay& dt) {
+  // Capture the reduce_rows chunk layout: grain-4 row chunks whenever the
+  // armed timeline pins the layout or the pool would split the sweep, the
+  // single serial chain otherwise (core/delta.cpp's reduce_rows).
+  chunked_ = obs::timeline().armed() || par::thread_count() > 1;
+  chunk_rows_ = chunked_ ? 4 : res_;
+  const std::size_t n = res_ * res_;
+  const std::size_t chunks = (res_ + chunk_rows_ - 1) / chunk_rows_;
+  assign_.assign(n, -1);
+  strict_.assign(n, 0);
+  interp_.assign(n, 0.0);
+  chunk_sums_.assign(chunks, 0.0);
+  fallback_.clear();
+  point_epoch_.assign(n, 0);
+  row_epoch_.assign(res_, 0);
+  chunk_epoch_.assign(chunks, 0);
+  epoch_ = 0;
+  dirty_points_.clear();
+
+  // Full sweep, replaying delta_raster exactly: span emission, per-row
+  // (ilo, tri) span order, strict fast assignment, hint-chained fallback
+  // walks, phase-2 interpolation — but recording per-point state instead
+  // of folding it away.
+  const auto res = static_cast<long>(res_);
+  const std::vector<int> alive = dt.alive_triangles();
+  detail::TriangleSoA soa;
+  soa.build(dt, alive);
+  std::vector<std::vector<detail::RowSpan>> row_spans(res_);
+  for (std::size_t slot = 0; slot < alive.size(); ++slot) {
+    const int tid = alive[slot];
+    detail::for_each_covered_range(
+        soa.a(static_cast<std::uint32_t>(slot)),
+        soa.b(static_cast<std::uint32_t>(slot)),
+        soa.c(static_cast<std::uint32_t>(slot)), region_, lat_, res,
+        [&](long j, long ilo, long ihi) {
+          row_spans[static_cast<std::size_t>(j)].push_back(
+              detail::RowSpan{tid, static_cast<std::uint32_t>(slot),
+                              static_cast<int>(ilo), static_cast<int>(ihi)});
+        });
+  }
+  for (auto& spans : row_spans) {
+    std::sort(spans.begin(), spans.end(),
+              [](const detail::RowSpan& l, const detail::RowSpan& r) {
+                return l.ilo != r.ilo ? l.ilo < r.ilo : l.tri < r.tri;
+              });
+  }
+
+  const std::span<const double> xs = lat_.xs();
+  std::vector<detail::RowSpan> active;
+  for (std::size_t row_begin = 0; row_begin < res_;
+       row_begin += chunk_rows_) {
+    const std::size_t row_end = std::min(row_begin + chunk_rows_, res_);
+    int hint = -1;
+    for (std::size_t j = row_begin; j < row_end; ++j) {
+      const double y = lat_.y(j);
+      const auto& spans = row_spans[j];
+      std::size_t next = 0;
+      active.clear();
+      for (std::size_t i = 0; i < res_; ++i) {
+        const std::size_t k = j * res_ + i;
+        const int col = static_cast<int>(i);
+        while (next < spans.size() && spans[next].ilo <= col) {
+          active.push_back(spans[next++]);
+        }
+        const geo::Vec2 p{xs[i], y};
+        int assigned = -1;
+        std::uint32_t slot = 0;
+        for (std::size_t w = 0; w < active.size();) {
+          if (active[w].ihi < col) {
+            active[w] = active.back();
+            active.pop_back();
+            continue;
+          }
+          if (detail::strictly_inside(soa, active[w].slot, p)) {
+            assigned = active[w].tri;
+            slot = active[w].slot;
+            break;
+          }
+          ++w;
+        }
+        if (assigned < 0) {
+          assigned = dt.locate_from(p, hint);
+          slot = soa.slot_of[static_cast<std::size_t>(assigned)];
+          strict_[k] = 0;
+          fallback_.push_back(static_cast<std::uint32_t>(k));
+        } else {
+          strict_[k] = 1;
+        }
+        hint = assigned;
+        assign_[k] = assigned;
+        interp_[k] = detail::interpolate_point(
+            soa.ax[slot], soa.ay[slot], soa.bx[slot], soa.by[slot],
+            soa.cx[slot], soa.cy[slot], soa.za[slot], soa.zb[slot],
+            soa.zc[slot], soa.total[slot], p.x, y);
+      }
+    }
+    refold_chunk(row_begin / chunk_rows_);
+  }
+  ++stats_.rebuilds;
+  CPS_COUNT("core.delta.inc_rebuilds", 1);
+}
+
+void IncrementalDelta::rebase(const geo::Delaunay& dt) { rebuild(dt); }
+
+void IncrementalDelta::apply_z_updates(const geo::Delaunay& dt,
+                                       const std::vector<int>& star_triangles) {
+  ++stats_.events;
+  CPS_COUNT("core.delta.inc_events", 1);
+  ++epoch_;
+  dirty_points_.clear();
+  const std::size_t rows = mark_dirty(dt, star_triangles);
+  stats_.rows_touched += rows;
+  CPS_COUNT("core.delta.inc_rows", rows);
+  process_dirty(dt, /*reassign=*/false);
+}
+
+void IncrementalDelta::retarget(const DeltaMetric& metric,
+                                const field::Field& reference) {
+  if (metric.resolution() != res_ || metric.region().x0 != region_.x0 ||
+      metric.region().y0 != region_.y0 || metric.region().x1 != region_.x1 ||
+      metric.region().y1 != region_.y1) {
+    throw std::invalid_argument(
+        "IncrementalDelta::retarget: metric lattice mismatch");
+  }
+  ref_rows_ = metric.reference_lattice(reference);
+  const std::size_t chunks = (res_ + chunk_rows_ - 1) / chunk_rows_;
+  for (std::size_t c = 0; c < chunks; ++c) refold_chunk(c);
+  ++stats_.retargets;
+  CPS_COUNT("core.delta.inc_retargets", 1);
+}
+
+std::size_t IncrementalDelta::mark_dirty(const geo::Delaunay& dt,
+                                         const std::vector<int>& tris) {
+  const auto res = static_cast<long>(res_);
+  std::size_t rows = 0;
+  for (const int tid : tris) {
+    if (!dt.triangle_alive(tid)) continue;
+    const auto& t = dt.triangle(tid);
+    detail::for_each_covered_range(
+        dt.vertex(t.v[0]).pos, dt.vertex(t.v[1]).pos, dt.vertex(t.v[2]).pos,
+        region_, lat_, res, [&](long j, long ilo, long ihi) {
+          const auto row = static_cast<std::size_t>(j);
+          if (row_epoch_[row] != epoch_) {
+            row_epoch_[row] = epoch_;
+            ++rows;
+          }
+          const std::size_t base = row * res_;
+          for (long i = ilo; i <= ihi; ++i) {
+            const std::size_t k = base + static_cast<std::size_t>(i);
+            if (point_epoch_[k] != epoch_) {
+              point_epoch_[k] = epoch_;
+              dirty_points_.push_back(static_cast<std::uint32_t>(k));
+            }
+          }
+        });
+  }
+  return rows;
+}
+
+void IncrementalDelta::process_dirty(const geo::Delaunay& dt,
+                                     bool reassign) {
+  if (reassign) {
+    // Non-strict points sit on edges/vertices, where assignment is
+    // hint-dependent: any upstream change can shift the hint they would
+    // be walked with, so they are re-walked on every topology event.
+    for (const std::uint32_t k : fallback_) {
+      if (point_epoch_[k] != epoch_) {
+        point_epoch_[k] = epoch_;
+        dirty_points_.push_back(k);
+      }
+    }
+  }
+  // Ascending order: a relocation at k reads assign_[k - 1], which must
+  // already hold its final (this-event) value to replay the fresh sweep's
+  // hint chain.
+  std::sort(dirty_points_.begin(), dirty_points_.end());
+
+  const std::span<const double> xs = lat_.xs();
+  std::vector<std::uint32_t> dirty_chunks;
+  for (const std::uint32_t k : dirty_points_) {
+    const std::size_t j = k / res_;
+    const std::size_t i = k % res_;
+    const geo::Vec2 p{xs[i], lat_.y(j)};
+    if (reassign) {
+      const int old_tid = assign_[k];
+      // A strict assignment is kept only while its triangle is alive and
+      // still strictly contains the point.  Strict containment is unique,
+      // so this is exactly the triangle a fresh span sweep would fast-
+      // assign — even when the slot was recycled into new geometry.
+      const bool keep = strict_[k] != 0 && dt.triangle_alive(old_tid) &&
+                        detail::strictly_inside(dt, old_tid, p);
+      if (keep) {
+        ++stats_.keeps;
+        CPS_COUNT("core.delta.inc_keep_assigns", 1);
+      } else {
+        const int hint = chunk_first(k) ? -1 : assign_[k - 1];
+        const int tid = dt.locate_from(p, hint);
+        assign_[k] = tid;
+        strict_[k] = detail::strictly_inside(dt, tid, p) ? 1 : 0;
+        ++stats_.relocates;
+        CPS_COUNT("core.delta.inc_relocates", 1);
+      }
+    }
+    interp_[k] = detail::interpolate_point(dt, assign_[k], p);
+    const auto c = static_cast<std::uint32_t>(chunk_of(k));
+    if (chunk_epoch_[c] != epoch_) {
+      chunk_epoch_[c] = epoch_;
+      dirty_chunks.push_back(c);
+    }
+  }
+  if (reassign) {
+    // Every previously non-strict point is in the dirty set, so the new
+    // fallback list is exactly the dirty points that ended non-strict
+    // (already in ascending order).
+    fallback_.clear();
+    for (const std::uint32_t k : dirty_points_) {
+      if (strict_[k] == 0) fallback_.push_back(k);
+    }
+  }
+  for (const std::uint32_t c : dirty_chunks) refold_chunk(c);
+  stats_.points_reevaluated += dirty_points_.size();
+  CPS_COUNT("core.delta.inc_points", dirty_points_.size());
+}
+
+void IncrementalDelta::apply(const geo::Delaunay& dt,
+                             const geo::InsertResult& r) {
+  ++stats_.events;
+  CPS_COUNT("core.delta.inc_events", 1);
+  ++epoch_;
+  dirty_points_.clear();
+  if (r.inserted) {
+    // The created fan covers the cavity (and therefore every removed
+    // triangle's region): marking it catches every point whose surface
+    // value or assignment the insertion could have moved.
+    const std::size_t rows = mark_dirty(dt, r.created_triangles);
+    stats_.rows_touched += rows;
+    CPS_COUNT("core.delta.inc_rows", rows);
+    process_dirty(dt, /*reassign=*/true);
+  } else if (r.z_changed) {
+    // Duplicate-tolerance hit: topology untouched, surface moved over the
+    // star.  Assignments and hint chains are already what a fresh sweep
+    // produces; only the covered contributions need re-interpolating.
+    const std::size_t rows = mark_dirty(dt, r.star_triangles);
+    stats_.rows_touched += rows;
+    CPS_COUNT("core.delta.inc_rows", rows);
+    process_dirty(dt, /*reassign=*/false);
+  }
+}
+
+void IncrementalDelta::apply(const geo::Delaunay& dt,
+                             const geo::RemoveResult& r) {
+  ++stats_.events;
+  CPS_COUNT("core.delta.inc_events", 1);
+  ++epoch_;
+  dirty_points_.clear();
+  const std::size_t rows = mark_dirty(dt, r.created_triangles);
+  stats_.rows_touched += rows;
+  CPS_COUNT("core.delta.inc_rows", rows);
+  process_dirty(dt, /*reassign=*/true);
+}
+
+void IncrementalDelta::apply(const geo::Delaunay& dt,
+                             const geo::MoveResult& r) {
+  ++stats_.events;
+  CPS_COUNT("core.delta.inc_events", 1);
+  ++epoch_;
+  dirty_points_.clear();
+  const std::size_t rows = mark_dirty(dt, r.changed_triangles);
+  stats_.rows_touched += rows;
+  CPS_COUNT("core.delta.inc_rows", rows);
+  process_dirty(dt, /*reassign=*/true);
+}
+
+double IncrementalDelta::value() const noexcept {
+  // Ascending chunk fold from 0.0, then the cell area — exactly
+  // DeltaMetric::delta()'s reduce-and-scale arithmetic.
+  double acc = 0.0;
+  for (const double s : chunk_sums_) acc += s;
+  return acc * lat_.hx() * lat_.hy();
+}
+
+}  // namespace cps::core

@@ -1,0 +1,160 @@
+// Cavity-local incremental δ (DeltaEngine::kIncremental's engine).
+//
+// The δ metric re-evaluated from scratch is an O(res²) lattice sweep, but
+// a Bowyer–Watson event already reports exactly which triangles changed —
+// and the rebuilt surface is untouched outside them.  IncrementalDelta
+// keeps the full per-point state of one raster sweep (triangle
+// assignment, strictness, |f - DT| contribution) plus per-chunk partial
+// sums, consumes each insert/remove/move report, and re-evaluates only
+// the lattice cells the report's triangles cover: O(changed area) per
+// event instead of O(res²).
+//
+// Oracle protocol (DESIGN.md §13): after every applied event, value() is
+// bit-identical to a fresh DeltaMetric::delta() of the same triangulation
+// (kRaster, and therefore kWalk).  That holds because
+//  * assignments are re-derived through the raster's own rules — a stored
+//    strict assignment is kept only while its triangle is alive and still
+//    strictly contains the point (strict containment is unique and
+//    hint-independent), every other dirty point replays locate_from with
+//    the exact hint the fresh sweep would carry (the previous point's
+//    assignment in the captured chunk layout, -1 at a chunk head);
+//  * non-strict (edge/vertex) points are re-walked on EVERY topology
+//    event, dirty region or not — their assignment is hint-dependent, so
+//    staleness is never allowed to accumulate through them;
+//  * per-point contributions are interpolated through the raster phase-2
+//    expression verbatim (core/delta_detail.hpp), and dirty chunks are
+//    re-folded serially in point order, preserving the sum's rounding
+//    sequence (float addition does not re-associate).
+//
+// The chunk layout (single chunk vs grain-4 row chunks) is captured from
+// the telemetry/thread state at build; rebase() recaptures it.  Change
+// the thread count or arm the timeline mid-stream and value() is
+// comparing against a layout delta() no longer uses — rebase first.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/delta.hpp"
+#include "field/field.hpp"
+#include "geometry/delaunay.hpp"
+#include "numerics/quadrature.hpp"
+
+namespace cps::core {
+
+/// Stateful cavity-local δ accumulator over one (metric, reference) pair.
+/// Not thread-safe; apply events from the thread that owns the
+/// triangulation, in the order they happened.
+class IncrementalDelta {
+ public:
+  /// Cumulative work accounting (the bench_perf `delta.incremental`
+  /// record and the ≥10× savings gate read these).
+  struct Stats {
+    std::size_t events = 0;              ///< Applied event reports.
+    std::size_t points_reevaluated = 0;  ///< Lattice cells re-assigned/-interpolated.
+    std::size_t rows_touched = 0;        ///< Lattice rows containing such cells.
+    std::size_t keeps = 0;               ///< Dirty points whose assignment survived.
+    std::size_t relocates = 0;           ///< Dirty points re-walked via locate_from.
+    std::size_t rebuilds = 0;            ///< Full sweeps (construction + rebase).
+    std::size_t retargets = 0;           ///< Reference swaps (fold-only passes).
+    /// Lattice points one full sweep evaluates (res²): events *
+    /// full_sweep_points is what the from-scratch path would have cost.
+    std::size_t full_sweep_points = 0;
+  };
+
+  /// Builds the tracker with a full raster sweep of `dt` against
+  /// `reference` on `metric`'s lattice.  The reference lattice is pinned
+  /// through the metric's cache (shared with other evaluations of the
+  /// same field).  The metric itself is not retained.
+  IncrementalDelta(const DeltaMetric& metric, const field::Field& reference,
+                   const geo::Delaunay& dt);
+
+  /// Consumes one insertion report.  A structural insert re-rasters the
+  /// created cavity; a duplicate-tolerance hit with z_changed re-folds
+  /// the star (the PR's staleness bugfix — without the flag this event is
+  /// invisible and the running δ silently drifts); a pure duplicate is a
+  /// no-op.
+  void apply(const geo::Delaunay& dt, const geo::InsertResult& r);
+
+  /// Consumes one removal report (re-rasters the hole fan).
+  void apply(const geo::Delaunay& dt, const geo::RemoveResult& r);
+
+  /// Consumes one relocation report (re-rasters changed_triangles, which
+  /// cover both the old star and the new cavity).
+  void apply(const geo::Delaunay& dt, const geo::MoveResult& r);
+
+  /// Consumes a batched z-update report: the union of the stars of every
+  /// vertex whose z changed this step, as one event.  Topology untouched —
+  /// assignments and hint chains stay valid; only the covered
+  /// contributions re-interpolate.  CMA folds a whole slot's sensor
+  /// refresh through this instead of one star event per node.
+  void apply_z_updates(const geo::Delaunay& dt,
+                       const std::vector<int>& star_triangles);
+
+  /// Swaps the reference field without touching the triangulation state:
+  /// pins the new reference lattice and re-folds every chunk from the
+  /// stored per-point surface values — O(res²) additions, no point
+  /// location and no interpolation.  The metric must have this tracker's
+  /// region and resolution (throws std::invalid_argument otherwise).
+  /// CMA's per-slot trajectory retargets when the reference slice
+  /// advances.
+  void retarget(const DeltaMetric& metric, const field::Field& reference);
+
+  /// Full re-raster against a (possibly different) triangulation,
+  /// recapturing the chunk layout.  Equivalence tests rebase to
+  /// cross-check the from-scratch path; callers that changed the thread
+  /// count or armed the timeline mid-stream must rebase too.
+  void rebase(const geo::Delaunay& dt);
+
+  /// The running δ: ascending fold of the chunk partial sums times the
+  /// cell area — exactly DeltaMetric::delta()'s final arithmetic.
+  double value() const noexcept;
+
+  const Stats& stats() const noexcept { return stats_; }
+  std::size_t resolution() const noexcept { return res_; }
+
+ private:
+  void rebuild(const geo::Delaunay& dt);
+  /// Marks every lattice cell covered by `tris` dirty (epoch-stamped) and
+  /// appends fresh indices to dirty_points_; returns rows touched.
+  std::size_t mark_dirty(const geo::Delaunay& dt,
+                         const std::vector<int>& tris);
+  /// Re-assigns + re-interpolates the collected dirty points, then
+  /// re-folds their chunks.  `reassign` is false for pure z-change events
+  /// (topology untouched: assignments and hint chains are already what a
+  /// fresh sweep would produce).
+  void process_dirty(const geo::Delaunay& dt, bool reassign);
+  bool chunk_first(std::size_t k) const noexcept;
+  std::size_t chunk_of(std::size_t k) const noexcept;
+  void refold_chunk(std::size_t c);
+
+  num::Rect region_;
+  std::size_t res_ = 0;
+  num::MidpointLattice lat_;
+  std::shared_ptr<const std::vector<double>> ref_rows_;
+  bool chunked_ = false;
+  std::size_t chunk_rows_ = 0;  ///< Rows per chunk (res_ when unchunked).
+
+  std::vector<int> assign_;        ///< Point -> containing triangle id.
+  std::vector<char> strict_;       ///< Point strictly inside assign_?
+  /// DT(p) at the point (raster phase-2 bits, degenerate guard applied).
+  /// Stored instead of |ref - DT| so a reference swap is fold-only.
+  std::vector<double> interp_;
+  std::vector<double> chunk_sums_; ///< Serial point-order |ref-DT| fold.
+  /// Sorted indices of the non-strict points (re-walked every topology
+  /// event; typically O(res) edge crossings).
+  std::vector<std::uint32_t> fallback_;
+
+  // Epoch-stamped dirty scratch (avoids clearing res² flags per event).
+  std::vector<std::uint32_t> point_epoch_;
+  std::vector<std::uint32_t> row_epoch_;
+  std::vector<std::uint32_t> chunk_epoch_;
+  std::uint32_t epoch_ = 0;
+  std::vector<std::uint32_t> dirty_points_;
+
+  Stats stats_;
+};
+
+}  // namespace cps::core

@@ -6,7 +6,10 @@
 #include <span>
 #include <stdexcept>
 
+#include <memory>
+
 #include "core/curvature.hpp"
+#include "core/delta_incremental.hpp"
 #include "geometry/delaunay.hpp"
 #include "graph/relay.hpp"
 #include "graph/union_find.hpp"
@@ -248,6 +251,21 @@ FraResult FraPlanner::plan_detailed(const field::Field& reference,
     dt.set_vertex_z(c, reference.value(dt.vertex(c).pos));
   }
 
+  // Optional what-if δ tracking (FraConfig::track_delta): seeded after the
+  // corner values so the initial sweep already measures the f-valued
+  // scaffolding; every insertion below feeds its cavity report through
+  // track_insert so the trajectory costs O(changed area) per step.
+  std::unique_ptr<IncrementalDelta> delta_tracker;
+  if (config_.track_delta != nullptr) {
+    delta_tracker = std::make_unique<IncrementalDelta>(*config_.track_delta,
+                                                       reference, dt);
+  }
+  const auto track_insert = [&](const geo::InsertResult& ins) {
+    if (delta_tracker == nullptr) return;
+    delta_tracker->apply(dt, ins);
+    result.delta_trajectory.push_back(delta_tracker->value());
+  };
+
   // Candidate lattice (the paper's sqrt(A) x sqrt(A) positions), bucketed
   // by containing triangle.
   const std::size_t n = config_.error_grid;
@@ -472,8 +490,42 @@ FraResult FraPlanner::plan_detailed(const field::Field& reference,
   // through here: a skipped rebucket leaves candidates keyed to dead
   // (later recycled) triangle slots with stale errors, silently
   // corrupting subsequent selections.
+  // Rescores one candidate after its error changed: mirror write plus a
+  // decrease/increase-key sift while the heap is live (score writes alone
+  // suffice during a storm — the flat argmax reads the mirror).
+  const auto rescore = [&](std::size_t ci) {
+    auto& c = candidates[ci];
+    if (!heap_rescores || c.used) return;
+    const double s = score_of(c);
+    if (heap_scores[ci] == s) return;
+    heap_scores[ci] = s;
+    if (heap.valid()) {
+      heap.update(static_cast<std::uint32_t>(ci), heap_scores);
+      ++heap_updates;
+    }
+  };
+
   const auto rebucket_after = [&](const geo::InsertResult& ins) {
-    if (!ins.inserted) return;
+    if (!ins.inserted) {
+      if (!ins.z_changed) return;
+      // Duplicate-tolerance hit that rewrote an existing vertex's z: the
+      // topology (and with it every bucket) is intact, but the surface
+      // over the vertex's star moved, so the candidates bucketed there
+      // hold stale errors — the staleness bug the z_changed report
+      // closes.  Refresh them in place; no relocation is needed.
+      std::size_t refreshed = 0;
+      for (const int tri : ins.star_triangles) {
+        for (const std::size_t ci : buckets[static_cast<std::size_t>(tri)]) {
+          auto& c = candidates[ci];
+          c.error =
+              std::abs(c.f_value - interpolate_in(dt, c.triangle, c.pos));
+          rescore(ci);
+          ++refreshed;
+        }
+      }
+      CPS_COUNT("core.fra.candidates_rebucketed", refreshed);
+      return;
+    }
     if (buckets.size() < dt.triangle_slots()) {
       buckets.resize(dt.triangle_slots() * 2);
     }
@@ -489,7 +541,6 @@ FraResult FraPlanner::plan_detailed(const field::Field& reference,
     if (heap_rescores && heap.valid() && is_storm(displaced.size())) {
       heap.invalidate();
     }
-    const bool sift_updates = heap_rescores && heap.valid();
     for (const std::size_t ci : displaced) {
       auto& c = candidates[ci];
       c.triangle = -1;
@@ -506,21 +557,9 @@ FraResult FraPlanner::plan_detailed(const field::Field& reference,
       }
       c.error = std::abs(c.f_value - interpolate_in(dt, c.triangle, c.pos));
       buckets[static_cast<std::size_t>(c.triangle)].push_back(ci);
-      if (heap_rescores && !c.used) {
-        // Used candidates keep their kUsedScore sentinel — their error is
-        // dead state as far as selection goes.
-        const double s = score_of(c);
-        if (heap_scores[ci] != s) {
-          heap_scores[ci] = s;
-          // Decrease/increase-key: the candidate keeps its single entry
-          // and sifts to its new rank.  During a storm the score write is
-          // all that is needed.
-          if (sift_updates) {
-            heap.update(static_cast<std::uint32_t>(ci), heap_scores);
-            ++heap_updates;
-          }
-        }
-      }
+      // Used candidates keep their kUsedScore sentinel — their error is
+      // dead state as far as selection goes.
+      rescore(ci);
     }
     if (heap_rescores) last_displaced = displaced.size();
     CPS_COUNT("core.fra.candidates_rebucketed", displaced.size());
@@ -536,7 +575,9 @@ FraResult FraPlanner::plan_detailed(const field::Field& reference,
     const std::size_t count = std::min(budget, plan.count);
     for (std::size_t r = 0; r < count; ++r) {
       const geo::Vec2 p = plan.positions[r];
-      rebucket_after(dt.insert(p, reference.value(p)));
+      const geo::InsertResult ins = dt.insert(p, reference.value(p));
+      track_insert(ins);
+      rebucket_after(ins);
       selected.push_back(p);
       register_selected();
       note_added(p);
@@ -757,7 +798,11 @@ FraResult FraPlanner::plan_detailed(const field::Field& reference,
     CPS_TRACE_COUNTER("core.fra.max_local_error", chosen.error);
     CPS_TRACE_COUNTER("core.fra.triangle_count", dt.triangle_count());
 
-    rebucket_after(dt.insert(chosen.pos, chosen.f_value));
+    {
+      const geo::InsertResult ins = dt.insert(chosen.pos, chosen.f_value);
+      track_insert(ins);
+      rebucket_after(ins);
+    }
   }
 
   // Bucket-consistency audit (cheap: one contains() per candidate).  A
@@ -787,6 +832,15 @@ FraResult FraPlanner::plan_detailed(const field::Field& reference,
     // for a lazy-deletion-style regression.
     CPS_COUNT("core.fra.heap_stale_pops", 0);
     CPS_GAUGE("core.fra.heap_stale_pop_ratio", 0.0);
+  }
+  if (delta_tracker != nullptr) {
+    // An empty trajectory (nothing selectable) still has the corners-only
+    // sweep to report — the same value delta_of_deployment gives an empty
+    // deployment.
+    result.final_delta = result.delta_trajectory.empty()
+                             ? delta_tracker->value()
+                             : result.delta_trajectory.back();
+    result.delta_stats = delta_tracker->stats();
   }
   CPS_GAUGE("core.fra.triangle_count", dt.triangle_count());
   CPS_GAUGE("core.fra.vertex_count", dt.vertex_count());

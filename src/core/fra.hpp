@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/delta_incremental.hpp"
 #include "core/planner.hpp"
 #include "core/types.hpp"
 
@@ -72,6 +73,16 @@ struct FraConfig {
   std::uint64_t seed = 1;
   /// Argmax engine (see SelectionEngine); results are bit-identical.
   SelectionEngine selection_engine = SelectionEngine::kHeap;
+  /// When set, plan_detailed() feeds every insertion's cavity report into
+  /// a cavity-local IncrementalDelta over this metric and records the
+  /// what-if δ trajectory (FraResult::delta_trajectory / final_delta) —
+  /// O(changed area) per step instead of a full O(res²) sweep per probe.
+  /// The final value is bit-identical to
+  /// metric.delta_of_deployment(reference, positions, kFieldValue): FRA's
+  /// own triangulation IS that reconstruction (same insertion order, same
+  /// f-valued corners).  The metric must outlive the plan call.  Null
+  /// (the default) skips tracking entirely.
+  const DeltaMetric* track_delta = nullptr;
 };
 
 /// One selection the algorithm made, in order.
@@ -91,6 +102,16 @@ struct FraResult {
   /// a correct Garland-Heckbert update; exposed so tests can catch a
   /// reintroduction of the stale-bucket-after-relay-insertion bug.
   std::size_t stale_candidates = 0;
+  /// Tracked δ after each step (parallel to `steps`; empty unless
+  /// FraConfig::track_delta is set).
+  std::vector<double> delta_trajectory;
+  /// The last trajectory entry (δ of the finished deployment; 0 with no
+  /// tracking or an empty plan) — what fig7 reads instead of re-running
+  /// delta_of_deployment per budget.
+  double final_delta = 0.0;
+  /// Work accounting of the tracker (zeros unless tracking): the
+  /// bench_perf `delta.incremental` savings gate reads these.
+  IncrementalDelta::Stats delta_stats;
 };
 
 /// The planner.  Thread-compatible: each plan() call is independent.

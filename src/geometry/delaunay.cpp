@@ -25,6 +25,7 @@ Delaunay::Delaunay(const num::Rect& bounds) : bounds_(bounds) {
       {{bounds.x1, bounds.y1}, 0.0},
       {{bounds.x0, bounds.y1}, 0.0},
   };
+  vertex_alive_.assign(vertices_.size(), 1);
   // Two seed triangles split by the (0, 2) diagonal, both CCW.
   triangles_.resize(2);
   triangles_[0] = DtTriangle{{0, 1, 2}, {-1, 1, -1}, true};
@@ -56,6 +57,11 @@ void Delaunay::free_triangle(int id) {
   t.nbr = {-1, -1, -1};
   free_list_.push_back(id);
   --alive_count_;
+  // A shared walk hint referencing the freed slot must not survive: the
+  // free list recycles slots, and a later locate() would otherwise walk
+  // from whatever unrelated triangle reuses this id.  insert() refreshes
+  // the hint after its frees, but remove() relies on this reset.
+  if (locate_hint_ == id) locate_hint_ = -1;
 }
 
 Triangle Delaunay::triangle_geometry(int id) const {
@@ -186,9 +192,19 @@ InsertResult Delaunay::insert(Vec2 p, double z, double duplicate_tol) {
     for (const int vid : t.v) {
       if (distance(vertices_[static_cast<std::size_t>(vid)].pos, p) <=
           duplicate_tol) {
+        const double old_z = vertices_[static_cast<std::size_t>(vid)].z;
         vertices_[static_cast<std::size_t>(vid)].z = z;
         result.vertex = vid;
         result.inserted = false;
+        // The topology did not change, but a different z moves the
+        // interpolated surface over the vertex's whole star.  Value
+        // compare: a +-0.0 swap cannot change any interpolated bit's
+        // absolute difference, and reporting it would cost a star walk.
+        result.z_changed = z != old_z;
+        if (result.z_changed) {
+          result.star_triangles = vertex_star(vid);
+          CPS_COUNT("geometry.delaunay.duplicate_z_updates", 1);
+        }
         return result;
       }
     }
@@ -196,6 +212,7 @@ InsertResult Delaunay::insert(Vec2 p, double z, double duplicate_tol) {
 
   const int new_vertex = static_cast<int>(vertices_.size());
   vertices_.push_back(DtVertex{p, z});
+  vertex_alive_.push_back(1);
 
   // Grow the cavity from the containing triangle.  The containing triangle
   // is force-included: mathematically p (strictly inside or on an edge of
@@ -311,6 +328,254 @@ InsertResult Delaunay::insert(Vec2 p, double z, double duplicate_tol) {
   return result;
 }
 
+std::vector<int> Delaunay::collect_star(int vertex,
+                                        std::vector<LinkEdge>* chain) const {
+  if (vertex < 0 || vertex >= static_cast<int>(vertices_.size()) ||
+      vertex_alive_[static_cast<std::size_t>(vertex)] == 0) {
+    throw std::invalid_argument("Delaunay::vertex_star: dead vertex id");
+  }
+  // Seed triangle: the walk lands on a triangle whose closure contains the
+  // vertex position, which in a valid triangulation is always incident to
+  // the vertex (an edge of a non-incident triangle cannot pass through a
+  // vertex).  The scan fallback guards degenerate geometry anyway.
+  int seed = locate_from(vertices_[static_cast<std::size_t>(vertex)].pos, -1);
+  const auto incident = [&](int tid) {
+    const auto& t = triangles_[static_cast<std::size_t>(tid)];
+    return t.v[0] == vertex || t.v[1] == vertex || t.v[2] == vertex;
+  };
+  if (!incident(seed)) {
+    seed = -1;
+    for (std::size_t i = 0; i < triangles_.size(); ++i) {
+      if (triangles_[i].alive && incident(static_cast<int>(i))) {
+        seed = static_cast<int>(i);
+        break;
+      }
+    }
+    if (seed == -1) {
+      throw std::logic_error("Delaunay::vertex_star: no incident triangle");
+    }
+  }
+  const auto local_index = [&](int tid) {
+    const auto& t = triangles_[static_cast<std::size_t>(tid)];
+    for (int i = 0; i < 3; ++i) {
+      if (t.v[static_cast<std::size_t>(i)] == vertex) return i;
+    }
+    throw std::logic_error("Delaunay::vertex_star: lost incidence");
+  };
+  // Walk the ring CCW: triangle (v, a, b) hands over across edge (v, b)
+  // (the neighbor opposite a).  A -1 crossing means v lies on the region
+  // border; the ring is then an open fan walked backwards too.
+  std::vector<int> star;
+  std::vector<int> link;  // link[i] = a of star[i]; one extra b at the end
+                          // when the fan is open.
+  int current = seed;
+  bool open = false;
+  do {
+    star.push_back(current);
+    const int i = local_index(current);
+    const auto& t = triangles_[static_cast<std::size_t>(current)];
+    link.push_back(t.v[static_cast<std::size_t>((i + 1) % 3)]);
+    const int next = t.nbr[static_cast<std::size_t>((i + 1) % 3)];
+    if (next == -1) {
+      link.push_back(t.v[static_cast<std::size_t>((i + 2) % 3)]);
+      open = true;
+      break;
+    }
+    current = next;
+  } while (current != seed);
+  if (open) {
+    // Walk backwards from the seed across edge (v, a) until the border.
+    current = seed;
+    for (;;) {
+      const int i = local_index(current);
+      const auto& t = triangles_[static_cast<std::size_t>(current)];
+      const int prev = t.nbr[static_cast<std::size_t>((i + 2) % 3)];
+      if (prev == -1) break;
+      const int pi = local_index(prev);
+      const auto& pt = triangles_[static_cast<std::size_t>(prev)];
+      star.insert(star.begin(), prev);
+      link.insert(link.begin(), pt.v[static_cast<std::size_t>((pi + 1) % 3)]);
+      current = prev;
+    }
+  }
+  if (chain != nullptr) {
+    // chain[j] pairs link vertex a_j with the triangle beyond link edge
+    // (a_j, a_{j+1}) — star[j]'s neighbor opposite v.  A closed ring's
+    // chain closes itself; an open fan closes with the border segment
+    // (collinear through v), outside -1.
+    chain->clear();
+    chain->reserve(link.size());
+    for (std::size_t j = 0; j < star.size(); ++j) {
+      const int tid = star[j];
+      const int i = local_index(tid);
+      chain->push_back(LinkEdge{
+          link[j],
+          triangles_[static_cast<std::size_t>(tid)]
+              .nbr[static_cast<std::size_t>(i)]});
+    }
+    if (open) chain->push_back(LinkEdge{link.back(), -1});
+  }
+  return star;
+}
+
+std::vector<int> Delaunay::vertex_star(int vertex) const {
+  return collect_star(vertex, nullptr);
+}
+
+RemoveResult Delaunay::remove(int vertex) {
+  if (vertex < kCorners) {
+    throw std::invalid_argument(
+        "Delaunay::remove: corner scaffolding cannot be removed");
+  }
+  RemoveResult result;
+  result.vertex = vertex;
+  std::vector<LinkEdge> chain;
+  result.removed_triangles = collect_star(vertex, &chain);  // Validates id.
+
+  // Re-points `tid`'s adjacency across the (va, vb) edge at `to`.  Serves
+  // both the original outside triangles and freshly clipped ears.
+  const auto patch = [&](int tid, int va, int vb, int to) {
+    if (tid == -1) return;
+    auto& t = triangles_[static_cast<std::size_t>(tid)];
+    for (int e = 0; e < 3; ++e) {
+      const int wa = t.v[static_cast<std::size_t>((e + 1) % 3)];
+      const int wb = t.v[static_cast<std::size_t>((e + 2) % 3)];
+      if ((wa == va && wb == vb) || (wa == vb && wb == va)) {
+        t.nbr[static_cast<std::size_t>(e)] = to;
+        return;
+      }
+    }
+    throw std::logic_error("Delaunay::remove: adjacency patch missed");
+  };
+  const auto pos_of = [&](int vid) {
+    return vertices_[static_cast<std::size_t>(vid)].pos;
+  };
+
+  // Ear-clip the hole polygon (the link chain, CCW around the removed
+  // vertex; border fans close with a collinear border segment).  An ear is
+  // clipped only when it is CCW and no other chain vertex lies strictly
+  // inside its circumcircle — the Delaunay ear rule, which restores the
+  // empty-circumcircle property over the hole.  Cocircular degeneracies
+  // can starve that rule, so a second pass accepts any CCW ear whose
+  // closed triangle is empty of chain vertices (still a valid, if
+  // non-unique, triangulation).  New ears are allocated before the star is
+  // freed so removed/created ids never overlap.
+  std::vector<int> created;
+  created.reserve(chain.size() > 2 ? chain.size() - 2 : 0);
+  const auto clip_at = [&](std::size_t j) {
+    const std::size_t m = chain.size();
+    const std::size_t jp = (j + m - 1) % m;
+    const std::size_t jn = (j + 1) % m;
+    const int tid = alloc_triangle();
+    auto& t = triangles_[static_cast<std::size_t>(tid)];
+    t.v = {chain[jp].vertex, chain[j].vertex, chain[jn].vertex};
+    t.nbr = {chain[j].outside, -1, chain[jp].outside};
+    patch(chain[j].outside, chain[j].vertex, chain[jn].vertex, tid);
+    patch(chain[jp].outside, chain[jp].vertex, chain[j].vertex, tid);
+    created.push_back(tid);
+    chain[jp].outside = tid;  // Edge (jp, jn) now borders the new ear.
+    chain.erase(chain.begin() + static_cast<std::ptrdiff_t>(j));
+  };
+  while (chain.size() > 3) {
+    const std::size_t m = chain.size();
+    std::size_t pick = m;
+    for (std::size_t j = 0; j < m && pick == m; ++j) {
+      const Vec2 a = pos_of(chain[(j + m - 1) % m].vertex);
+      const Vec2 b = pos_of(chain[j].vertex);
+      const Vec2 c = pos_of(chain[(j + 1) % m].vertex);
+      if (orient2d(a, b, c) <= 0) continue;
+      bool delaunay = true;
+      for (std::size_t w = 0; w < m && delaunay; ++w) {
+        if (w == j || w == (j + m - 1) % m || w == (j + 1) % m) continue;
+        CPS_COUNT("geometry.delaunay.incircle_calls", 1);
+        if (incircle(a, b, c, pos_of(chain[w].vertex)) > 0) delaunay = false;
+      }
+      if (delaunay) pick = j;
+    }
+    if (pick == m) {
+      // Cocircular starvation: fall back to plain ear validity (CCW and
+      // no chain vertex inside or on the closed ear triangle).
+      for (std::size_t j = 0; j < m && pick == m; ++j) {
+        const Vec2 a = pos_of(chain[(j + m - 1) % m].vertex);
+        const Vec2 b = pos_of(chain[j].vertex);
+        const Vec2 c = pos_of(chain[(j + 1) % m].vertex);
+        if (orient2d(a, b, c) <= 0) continue;
+        bool empty = true;
+        for (std::size_t w = 0; w < m && empty; ++w) {
+          if (w == j || w == (j + m - 1) % m || w == (j + 1) % m) continue;
+          const Vec2 q = pos_of(chain[w].vertex);
+          if (orient2d(a, b, q) >= 0 && orient2d(b, c, q) >= 0 &&
+              orient2d(c, a, q) >= 0) {
+            empty = false;
+          }
+        }
+        if (empty) pick = j;
+      }
+    }
+    if (pick == m) {
+      throw std::logic_error("Delaunay::remove: no clippable ear");
+    }
+    clip_at(pick);
+  }
+  {
+    // Last triangle fills the remaining hole; all three edges patch.
+    const int tid = alloc_triangle();
+    auto& t = triangles_[static_cast<std::size_t>(tid)];
+    t.v = {chain[0].vertex, chain[1].vertex, chain[2].vertex};
+    t.nbr = {chain[1].outside, chain[2].outside, chain[0].outside};
+    patch(chain[0].outside, chain[0].vertex, chain[1].vertex, tid);
+    patch(chain[1].outside, chain[1].vertex, chain[2].vertex, tid);
+    patch(chain[2].outside, chain[2].vertex, chain[0].vertex, tid);
+    created.push_back(tid);
+  }
+
+  // No explicit hint refresh here: free_triangle's stale-hint guard resets
+  // locate_hint_ iff the star contained it, which is exactly the invariant
+  // the next locate() needs (alive or -1).
+  for (const int tid : result.removed_triangles) free_triangle(tid);
+  vertex_alive_[static_cast<std::size_t>(vertex)] = 0;
+
+  CPS_COUNT("geometry.delaunay.removes", 1);
+  CPS_COUNT("geometry.delaunay.star_triangles",
+            result.removed_triangles.size());
+  result.created_triangles = std::move(created);
+  return result;
+}
+
+MoveResult Delaunay::move_vertex(int vertex, Vec2 p, double z,
+                                 double duplicate_tol) {
+  MoveResult result;
+  const RemoveResult removal = remove(vertex);
+  const InsertResult ins = insert(p, z, duplicate_tol);
+  result.vertex = ins.vertex;
+  result.inserted = ins.inserted;
+  result.z_changed = ins.z_changed;
+  // Every alive triangle the move touched: the removal's hole fan (any
+  // ear re-removed by the insertion is covered by the insertion's own
+  // fan), the insertion's fan, and the duplicate path's star.  A freed
+  // ear slot may have been recycled as an insertion triangle, so the
+  // union is deduplicated.
+  result.changed_triangles.reserve(removal.created_triangles.size() +
+                                   ins.created_triangles.size() +
+                                   ins.star_triangles.size());
+  for (const int tid : removal.created_triangles) {
+    if (triangles_[static_cast<std::size_t>(tid)].alive) {
+      result.changed_triangles.push_back(tid);
+    }
+  }
+  result.changed_triangles.insert(result.changed_triangles.end(),
+                                  ins.created_triangles.begin(),
+                                  ins.created_triangles.end());
+  result.changed_triangles.insert(result.changed_triangles.end(),
+                                  ins.star_triangles.begin(),
+                                  ins.star_triangles.end());
+  std::sort(result.changed_triangles.begin(), result.changed_triangles.end());
+  result.changed_triangles.erase(std::unique(result.changed_triangles.begin(),
+                                             result.changed_triangles.end()),
+                                 result.changed_triangles.end());
+  return result;
+}
+
 bool Delaunay::validate_topology() const {
   for (std::size_t i = 0; i < triangles_.size(); ++i) {
     const auto& t = triangles_[i];
@@ -351,6 +616,10 @@ bool Delaunay::is_delaunay() const {
     for (std::size_t v = 0; v < vertices_.size(); ++v) {
       const int vid = static_cast<int>(v);
       if (vid == t.v[0] || vid == t.v[1] || vid == t.v[2]) continue;
+      // Removed vertices keep their last position but belong to no alive
+      // triangle; the empty-circumcircle property quantifies over the
+      // triangulation's actual point set only.
+      if (vertex_alive_[v] == 0) continue;
       if (incircle(a, b, c, vertices_[v].pos) > 0) return false;
     }
   }

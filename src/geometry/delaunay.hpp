@@ -56,10 +56,47 @@ struct InsertResult {
   /// False when the point coincided with an existing vertex and nothing
   /// changed structurally.
   bool inserted = false;
+  /// True when a duplicate-tolerance hit rewrote the existing vertex's z
+  /// to a different value: the topology is untouched but the interpolated
+  /// surface changed over the vertex's star.  δ-caching callers that only
+  /// watch the cavity lists would silently under-report without this flag
+  /// (the staleness bug this field closes).
+  bool z_changed = false;
+  /// The updated vertex's incident triangles when z_changed — exactly the
+  /// region over which the surface moved.  Empty otherwise.
+  std::vector<int> star_triangles;
   /// Triangles destroyed / created by this insertion (empty when
   /// !inserted).
   std::vector<int> removed_triangles;
   std::vector<int> created_triangles;
+};
+
+/// Outcome of a vertex removal.
+struct RemoveResult {
+  int vertex = -1;  ///< The now-dead vertex id (slots are never reused).
+  /// The removed vertex's former star / the ear-clipped hole fan.  Ids in
+  /// the two lists never overlap (ears are allocated before the star is
+  /// freed), and the created triangles cover exactly the star's region.
+  std::vector<int> removed_triangles;
+  std::vector<int> created_triangles;
+};
+
+/// Outcome of a relocation (remove + insert fused into one report).
+struct MoveResult {
+  /// Vertex id now holding the moved sample: a fresh id normally, an
+  /// existing vertex's id when the destination duplicated one.
+  int vertex = -1;
+  /// False when the destination coincided with an existing vertex (the
+  /// move degenerated to a removal plus a z update on that vertex).
+  bool inserted = false;
+  /// See InsertResult::z_changed — set on the duplicate-destination path.
+  bool z_changed = false;
+  /// Every triangle alive *now* whose region the move touched: the hole
+  /// fan of the removal (minus any ears the insertion re-removed), the
+  /// insertion's fan, and the duplicate path's star.  Their union covers
+  /// both the old star's region and the new cavity's, which is the
+  /// contract incremental δ consumers re-raster against.
+  std::vector<int> changed_triangles;
 };
 
 /// Incremental Delaunay triangulation over a rectangle.
@@ -78,12 +115,36 @@ class Delaunay {
   /// Throws std::invalid_argument when p lies outside the region.
   InsertResult insert(Vec2 p, double z, double duplicate_tol = 1e-9);
 
+  /// Removes a previously inserted vertex and re-triangulates its star's
+  /// hole with a Delaunay ear-clipping fan.  The vertex slot stays
+  /// allocated (ids are stable) but turns dead: vertex_alive(id) is false
+  /// and the id can no longer be removed or moved.  Throws
+  /// std::invalid_argument for corner scaffolding ids (the rectangle must
+  /// stay covered) or already-dead ids.
+  RemoveResult remove(int vertex);
+
+  /// remove(vertex) followed by insert(p, z, duplicate_tol), fused into a
+  /// single change report whose changed_triangles cover both the old star
+  /// and the new cavity (see MoveResult).  Same preconditions as the two
+  /// steps.
+  MoveResult move_vertex(int vertex, Vec2 p, double z,
+                         double duplicate_tol = 1e-9);
+
   const num::Rect& bounds() const noexcept { return bounds_; }
 
   std::size_t vertex_count() const noexcept { return vertices_.size(); }
   const DtVertex& vertex(int id) const { return vertices_.at(
       static_cast<std::size_t>(id)); }
+  /// False once remove() has retired the id.  Dead vertices keep their
+  /// last pos/z for inspection but belong to no alive triangle.
+  bool vertex_alive(int id) const {
+    return vertex_alive_.at(static_cast<std::size_t>(id)) != 0;
+  }
   void set_vertex_z(int id, double z);
+
+  /// Alive triangles incident to `vertex`, in CCW ring order around it.
+  /// Throws std::invalid_argument for dead ids.  O(star + locate).
+  std::vector<int> vertex_star(int vertex) const;
 
   /// Total number of triangle slots; use triangle_alive to filter.
   std::size_t triangle_slots() const noexcept { return triangles_.size(); }
@@ -128,14 +189,31 @@ class Delaunay {
   /// Sum of alive triangle areas (should equal bounds().area()).
   double total_area() const;
 
+  /// The shared remembering-walk hint (for staleness regression tests).
+  /// Invariant: -1, or an alive triangle — free_triangle resets a hint
+  /// that references the slot it frees, so a recycled slot can never be
+  /// walked from as if it were the old neighborhood.
+  int debug_locate_hint() const noexcept { return locate_hint_; }
+
  private:
   int alloc_triangle();
   void free_triangle(int id);
   bool in_cavity(int tri, Vec2 p) const;
   int walk_from(int start, Vec2 p) const;
+  /// vertex_star plus the ordered link chain: chain[i] holds the link
+  /// vertex and the triangle outside edge (chain[i], chain[i+1]) (-1 on
+  /// the region border).  For a border vertex the closing edge's outside
+  /// is -1 and the chain's closing segment runs along the border.
+  struct LinkEdge {
+    int vertex;
+    int outside;
+  };
+  std::vector<int> collect_star(int vertex, std::vector<LinkEdge>* chain)
+      const;
 
   num::Rect bounds_;
   std::vector<DtVertex> vertices_;
+  std::vector<char> vertex_alive_;
   std::vector<DtTriangle> triangles_;
   std::vector<int> free_list_;
   std::size_t alive_count_ = 0;

@@ -1,0 +1,385 @@
+// Equivalence suite for the cavity-local incremental δ engine
+// (core/delta_incremental.hpp) and the CMA per-slot tracker
+// (core/cma_delta.hpp):
+//
+//  * randomized fuzz — interleaved inserts, duplicate-tolerance hits
+//    (z-changing and no-op), moves, and removals, with a cocircular
+//    grid-aligned point mix, across the field zoo and 1–4 worker
+//    threads; after EVERY event the tracker's value must be
+//    bit-identical to a fresh kRaster sweep AND the kWalk oracle of the
+//    same triangulation (the DESIGN.md §13 oracle protocol);
+//  * retarget (reference swap) and batched z-update events against the
+//    same oracles;
+//  * rebase after a mid-stream thread-count change;
+//  * the DeltaEngine::kIncremental dispatch (delta() through a
+//    throwaway tracker) across both corner policies;
+//  * CmaDeltaTracker: per-slot tracked δ bit-identical to a fresh sweep
+//    of its own triangulation through deaths, revivals, moves, and a
+//    position-aliased node pair.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/cma.hpp"
+#include "core/cma_delta.hpp"
+#include "core/delta.hpp"
+#include "core/delta_incremental.hpp"
+#include "core/fra.hpp"
+#include "core/reconstruction.hpp"
+#include "field/analytic_fields.hpp"
+#include "field/time_varying.hpp"
+#include "net/fault.hpp"
+#include "numerics/rng.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace cps::core {
+namespace {
+
+const num::Rect kRegion{0.0, 0.0, 100.0, 100.0};
+
+field::AnalyticField reference_surface() {
+  return field::AnalyticField([](double x, double y) {
+    return 10.0 + 0.05 * x * y / 100.0 + 3.0 * (x > 40 && x < 60) +
+           2.0 * (y > 20 && y < 50);
+  });
+}
+
+/// Restores the global worker count on scope exit so a failing test can't
+/// poison later ones.
+struct ThreadGuard {
+  ~ThreadGuard() { par::set_thread_count(1); }
+};
+
+// --- Randomized event fuzz against both fresh oracles ---------------------
+
+/// Drives one triangulation and one IncrementalDelta through `events`
+/// random events, comparing against fresh kRaster and kWalk sweeps after
+/// every single one.
+void fuzz_events(const field::Field& f, std::uint64_t seed,
+                 std::size_t events, std::size_t resolution) {
+  DeltaMetric raster(kRegion, resolution);
+  DeltaMetric walk(kRegion, resolution);
+  walk.set_engine(DeltaEngine::kWalk);
+
+  geo::Delaunay dt(kRegion);
+  for (int corner = 0; corner < geo::Delaunay::kCorners; ++corner) {
+    dt.set_vertex_z(corner, f.value(dt.vertex(corner).pos));
+  }
+  IncrementalDelta inc(raster, f, dt);
+
+  num::Rng rng(seed);
+  // Grid-aligned points produce cocircular quadruples (and exact region
+  // corners / borders, so duplicate hits land on the scaffolding too).
+  const auto random_point = [&]() -> geo::Vec2 {
+    if (rng.uniform() < 0.35) {
+      return {12.5 * static_cast<double>(rng.uniform_int(0, 8)),
+              12.5 * static_cast<double>(rng.uniform_int(0, 8))};
+    }
+    return {rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)};
+  };
+  const auto random_z = [&]() { return rng.uniform(-10.0, 10.0); };
+
+  std::vector<int> user;  // Alive non-corner vertices.
+  const auto check = [&](std::size_t step, const char* what) {
+    SCOPED_TRACE("event " + std::to_string(step) + " (" + what + ")");
+    const double fresh = raster.delta(f, dt);
+    ASSERT_EQ(inc.value(), fresh);        // Bitwise, not approximately.
+    ASSERT_EQ(fresh, walk.delta(f, dt));  // And the walk oracle agrees.
+  };
+
+  for (std::size_t step = 0; step < events; ++step) {
+    const double r = rng.uniform();
+    const char* what = "";
+    if (r < 0.45 || user.empty()) {
+      what = "insert";
+      const geo::InsertResult ins = dt.insert(random_point(), random_z());
+      if (ins.inserted) user.push_back(ins.vertex);
+      inc.apply(dt, ins);
+    } else if (r < 0.60) {
+      // Duplicate-tolerance hit on an existing vertex: half the time with
+      // the same z (a true no-op), half with a new one (the z_changed
+      // staleness event this PR's bugfix makes visible).
+      const int v = user[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(user.size()) - 1))];
+      const double z = rng.uniform() < 0.5 ? dt.vertex(v).z : random_z();
+      what = "duplicate-hit";
+      inc.apply(dt, dt.insert(dt.vertex(v).pos, z));
+    } else if (r < 0.80) {
+      what = "move";
+      const std::size_t slot = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(user.size()) - 1));
+      const geo::MoveResult moved =
+          dt.move_vertex(user[slot], random_point(), random_z());
+      user.erase(user.begin() + static_cast<std::ptrdiff_t>(slot));
+      if (moved.inserted) user.push_back(moved.vertex);
+      inc.apply(dt, moved);
+    } else {
+      what = "remove";
+      const std::size_t slot = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(user.size()) - 1));
+      const geo::RemoveResult removal = dt.remove(user[slot]);
+      user.erase(user.begin() + static_cast<std::ptrdiff_t>(slot));
+      inc.apply(dt, removal);
+    }
+    check(step, what);
+  }
+
+  EXPECT_EQ(inc.stats().events, events);
+  // The whole point: strictly cheaper than `events` full sweeps (the
+  // bench_perf gate demands >= 10x at scale; here the triangulation is
+  // tiny, so the cavities are big and the bar is loose).
+  EXPECT_LT(inc.stats().points_reevaluated,
+            events * inc.stats().full_sweep_points);
+}
+
+TEST(IncrementalDeltaFuzz, MatchesBothOraclesAcrossThreads) {
+  ThreadGuard guard;
+  const auto f = reference_surface();
+  for (const std::size_t threads : {1u, 2u, 3u, 4u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    par::set_thread_count(threads);
+    fuzz_events(f, 100 + threads, 48, 40);
+  }
+}
+
+TEST(IncrementalDeltaFuzz, FieldZoo) {
+  ThreadGuard guard;
+  const field::PeaksField peaks(kRegion);
+  const field::GaussianMixtureField bumps(
+      1.0, {{{20.0, 20.0}, 9.0, 3.0}, {{70.0, 55.0}, -2.0, 14.0}});
+  const field::PlaneField plane(1.0, 0.25, -0.125);
+  for (const std::size_t threads : {1u, 4u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    par::set_thread_count(threads);
+    fuzz_events(peaks, 7 + threads, 32, 36);
+    fuzz_events(bumps, 11 + threads, 32, 36);
+    fuzz_events(plane, 13 + threads, 32, 36);
+  }
+}
+
+// --- Reference swaps and batched z updates --------------------------------
+
+TEST(IncrementalDelta, RetargetSwapsReferenceWithoutGeometryWork) {
+  const auto a = reference_surface();
+  const field::PeaksField b(kRegion);
+  DeltaMetric metric(kRegion, 48);
+
+  geo::Delaunay dt(kRegion);
+  num::Rng rng(5);
+  for (int i = 0; i < 25; ++i) {
+    dt.insert({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)},
+              rng.uniform(-5.0, 5.0));
+  }
+  IncrementalDelta inc(metric, a, dt);
+  ASSERT_EQ(inc.value(), metric.delta(a, dt));
+
+  inc.retarget(metric, b);
+  EXPECT_EQ(inc.value(), metric.delta(b, dt));
+  EXPECT_EQ(inc.stats().retargets, 1u);
+  // The swap is fold-only: no lattice point was re-assigned.
+  EXPECT_EQ(inc.stats().points_reevaluated, 0u);
+
+  // Events keep folding against the new reference.
+  inc.apply(dt, dt.insert({33.3, 44.4}, 2.5));
+  EXPECT_EQ(inc.value(), metric.delta(b, dt));
+
+  // A mismatched lattice is rejected.
+  DeltaMetric other(kRegion, 32);
+  EXPECT_THROW(inc.retarget(other, b), std::invalid_argument);
+}
+
+TEST(IncrementalDelta, BatchedZUpdatesMatchFreshSweep) {
+  const auto f = reference_surface();
+  DeltaMetric metric(kRegion, 48);
+  geo::Delaunay dt(kRegion);
+  num::Rng rng(9);
+  std::vector<int> verts;
+  for (int i = 0; i < 20; ++i) {
+    const geo::InsertResult ins =
+        dt.insert({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)},
+                  rng.uniform(-5.0, 5.0));
+    if (ins.inserted) verts.push_back(ins.vertex);
+  }
+  IncrementalDelta inc(metric, f, dt);
+
+  // Re-value a handful of vertices (plus one corner), then fold the whole
+  // batch as ONE event over the union of their stars.
+  std::vector<int> stars;
+  const auto touch = [&](int v, double z) {
+    dt.set_vertex_z(v, z);
+    const std::vector<int> star = dt.vertex_star(v);
+    stars.insert(stars.end(), star.begin(), star.end());
+  };
+  touch(verts[2], 7.5);
+  touch(verts[9], -3.25);
+  touch(0, 1.75);  // Corner scaffolding.
+  std::sort(stars.begin(), stars.end());
+  stars.erase(std::unique(stars.begin(), stars.end()), stars.end());
+  inc.apply_z_updates(dt, stars);
+
+  EXPECT_EQ(inc.value(), metric.delta(f, dt));
+  EXPECT_EQ(inc.stats().events, 1u);
+}
+
+TEST(IncrementalDelta, RebaseRecapturesChunkLayout) {
+  ThreadGuard guard;
+  const auto f = reference_surface();
+  DeltaMetric metric(kRegion, 40);
+  geo::Delaunay dt(kRegion);
+  num::Rng rng(3);
+  for (int i = 0; i < 15; ++i) {
+    dt.insert({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)},
+              rng.uniform(-5.0, 5.0));
+  }
+
+  par::set_thread_count(1);
+  IncrementalDelta inc(metric, f, dt);
+  ASSERT_EQ(inc.value(), metric.delta(f, dt));
+
+  // Changing the worker count changes delta()'s chunk layout; the stored
+  // partial sums are for the old layout, so the tracker must rebase.
+  par::set_thread_count(4);
+  inc.rebase(dt);
+  EXPECT_EQ(inc.value(), metric.delta(f, dt));
+  EXPECT_EQ(inc.stats().rebuilds, 2u);  // Construction + rebase.
+
+  inc.apply(dt, dt.insert({12.0, 87.0}, 4.0));
+  EXPECT_EQ(inc.value(), metric.delta(f, dt));
+}
+
+// --- DeltaEngine::kIncremental dispatch -----------------------------------
+
+TEST(IncrementalDelta, EngineDispatchMatchesRasterAcrossPolicies) {
+  const auto f = reference_surface();
+  const auto samples = take_samples(
+      f, std::vector<geo::Vec2>{{15.0, 25.0}, {60.0, 10.0}, {50.0, 50.0},
+                                {80.0, 75.0}, {30.0, 90.0}});
+  DeltaMetric raster(kRegion, 50);
+  DeltaMetric incremental(kRegion, 50);
+  incremental.set_engine(DeltaEngine::kIncremental);
+  EXPECT_EQ(incremental.engine(), DeltaEngine::kIncremental);
+  for (const auto policy :
+       {CornerPolicy::kNearestSample, CornerPolicy::kFieldValue}) {
+    SCOPED_TRACE("policy=" + std::to_string(static_cast<int>(policy)));
+    EXPECT_EQ(incremental.delta_from_samples(f, samples, policy),
+              raster.delta_from_samples(f, samples, policy));
+  }
+}
+
+// --- FRA what-if tracking --------------------------------------------------
+
+TEST(IncrementalDelta, FraTrackedTrajectoryMatchesDeploymentSweeps) {
+  const auto f = reference_surface();
+  DeltaMetric metric(kRegion, 64);
+
+  FraConfig cfg;
+  cfg.error_grid = 40;
+  cfg.track_delta = &metric;
+  FraPlanner planner(cfg);
+  const FraResult plan =
+      planner.plan_detailed(f, PlanRequest{kRegion, 40, 10.0});
+
+  ASSERT_EQ(plan.delta_trajectory.size(), plan.steps.size());
+  ASSERT_FALSE(plan.delta_trajectory.empty());
+  // The headline contract fig7 relies on: the tracked final δ is the
+  // delta_of_deployment value, bitwise — FRA's own triangulation IS the
+  // kFieldValue reconstruction of its output.
+  EXPECT_EQ(plan.final_delta,
+            metric.delta_of_deployment(f, plan.deployment.positions,
+                                       CornerPolicy::kFieldValue));
+  EXPECT_EQ(plan.final_delta, plan.delta_trajectory.back());
+  // And so is every prefix (spot-checked): the trajectory is the per-k
+  // what-if series without per-k replanning.
+  for (std::size_t i = 9; i < plan.steps.size(); i += 10) {
+    SCOPED_TRACE("prefix " + std::to_string(i + 1));
+    const std::vector<geo::Vec2> prefix(
+        plan.deployment.positions.begin(),
+        plan.deployment.positions.begin() + static_cast<std::ptrdiff_t>(i) +
+            1);
+    EXPECT_EQ(plan.delta_trajectory[i],
+              metric.delta_of_deployment(f, prefix,
+                                         CornerPolicy::kFieldValue));
+  }
+  EXPECT_EQ(plan.delta_stats.events, plan.steps.size());
+  EXPECT_LT(plan.delta_stats.points_reevaluated,
+            plan.delta_stats.events * plan.delta_stats.full_sweep_points);
+
+  // Tracking must not perturb planning: the untracked plan is identical.
+  FraConfig plain_cfg = cfg;
+  plain_cfg.track_delta = nullptr;
+  const FraResult plain =
+      FraPlanner(plain_cfg).plan_detailed(f, PlanRequest{kRegion, 40, 10.0});
+  ASSERT_EQ(plain.deployment.positions.size(),
+            plan.deployment.positions.size());
+  for (std::size_t i = 0; i < plain.deployment.positions.size(); ++i) {
+    EXPECT_EQ(plain.deployment.positions[i].x,
+              plan.deployment.positions[i].x);
+    EXPECT_EQ(plain.deployment.positions[i].y,
+              plan.deployment.positions[i].y);
+  }
+  EXPECT_TRUE(plain.delta_trajectory.empty());
+}
+
+// --- CmaDeltaTracker -------------------------------------------------------
+
+TEST(CmaDeltaTracker, TracksOwnTriangulationBitExactlyThroughChurn) {
+  const field::AnalyticTimeField env([](double x, double y, double t) {
+    return 10.0 + 0.04 * x + 0.03 * y +
+           3.0 * std::sin(0.05 * x + 0.3 * t) * std::cos(0.07 * y - 0.2 * t);
+  });
+  // A connected 3x3 grid plus one node stacked exactly on another: the
+  // pair stays coincident (the repulsion kernel pushes both identically),
+  // exercising the vertex-aliasing refcount path every slot.
+  std::vector<geo::Vec2> pts;
+  for (int j = 0; j < 3; ++j) {
+    for (int i = 0; i < 3; ++i) {
+      pts.push_back({40.0 + i * 6.0, 40.0 + j * 6.0});
+    }
+  }
+  pts.push_back(pts[4]);
+
+  CmaConfig cfg;
+  CmaSimulation sim(env, kRegion, pts, cfg);
+  net::FaultSchedule faults;
+  faults.add_death(2, 4);
+  faults.add_death(4, 7);
+  faults.add_revival(6, 4);
+  sim.set_fault_schedule(std::move(faults));
+
+  DeltaMetric metric(kRegion, 40);
+  CmaDeltaTracker tracker(sim, metric);
+  // At construction the tracker's triangulation mirrors
+  // reconstruct_surface(sense_at_nodes()) exactly, so even the end-to-end
+  // pipeline value matches bitwise.
+  ASSERT_EQ(tracker.value(), sim.current_delta(metric));
+
+  for (std::size_t slot = 1; slot <= 12; ++slot) {
+    SCOPED_TRACE("slot " + std::to_string(slot));
+    sim.step();
+    const double tracked = tracker.update(sim);
+    // The contract: bit-identical to a fresh sweep of the tracker's OWN
+    // triangulation (same point set as the from-scratch path, but its
+    // Delaunay history differs, so only cocircular tie-breaks may vary).
+    ASSERT_EQ(tracked,
+              metric.delta(field::FieldSlice(env, sim.time()),
+                           tracker.triangulation()));
+    const double fresh = sim.current_delta(metric);
+    EXPECT_NEAR(tracked, fresh, 0.1 * std::abs(fresh) + 1e-9);
+  }
+
+  EXPECT_EQ(tracker.stats().slots, 12u);
+  EXPECT_EQ(tracker.stats().node_deaths, 2u);
+  EXPECT_EQ(tracker.stats().node_revivals, 1u);
+  EXPECT_GT(tracker.stats().node_moves, 0u);
+  EXPECT_GT(tracker.stats().merges, 0u);  // The stacked pair.
+  EXPECT_EQ(tracker.delta_stats().retargets, 12u);
+  EXPECT_EQ(tracker.delta_stats().rebuilds, 1u);  // Construction only.
+}
+
+}  // namespace
+}  // namespace cps::core

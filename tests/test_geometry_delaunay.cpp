@@ -8,7 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "numerics/rng.hpp"
 
@@ -233,6 +235,208 @@ TEST_P(DelaunayClusterSweep, TightClustersStayValid) {
 
 INSTANTIATE_TEST_SUITE_P(Spreads, DelaunayClusterSweep,
                          ::testing::Values(0.01, 0.1, 1.0, 10.0));
+
+// --- Staleness regressions (ISSUE 8 satellites) ---
+
+TEST(DelaunayStaleness, LocateHintSurvivesSlotRecycling) {
+  // Regression: the shared remembering-walk hint used to keep pointing at a
+  // triangle slot after free_triangle recycled it.  Drive the free list hard
+  // enough that the hinted slot is freed and reallocated in a *different*
+  // neighborhood, then locate() a point far from the recycled slot: with a
+  // stale hint the walk starts from an unrelated triangle and (on adversarial
+  // geometry) can fall back to the exhaustive scan or, worse, walk from a
+  // dead record.  Post-fix the hint is reset whenever its slot is freed, so
+  // it always satisfies the alive-or--1 invariant.
+  Delaunay dt(kRegion);
+  num::Rng rng(99);
+  for (int i = 0; i < 300; ++i) {
+    dt.insert({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)},
+              rng.uniform(-1.0, 1.0));
+    const int hint = dt.debug_locate_hint();
+    ASSERT_TRUE(hint == -1 || dt.triangle_alive(hint))
+        << "stale locate hint after insert " << i;
+    // Exercise the hinted walk from an arbitrary far corner each round.
+    const int tid = dt.locate({0.5, 99.5});
+    EXPECT_TRUE(dt.triangle_alive(tid));
+    EXPECT_TRUE(dt.triangle_geometry(tid).contains({0.5, 99.5}, 1e-9));
+  }
+  // Removal frees the whole star; if the hint pointed into it, it must have
+  // been reset rather than left dangling at a soon-recycled slot.
+  for (int v = static_cast<int>(dt.vertex_count()) - 1; v >= 200; --v) {
+    dt.remove(v);
+    const int hint = dt.debug_locate_hint();
+    ASSERT_TRUE(hint == -1 || dt.triangle_alive(hint))
+        << "stale locate hint after removing vertex " << v;
+    const int tid = dt.locate({99.5, 0.5});
+    EXPECT_TRUE(dt.triangle_geometry(tid).contains({99.5, 0.5}, 1e-9));
+  }
+  EXPECT_TRUE(dt.validate_topology());
+}
+
+TEST(DelaunayStaleness, DuplicateHitReportsZChange) {
+  // Regression: a duplicate-tolerance hit used to return inserted=false with
+  // empty cavity lists even though it rewrote the vertex's z — δ-caching
+  // callers saw "nothing changed" while the surface moved over the star.
+  Delaunay dt(kRegion);
+  dt.insert({30.0, 40.0}, 1.0);
+  dt.insert({60.0, 70.0}, 2.0);
+
+  const InsertResult same = dt.insert({30.0, 40.0}, 1.0);
+  EXPECT_FALSE(same.inserted);
+  EXPECT_FALSE(same.z_changed) << "identical z must not report a change";
+  EXPECT_TRUE(same.star_triangles.empty());
+
+  const InsertResult hit = dt.insert({30.0, 40.0}, 9.0);
+  EXPECT_FALSE(hit.inserted);
+  EXPECT_TRUE(hit.z_changed);
+  EXPECT_EQ(hit.vertex, 4);
+  EXPECT_DOUBLE_EQ(dt.vertex(4).z, 9.0);
+  // The report must cover exactly the updated vertex's star.
+  ASSERT_FALSE(hit.star_triangles.empty());
+  EXPECT_EQ(hit.star_triangles, dt.vertex_star(4));
+  for (const int tid : hit.star_triangles) {
+    ASSERT_TRUE(dt.triangle_alive(tid));
+    const auto& t = dt.triangle(tid);
+    EXPECT_TRUE(t.v[0] == 4 || t.v[1] == 4 || t.v[2] == 4);
+  }
+}
+
+// --- Removal / relocation ---
+
+TEST(DelaunayRemove, CornerAndDeadIdsRejected) {
+  Delaunay dt(kRegion);
+  const int v = dt.insert({50.0, 50.0}, 1.0).vertex;
+  EXPECT_THROW(dt.remove(0), std::invalid_argument);
+  EXPECT_THROW(dt.remove(3), std::invalid_argument);
+  dt.remove(v);
+  EXPECT_FALSE(dt.vertex_alive(v));
+  EXPECT_THROW(dt.remove(v), std::invalid_argument);
+  EXPECT_THROW(dt.vertex_star(v), std::invalid_argument);
+}
+
+TEST(DelaunayRemove, InteriorRemovalRestoresInvariants) {
+  Delaunay dt(kRegion);
+  num::Rng rng(21);
+  for (int i = 0; i < 30; ++i) {
+    dt.insert({rng.uniform(1.0, 99.0), rng.uniform(1.0, 99.0)},
+              rng.uniform(-2.0, 2.0));
+  }
+  const std::size_t before = dt.triangle_count();
+  const RemoveResult r = dt.remove(10);
+  // Removed and created ids never overlap (alloc-before-free contract).
+  for (const int a : r.removed_triangles) {
+    EXPECT_FALSE(dt.triangle_alive(a));
+    for (const int b : r.created_triangles) EXPECT_NE(a, b);
+  }
+  // An interior star of m triangles re-triangulates into m - 2 ears.
+  EXPECT_EQ(r.created_triangles.size(), r.removed_triangles.size() - 2);
+  EXPECT_EQ(dt.triangle_count(), before - 2);
+  EXPECT_TRUE(dt.validate_topology());
+  EXPECT_TRUE(dt.is_delaunay());
+  EXPECT_NEAR(dt.total_area(), kRegion.area(), 1e-6);
+}
+
+TEST(DelaunayRemove, BorderVertexRemoval) {
+  Delaunay dt(kRegion);
+  dt.insert({50.0, 0.0}, 1.0);   // on the bottom border
+  dt.insert({30.0, 40.0}, 2.0);
+  dt.insert({70.0, 30.0}, 3.0);
+  const RemoveResult r = dt.remove(4);
+  EXPECT_FALSE(dt.vertex_alive(4));
+  EXPECT_FALSE(r.created_triangles.empty());
+  EXPECT_TRUE(dt.validate_topology());
+  EXPECT_TRUE(dt.is_delaunay());
+  EXPECT_NEAR(dt.total_area(), kRegion.area(), 1e-9);
+}
+
+TEST(DelaunayRemove, InsertRemoveChurnKeepsInvariants) {
+  // Interleave inserts and removals so triangle slots and the free list are
+  // churned; cocircular grid points keep the predicates honest.
+  Delaunay dt(kRegion);
+  num::Rng rng(31);
+  std::vector<int> alive_ids;
+  for (int round = 0; round < 200; ++round) {
+    if (!alive_ids.empty() && rng.uniform(0.0, 1.0) < 0.4) {
+      const std::size_t pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(alive_ids.size()) - 1));
+      dt.remove(alive_ids[pick]);
+      alive_ids.erase(alive_ids.begin() +
+                      static_cast<std::ptrdiff_t>(pick));
+    } else {
+      const bool grid = rng.uniform(0.0, 1.0) < 0.3;
+      const Vec2 p =
+          grid ? Vec2{rng.uniform_int(0, 10) * 10.0,
+                      rng.uniform_int(0, 10) * 10.0}
+               : Vec2{rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)};
+      const InsertResult ins = dt.insert(p, rng.uniform(-1.0, 1.0));
+      if (ins.inserted) alive_ids.push_back(ins.vertex);
+    }
+    ASSERT_TRUE(dt.validate_topology()) << "round " << round;
+    ASSERT_NEAR(dt.total_area(), kRegion.area(), 1e-6) << "round " << round;
+  }
+  EXPECT_TRUE(dt.is_delaunay());
+}
+
+TEST(DelaunayRemove, VertexStarMatchesBruteForce) {
+  Delaunay dt(kRegion);
+  num::Rng rng(41);
+  for (int i = 0; i < 40; ++i) {
+    dt.insert({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)}, 0.0);
+  }
+  for (int v = 0; v < static_cast<int>(dt.vertex_count()); ++v) {
+    std::vector<int> expect;
+    for (const int tid : dt.alive_triangles()) {
+      const auto& t = dt.triangle(tid);
+      if (t.v[0] == v || t.v[1] == v || t.v[2] == v) expect.push_back(tid);
+    }
+    std::vector<int> got = dt.vertex_star(v);
+    EXPECT_EQ(got.size(), expect.size()) << "vertex " << v;
+    std::sort(got.begin(), got.end());
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(got, expect) << "vertex " << v;
+  }
+}
+
+TEST(DelaunayMove, MoveRelocatesAndReportsCoverage) {
+  Delaunay dt(kRegion);
+  num::Rng rng(51);
+  for (int i = 0; i < 20; ++i) {
+    dt.insert({rng.uniform(1.0, 99.0), rng.uniform(1.0, 99.0)},
+              rng.uniform(-1.0, 1.0));
+  }
+  const MoveResult m = dt.move_vertex(7, {12.5, 87.5}, 3.25);
+  EXPECT_TRUE(m.inserted);
+  EXPECT_FALSE(dt.vertex_alive(7));
+  EXPECT_TRUE(dt.vertex_alive(m.vertex));
+  EXPECT_DOUBLE_EQ(dt.vertex(m.vertex).z, 3.25);
+  EXPECT_NEAR(dt.interpolate({12.5, 87.5}), 3.25, 1e-12);
+  for (const int tid : m.changed_triangles) {
+    EXPECT_TRUE(dt.triangle_alive(tid)) << "changed tri " << tid;
+  }
+  // The new vertex's whole star must be inside the change report.
+  std::vector<int> changed = m.changed_triangles;
+  std::sort(changed.begin(), changed.end());
+  for (const int tid : dt.vertex_star(m.vertex)) {
+    EXPECT_TRUE(std::binary_search(changed.begin(), changed.end(), tid));
+  }
+  EXPECT_TRUE(dt.validate_topology());
+  EXPECT_TRUE(dt.is_delaunay());
+  EXPECT_NEAR(dt.total_area(), kRegion.area(), 1e-6);
+}
+
+TEST(DelaunayMove, MoveOntoExistingVertexDegeneratesToZUpdate) {
+  Delaunay dt(kRegion);
+  const int a = dt.insert({25.0, 25.0}, 1.0).vertex;
+  const int b = dt.insert({75.0, 75.0}, 2.0).vertex;
+  const MoveResult m = dt.move_vertex(a, {75.0, 75.0}, 5.0);
+  EXPECT_FALSE(m.inserted);
+  EXPECT_TRUE(m.z_changed);
+  EXPECT_EQ(m.vertex, b);
+  EXPECT_FALSE(dt.vertex_alive(a));
+  EXPECT_DOUBLE_EQ(dt.vertex(b).z, 5.0);
+  EXPECT_FALSE(m.changed_triangles.empty());
+  EXPECT_TRUE(dt.validate_topology());
+}
 
 }  // namespace
 }  // namespace cps::geo
