@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/cma_sharding.hpp"
 #include "core/curvature.hpp"
 #include "core/reconstruction.hpp"
 #include "graph/geometric_graph.hpp"
@@ -45,6 +46,53 @@ CmaSimulation::CmaSimulation(const field::TimeVaryingField& environment,
   alive_.assign(positions_.size(), 1);
   alive_count_ = positions_.size();
   known_.resize(positions_.size());
+  prev_beacon_.resize(positions_.size());
+  beacon_cache_.resize(positions_.size());
+  if (config.sharding == ShardingMode::kTiles) {
+    const double ghost = config.ghost_width > 0.0
+                             ? config.ghost_width
+                             : std::max(config.rs, config.rc);
+    if (ghost < config.rc) {
+      throw std::invalid_argument(
+          "CmaSimulation: ghost_width below the communication radius");
+    }
+    const double side = config.tile_size > 0.0
+                            ? std::max(config.tile_size, ghost)
+                            : 2.0 * std::max(config.rs, config.rc);
+    shard_ = std::make_unique<ShardGrid>(region, side, ghost);
+  }
+}
+
+CmaSimulation::~CmaSimulation() = default;
+
+template <typename Body>
+void CmaSimulation::for_each_node(Body&& body, std::size_t grain) {
+  if (shard_) {
+    // One chunk per tile: the chunk layout depends only on the tiling,
+    // never the thread count, and every body is pure per-node — results
+    // are identical to the global map below.
+    par::parallel_for_chunks(
+        shard_->tile_count(),
+        [&](std::size_t t0, std::size_t t1) {
+          for (std::size_t t = t0; t < t1; ++t) {
+            for (const std::uint32_t id : shard_->owned(t)) {
+              body(static_cast<std::size_t>(id));
+            }
+          }
+        },
+        /*grain=*/1);
+  } else {
+    par::parallel_for(positions_.size(), body, grain);
+  }
+}
+
+void CmaSimulation::deliver_round() {
+  if (shard_) {
+    bus_.step_matched(
+        [this](net::NodeId from) { return shard_->receivers_of(from); });
+  } else {
+    bus_.step();
+  }
 }
 
 void CmaSimulation::set_fault_schedule(net::FaultSchedule schedule) {
@@ -67,6 +115,10 @@ void CmaSimulation::apply_faults(std::size_t slot) {
       bus_.set_alive(i, false);
       known_[i].clear();
       last_forces_[i] = ForceBreakdown{};
+      // A dead radio forgets its beacon history: the first beacon after
+      // a revival is always a full one.
+      prev_beacon_[i].valid = false;
+      beacon_cache_[i].clear();
       CPS_COUNT("core.cma.node_deaths", 1);
     } else {
       if (alive_[i]) continue;
@@ -76,6 +128,8 @@ void CmaSimulation::apply_faults(std::size_t slot) {
       // A revived node rejoins with blank protocol state; neighbours
       // relearn it (and it them) from the next beacon round.
       known_[i].clear();
+      prev_beacon_[i].valid = false;
+      beacon_cache_[i].clear();
       CPS_COUNT("core.cma.node_revivals", 1);
     }
   }
@@ -86,10 +140,14 @@ std::vector<std::vector<NeighborInfo>> CmaSimulation::refresh_neighbor_tables(
     std::size_t slot) {
   const std::size_t n = positions_.size();
   std::vector<std::vector<NeighborInfo>> tables(n);
-  for (std::size_t i = 0; i < n; ++i) {
+  // Delta-compression accounting (Message::delta) runs only while the
+  // registry is armed: it feeds counters, never the trajectory.
+  const bool account = obs::enabled();
+  const auto fold_node = [&](std::size_t i) {
     if (!alive_[i]) {
       known_[i].clear();
-      continue;
+      beacon_cache_[i].clear();
+      return;
     }
     // Age out entries first (an entry from slot s is valid through slot
     // s + ttl - 1), then fold in this slot's beacons.  With ttl == 1 the
@@ -102,8 +160,42 @@ std::vector<std::vector<NeighborInfo>> CmaSimulation::refresh_neighbor_tables(
           return slot - k.last_seen >= config_.neighbor_ttl;
         });
     net::count_drops(net::DropReason::kTtlExpired, aged_out);
+    auto& cache = beacon_cache_[i];
+    if (account && !cache.empty()) {
+      // Entries that long lost beacon continuity can never hit again
+      // (hits need the stamp of the sender's *previous* beacon slot).
+      std::erase_if(cache, [&](const auto& e) {
+        return e.second + 8 <= slot;
+      });
+    }
     for (const auto& delivery : bus_.inbox(i)) {
       if (delivery.message.kind != Message::Kind::kBeacon) continue;
+      if (account) {
+        CPS_COUNT("net.bus.beacon_rx", 1);
+        std::size_t* stamp = nullptr;
+        for (auto& e : cache) {
+          if (e.first == delivery.from) {
+            stamp = &e.second;
+            break;
+          }
+        }
+        // A hit means this receiver already holds the state the delta
+        // refers to: the payload entry was redundant.  Misses (first
+        // contact, or the prev beacon was lost here) still need the
+        // carried state — the repair path that keeps the scheme safe
+        // under loss and death.
+        if (delivery.message.delta && stamp != nullptr &&
+            *stamp == delivery.message.prev_slot) {
+          CPS_COUNT("net.bus.beacon_delta_hits", 1);
+        } else {
+          CPS_COUNT("net.bus.beacon_payload_entries", 1);
+        }
+        if (stamp != nullptr) {
+          *stamp = slot;
+        } else {
+          cache.emplace_back(delivery.from, slot);
+        }
+      }
       const NeighborInfo info{delivery.message.position,
                               delivery.message.gaussian_abs};
       bool found = false;
@@ -121,6 +213,11 @@ std::vector<std::vector<NeighborInfo>> CmaSimulation::refresh_neighbor_tables(
              static_cast<double>(table.size()));
     tables[i].reserve(table.size());
     for (const auto& k : table) tables[i].push_back(k.info);
+  };
+  if (shard_) {
+    for_each_node(fold_node, 1);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) fold_node(i);
   }
   return tables;
 }
@@ -139,6 +236,15 @@ void CmaSimulation::step() {
   // --- 0. Fault injection: this slot's scheduled deaths/revivals. ---
   apply_faults(steps_run_);
 
+  // Sharded: retile after the faults so ownership and the radio matching
+  // see this slot's liveness; nodes that crossed a tile edge last slot
+  // migrate here.  One matching serves both bus rounds — positions are
+  // frozen within the slot.
+  if (shard_) {
+    CPS_TIMER("core.cma.shard_prepare");
+    shard_->prepare(positions_, alive_, bus_.link());
+  }
+
   // --- 1. Sense(Rs): local curvature estimation (Table 2 lines 2-3). ---
   std::vector<double> gaussian_abs(n, 0.0);
   std::vector<double> mean_abs(n, 0.0);
@@ -148,8 +254,7 @@ void CmaSimulation::step() {
     // Each node's patch fit reads only the (const-thread-safe) field and
     // writes only its own slots, so Sense(Rs) is a parallel map.  A patch
     // fit is ~100 field samples plus a least-squares solve: grain 1.
-    par::parallel_for(
-        n,
+    for_each_node(
         [&](std::size_t i) {
           if (!alive_[i]) return;  // Dead sensors sense nothing.
           const SensingPatch patch(now, positions_[i], config_.rs,
@@ -194,9 +299,25 @@ void CmaSimulation::step() {
       beacon.kind = Message::Kind::kBeacon;
       beacon.position = positions_[i];
       beacon.gaussian_abs = gaussian_abs[i];
+      // Delta-compression flag: unchanged state since the previous
+      // beacon.  The state is still carried (accounting only, see
+      // Message::delta), so the scheme is mode- and loss-safe by
+      // construction; bitwise equality keeps the flag deterministic.
+      const BeaconEcho& prev = prev_beacon_[i];
+      beacon.delta = prev.valid && prev.position.x == positions_[i].x &&
+                     prev.position.y == positions_[i].y &&
+                     prev.gaussian_abs == gaussian_abs[i];
+      beacon.prev_slot = prev.slot;
+      if (beacon.delta) {
+        CPS_COUNT("net.bus.beacon_delta_sent", 1);
+      } else {
+        CPS_COUNT("net.bus.beacon_full_sent", 1);
+      }
+      prev_beacon_[i] =
+          BeaconEcho{positions_[i], gaussian_abs[i], steps_run_, true};
       bus_.broadcast(i, std::move(beacon));
     }
-    bus_.step();
+    deliver_round();
     tables = refresh_neighbor_tables(steps_run_);
   }
 
@@ -212,8 +333,7 @@ void CmaSimulation::step() {
     CPS_TIMER("core.cma.forces");
     // Pure per-node computation over this slot's frozen tables; writes
     // are per-index (last_forces_[i], destination[i]) — parallel map.
-    par::parallel_for(
-        n,
+    for_each_node(
         [&](std::size_t i) {
           if (!alive_[i]) return;  // Dead nodes plan no moves.
           const ForceBreakdown forces = compute_forces(
@@ -256,10 +376,11 @@ void CmaSimulation::step() {
       tell.destination = len <= told_step
                              ? destination[i]
                              : positions_[i] + leg * (told_step / len);
-      tell.table = tables[i];
+      tell.table =
+          std::make_shared<const std::vector<NeighborInfo>>(tables[i]);
       bus_.broadcast(i, std::move(tell));
     }
-    bus_.step();
+    deliver_round();
   }
 
   // The LCM variants (see LcmMode).  Strict mode trades speed for a
@@ -284,20 +405,48 @@ void CmaSimulation::step() {
   last_max_move_ = 0.0;
   {
     CPS_TIMER("core.cma.move");
-    for (std::size_t i = 0; i < n; ++i) {
-      if (!alive_[i]) continue;  // Carcasses stay where they fell.
+    // The per-node displacement is pure; the accumulators (max move, the
+    // distance sums) are order-sensitive floats, so the sharded schedule
+    // computes displacements tile-parallel and folds them serially in
+    // node-id order — the exact association of the loop below.
+    const auto resolve_next = [&](std::size_t i) {
       const geo::Vec2 leg = final_target[i] - positions_[i];
       const double len = leg.norm();
       geo::Vec2 next = len <= max_step
                            ? final_target[i]
                            : positions_[i] + leg * (max_step / len);
       clamp_to_region(next);
-      const double moved = geo::distance(positions_[i], next);
-      last_max_move_ = std::max(last_max_move_, moved);
-      distance_traveled_[i] += moved;
-      total_distance_ += moved;
-      positions_[i] = next;
-      bus_.set_position(i, positions_[i]);
+      return next;
+    };
+    if (shard_) {
+      std::vector<geo::Vec2> next(n);
+      std::vector<double> moved(n, 0.0);
+      for_each_node(
+          [&](std::size_t i) {
+            if (!alive_[i]) return;
+            next[i] = resolve_next(i);
+            moved[i] = geo::distance(positions_[i], next[i]);
+          },
+          /*grain=*/64);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!alive_[i]) continue;  // Carcasses stay where they fell.
+        last_max_move_ = std::max(last_max_move_, moved[i]);
+        distance_traveled_[i] += moved[i];
+        total_distance_ += moved[i];
+        positions_[i] = next[i];
+        bus_.set_position(i, positions_[i]);
+      }
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!alive_[i]) continue;  // Carcasses stay where they fell.
+        const geo::Vec2 next = resolve_next(i);
+        const double moved = geo::distance(positions_[i], next);
+        last_max_move_ = std::max(last_max_move_, moved);
+        distance_traveled_[i] += moved;
+        total_distance_ += moved;
+        positions_[i] = next;
+        bus_.set_position(i, positions_[i]);
+      }
     }
   }
 
@@ -325,6 +474,39 @@ void CmaSimulation::step() {
 }
 
 
+template <typename NodeTarget>
+void CmaSimulation::resolve_lcm_targets(NodeTarget&& node_target,
+                                        std::vector<geo::Vec2>& final_target) {
+  const std::size_t n = positions_.size();
+  if (!shard_) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (const auto target = node_target(i)) {
+        ++last_chases_;
+        final_target[i] = *target;
+      }
+    }
+    return;
+  }
+  // Tile-parallel: node_target is pure and final_target writes are
+  // per-index.  Chases are tallied per tile and folded in ascending tile
+  // order — an integer sum, so the count matches the serial loop exactly.
+  std::vector<std::size_t> chases(shard_->tile_count(), 0);
+  par::parallel_for_chunks(
+      shard_->tile_count(),
+      [&](std::size_t t0, std::size_t t1) {
+        for (std::size_t t = t0; t < t1; ++t) {
+          for (const std::uint32_t id : shard_->owned(t)) {
+            if (const auto target = node_target(id)) {
+              ++chases[t];
+              final_target[id] = *target;
+            }
+          }
+        }
+      },
+      /*grain=*/1);
+  for (const std::size_t c : chases) last_chases_ += c;
+}
+
 void CmaSimulation::apply_strict_lcm(
     const std::vector<std::vector<NeighborInfo>>& tables,
     const std::vector<geo::Vec2>& destination, double max_step,
@@ -339,15 +521,18 @@ void CmaSimulation::apply_strict_lcm(
   // across margin-safe bridges: a bridge-path link of length
   // <= Rc - 2 * max_step cannot break within the slot, so the tear leaves
   // the endpoints provably connected.
-  const std::size_t n = positions_.size();
   const double slack = std::min(std::max(max_step, 1e-6), 0.1 * config_.rc);
   const double safe = config_.rc - 2.0 * max_step;
   struct Anchor {
     geo::Vec2 midpoint;
     double radius;
   };
-  for (std::size_t i = 0; i < n; ++i) {
-    if (!alive_[i]) continue;
+  static const std::vector<NeighborInfo> kEmptyTable;
+  // Pure per-node resolution: the clamped override target, or nullopt
+  // when unconstrained.  Shared by the serial and tile-parallel
+  // schedules below.
+  const auto node_target = [&](std::size_t i) -> std::optional<geo::Vec2> {
+    if (!alive_[i]) return std::nullopt;
     std::vector<Anchor> anchors;
     for (const auto& delivery : bus_.inbox(i)) {
       const Message& tell = delivery.message;
@@ -357,6 +542,8 @@ void CmaSimulation::apply_strict_lcm(
       if (d > config_.rc) continue;
       bool bridged = false;
       if (safe > 0.0) {
+        const std::vector<NeighborInfo>& tell_table =
+            tell.table ? *tell.table : kEmptyTable;
         for (const auto& common : tables[i]) {
           // The partner itself cannot be its own bridge.
           if (geo::distance(common.position, partner) < 1e-9) continue;
@@ -365,7 +552,7 @@ void CmaSimulation::apply_strict_lcm(
             bridged = true;  // One-hop bridge with margin.
             break;
           }
-          for (const auto& far : tell.table) {
+          for (const auto& far : tell_table) {
             if (geo::distance(far.position, positions_[i]) < 1e-9) continue;
             if (geo::distance(far.position, partner) > safe) continue;
             if (geo::distance(far.position, common.position) <= safe) {
@@ -385,7 +572,7 @@ void CmaSimulation::apply_strict_lcm(
                                           0.5 * d - 0.3 * slack)});
       }
     }
-    if (anchors.empty()) continue;
+    if (anchors.empty()) return std::nullopt;
 
     geo::Vec2 target = destination[i];
     bool constrained = false;
@@ -411,12 +598,11 @@ void CmaSimulation::apply_strict_lcm(
         break;
       }
     }
-    if (constrained) {
-      ++last_chases_;
-      final_target[i] = target;
-      clamp_to_region(final_target[i]);
-    }
-  }
+    if (!constrained) return std::nullopt;
+    clamp_to_region(target);
+    return target;
+  };
+  resolve_lcm_targets(node_target, final_target);
 }
 
 void CmaSimulation::apply_paper_lcm(
@@ -426,9 +612,9 @@ void CmaSimulation::apply_paper_lcm(
   // reach neither nd2 directly nor some nj2 in N2, it abandons its own
   // plan and moves to hold d(ni, nd2) = Rc.  With several such movers it
   // chases the most endangered link.  Best effort by construction.
-  const std::size_t n = positions_.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    if (!alive_[i]) continue;
+  static const std::vector<NeighborInfo> kEmptyTable;
+  const auto node_target = [&](std::size_t i) -> std::optional<geo::Vec2> {
+    if (!alive_[i]) return std::nullopt;
     double worst = -1.0;
     geo::Vec2 worst_destination;
     for (const auto& delivery : bus_.inbox(i)) {
@@ -438,7 +624,7 @@ void CmaSimulation::apply_paper_lcm(
       const double after = geo::distance(positions_[i], tell.destination);
       if (after <= config_.rc) continue;  // Still reaches the mover.
       bool via_common = false;
-      for (const auto& common : tell.table) {
+      for (const auto& common : tell.table ? *tell.table : kEmptyTable) {
         if (geo::distance(positions_[i], common.position) <= config_.rc &&
             geo::distance(common.position, tell.destination) <= config_.rc) {
           via_common = true;
@@ -451,16 +637,16 @@ void CmaSimulation::apply_paper_lcm(
         worst_destination = tell.destination;
       }
     }
-    if (worst >= 0.0) {
-      ++last_chases_;
-      const geo::Vec2 away = positions_[i] - worst_destination;
-      final_target[i] =
-          worst_destination +
-          (away.norm() > 0.0 ? away.normalized() * config_.rc
-                             : geo::Vec2{config_.rc, 0.0});
-      clamp_to_region(final_target[i]);
-    }
-  }
+    if (worst < 0.0) return std::nullopt;
+    const geo::Vec2 away = positions_[i] - worst_destination;
+    geo::Vec2 target =
+        worst_destination + (away.norm() > 0.0
+                                 ? away.normalized() * config_.rc
+                                 : geo::Vec2{config_.rc, 0.0});
+    clamp_to_region(target);
+    return target;
+  };
+  resolve_lcm_targets(node_target, final_target);
 }
 
 void CmaSimulation::run(std::size_t n) {

@@ -40,6 +40,8 @@
 
 namespace cps::core {
 
+class ShardGrid;
+
 /// Connectivity-maintenance variants.
 enum class LcmMode {
   /// Provable per-slot invariant: bridgeless links are held by midpoint
@@ -55,6 +57,21 @@ enum class LcmMode {
   kPaper,
   /// No connectivity maintenance (upper-bound ablation).
   kOff,
+};
+
+/// How step() schedules the slot's work over the region.
+enum class ShardingMode {
+  /// The seed path, compiled in as the equivalence oracle (the
+  /// selection_engine / DeltaEngine precedent): global parallel maps per
+  /// phase, bus delivery via MessageBus::step().
+  kOff,
+  /// Spatial sharding (cma_sharding.hpp): tiles of side >= max(Rs, Rc)
+  /// own their nodes plus a ghost ring; each tile runs
+  /// sense/beacon-fold/force/LCM/move locally on the thread pool and the
+  /// bus delivers over the tiles' precomputed in-range matches
+  /// (step_matched).  Bit-identical to kOff — positions, inbox order,
+  /// drop taxonomy — at every thread count.
+  kTiles,
 };
 
 /// CMA parameters (defaults = the paper's simulation setting).
@@ -101,6 +118,14 @@ struct CmaConfig {
   /// after the TTL lapses: the graceful-degradation knob.  Must be >= 1.
   std::size_t neighbor_ttl = 1;
   std::uint64_t seed = 7;      ///< Radio-loss randomness only.
+  /// Slot scheduling strategy (see ShardingMode).  kTiles requires the
+  /// link radius to stay within the ghost-ring width.
+  ShardingMode sharding = ShardingMode::kOff;
+  /// Requested tile side, metres; <= 0 picks 2 * max(rs, rc).  Clamped up
+  /// to the ghost width (the 3x3 coverage requirement).
+  double tile_size = 0.0;
+  /// Ghost-ring width, metres; <= 0 picks max(rs, rc).  Must be >= rc.
+  double ghost_width = 0.0;
 };
 
 /// Slot-synchronous simulation of k mobile nodes running CMA.
@@ -113,6 +138,7 @@ class CmaSimulation {
   CmaSimulation(const field::TimeVaryingField& environment,
                 const num::Rect& region, std::vector<geo::Vec2> initial,
                 const CmaConfig& config, double start_time = 0.0);
+  ~CmaSimulation();  // Out of line: ShardGrid is incomplete here.
 
   /// Installs a mid-run fault schedule.  Event slots are simulation slots
   /// counted from the *next* step(): events for slot s are applied at the
@@ -235,6 +261,13 @@ class CmaSimulation {
     return bus_.total_broadcasts();
   }
 
+  /// True when the slot loop runs the tile-sharded schedule.
+  bool sharded() const noexcept { return shard_ != nullptr; }
+
+  /// The tile decomposition (null unless sharded) — read-only stats for
+  /// tests and benches (tile_count, last_migrations, ...).
+  const ShardGrid* shard() const noexcept { return shard_.get(); }
+
  private:
   /// Broadcast payload: a beacon in round one, a tell in round two.
   struct Message {
@@ -242,7 +275,18 @@ class CmaSimulation {
     geo::Vec2 position;        // Sender position (beacon) or same (tell).
     double gaussian_abs = 0.0;  // Beacon curvature.
     geo::Vec2 destination;     // Tell: planned destination.
-    std::vector<NeighborInfo> table;  // Tell: sender's neighbour table.
+    /// Tell: sender's neighbour table.  Shared immutable payload: one
+    /// copy per broadcast instead of one per delivery — the dominant
+    /// allocation churn of the bus at production degree.
+    std::shared_ptr<const std::vector<NeighborInfo>> table;
+    /// Beacon: (position, gaussian_abs) are unchanged since the sender's
+    /// previous beacon, sent in slot prev_slot.  Delta-compression
+    /// accounting only — the state is still carried, so trajectories are
+    /// unaffected; a receiver whose decompression cache holds the
+    /// prev_slot beacon would not have needed the payload entry (counted
+    /// as net.bus.beacon_delta_hits vs beacon_payload_entries).
+    bool delta = false;
+    std::size_t prev_slot = 0;
   };
 
   void clamp_to_region(geo::Vec2& p) const noexcept;
@@ -256,6 +300,14 @@ class CmaSimulation {
   /// Literal Fig. 4 chase rule (LcmMode::kPaper).
   void apply_paper_lcm(const std::vector<geo::Vec2>& destination,
                        std::vector<geo::Vec2>& final_target);
+
+  /// Applies a pure per-node LCM resolution (node_target(i) -> clamped
+  /// override target or nullopt) to final_target and counts the chases:
+  /// serially in id order when unsharded, tile-parallel with a
+  /// deterministic per-tile chase fold when sharded.
+  template <typename NodeTarget>
+  void resolve_lcm_targets(NodeTarget&& node_target,
+                           std::vector<geo::Vec2>& final_target);
 
   struct TimedSample {
     Sample sample;
@@ -278,6 +330,24 @@ class CmaSimulation {
   std::vector<std::vector<NeighborInfo>> refresh_neighbor_tables(
       std::size_t slot);
 
+  /// Delivers the queued bus round: step_matched over the tile matching
+  /// when sharded, plain step() otherwise.
+  void deliver_round();
+
+  /// Runs body(i) for every node: a global parallel map when unsharded,
+  /// a tile-parallel sweep over owned nodes when sharded.  Bodies must be
+  /// pure per-node (disjoint writes, atomic counters only).
+  template <typename Body>
+  void for_each_node(Body&& body, std::size_t grain);
+
+  /// Last beacon each node sent, for the delta-compression flag.
+  struct BeaconEcho {
+    geo::Vec2 position;
+    double gaussian_abs = 0.0;
+    std::size_t slot = 0;
+    bool valid = false;
+  };
+
   const field::TimeVaryingField* environment_;
   num::Rect region_;
   CmaConfig config_;
@@ -296,6 +366,14 @@ class CmaSimulation {
   std::size_t alive_count_ = 0;
   std::size_t deaths_applied_ = 0;
   std::vector<std::vector<KnownNeighbor>> known_;
+  /// Tile decomposition; non-null iff config.sharding == kTiles.
+  std::unique_ptr<ShardGrid> shard_;
+  std::vector<BeaconEcho> prev_beacon_;
+  /// Per-receiver link-layer decompression cache: (sender, slot its last
+  /// beacon arrived in).  Accounting only (see Message::delta); pruned of
+  /// stale entries as beacons fold in.
+  std::vector<std::vector<std::pair<net::NodeId, std::size_t>>>
+      beacon_cache_;
 };
 
 }  // namespace cps::core

@@ -19,6 +19,13 @@
 // keeping the RNG stream, and therefore every delivery outcome,
 // bit-identical to the full all-pairs probe.  test_perf_equivalence
 // pins the contract per model.
+//
+// The same contract is what lets MessageBus::step_matched commit a
+// pre-computed in-range pair list (core::ShardGrid's tile matching)
+// without re-probing geometry: since out-of-range probes never drew, a
+// commit that calls transmit() for exactly the in-range pairs — in the
+// same (sender ascending, receiver ascending) order — replays the
+// identical draw schedule and per-link state trajectory.
 #pragma once
 
 #include <cstdint>
@@ -112,6 +119,15 @@ class LinkModel {
   virtual bool transmit(NodeId from, NodeId to, geo::Vec2 from_pos,
                         geo::Vec2 to_pos) noexcept = 0;
 
+  /// True when transmit() is a pure function of the endpoint geometry:
+  /// it never consumes randomness and never mutates per-link state, and
+  /// in-range attempts always succeed.  A matched-delivery commit
+  /// (MessageBus::step_matched) may then deliver pre-verified in-range
+  /// pairs without calling transmit() at all — the draw schedule it
+  /// would have to preserve is empty.  Default false; only a model that
+  /// can prove the property (e.g. a disk link with zero loss) overrides.
+  virtual bool draw_free() const noexcept { return false; }
+
   /// Deep copy (fresh RNG/link state identical to the source's current
   /// state), for buses that are copied or re-armed.
   virtual std::unique_ptr<LinkModel> clone() const = 0;
@@ -131,6 +147,12 @@ class DiskLink final : public LinkModel {
   bool transmit(NodeId, NodeId, geo::Vec2 from_pos,
                 geo::Vec2 to_pos) noexcept override {
     return radio_.transmit(from_pos, to_pos);
+  }
+  // A lossless disk never draws (DiskRadio skips the Bernoulli sample at
+  // loss 0), so its draw schedule is empty and in-range attempts always
+  // succeed — exactly the draw_free() property.
+  bool draw_free() const noexcept override {
+    return radio_.loss_probability() == 0.0;
   }
   std::unique_ptr<LinkModel> clone() const override {
     return std::make_unique<DiskLink>(*this);

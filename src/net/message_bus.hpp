@@ -147,7 +147,7 @@ class MessageBus {
   /// contract) and candidates are re-sorted into ascending-id order
   /// before the transmit() draws.
   void step() {
-    for (auto& inbox : inboxes_) inbox.clear();
+    begin_slot();
     if (mode_ == DeliveryMode::kGrid) refresh_grid();
     // Per-reason drop accounting is arithmetic over per-message tallies,
     // never per-probe: the grid mode skips most dead/out-of-range
@@ -183,6 +183,74 @@ class MessageBus {
         for (NodeId to = 0; to < positions_.size(); ++to) {
           if (!alive_[to]) continue;
           probe(pending, to);
+        }
+      }
+      if (account) {
+        count_drops(DropReason::kDeadReceiver,
+                    static_cast<std::uint64_t>(node_count() - alive_now));
+        count_drops(DropReason::kLinkLossDraw, lost_);
+        count_drops(
+            DropReason::kOutOfRange,
+            static_cast<std::uint64_t>(alive_now - 1) - delivered_ - lost_);
+      }
+    }
+    outbox_.clear();
+  }
+
+  /// Matched delivery: the caller supplies, per living sender, the exact
+  /// set of living in-range receivers (ascending ids, self excluded) —
+  /// typically a tile decomposition's pair lists (core::ShardGrid).
+  ///
+  /// Equivalence contract with step(): `receivers_of(from)` must return
+  /// precisely the ids step() would have delivered-or-lost to, in the
+  /// same ascending order.  transmit() is then invoked for exactly the
+  /// in-range pairs in the same global (sender broadcast order, receiver
+  /// ascending) sequence as the kFull/kGrid probes; since out-of-range
+  /// probes never consumed randomness (no-draw contract), the RNG
+  /// stream, per-link state, inbox order, and the drop-reason taxonomy
+  /// are all bit-identical to step().  transmit_attempts counts only the
+  /// in-range probes — the matcher already rejected the rest
+  /// geometrically — so that cost counter (already delivery-mode
+  /// dependent under kGrid vs kFull) shrinks by the out-of-range
+  /// fraction.  When the link is draw_free(), transmit() is skipped
+  /// entirely: in-range pairs are pre-verified and the draw schedule
+  /// being replayed is empty.
+  template <typename ReceiversOf>
+  void step_matched(ReceiversOf&& receivers_of) {
+    begin_slot();
+    const bool account = obs::enabled();
+    const std::size_t alive_now = account ? alive_count() : 0;
+    const bool no_draws = link_->draw_free();
+    for (auto& pending : outbox_) {
+      if (!alive_[pending.from]) {
+        count_drops(DropReason::kDeadSender, 1);
+        continue;
+      }
+      delivered_ = 0;
+      lost_ = 0;
+      const auto& receivers = receivers_of(pending.from);
+      CPS_COUNT("net.bus.transmit_attempts",
+                static_cast<std::uint64_t>(receivers.size()));
+      if (no_draws) {
+        CPS_COUNT("net.bus.deliveries",
+                  static_cast<std::uint64_t>(receivers.size()));
+        delivered_ = receivers.size();
+        for (const NodeId to : receivers) {
+          inboxes_[to].push_back(Delivery<M>{pending.from, pending.message});
+        }
+      } else {
+        for (const NodeId to : receivers) {
+          if (link_->transmit(pending.from, to, pending.sent_from,
+                              positions_[to])) {
+            CPS_COUNT("net.bus.deliveries", 1);
+            ++delivered_;
+            inboxes_[to].push_back(Delivery<M>{pending.from, pending.message});
+          } else {
+            // Every matched receiver is in range by contract, so a failed
+            // transmit is a channel loss, never an out-of-range miss.
+            CPS_COUNT("net.bus.delivery_failures", 1);
+            ++lost_;
+          }
         }
       }
       if (account) {
@@ -236,6 +304,27 @@ class MessageBus {
     M message;
   };
 
+  /// Opens a delivery slot: clears every inbox and pre-reserves it to its
+  /// running high-water mark, so a receiver whose inbox storage was
+  /// released (e.g. cleared on death, or freshly constructed) regrows to
+  /// steady-state capacity in one allocation instead of a push_back
+  /// doubling cascade.  Records the previous slot's fullest inbox in the
+  /// net.bus.inbox_high_water histogram — the sizing signal the
+  /// reservation feeds on, and a cheap congestion telltale.
+  void begin_slot() {
+    std::size_t fullest = 0;
+    for (std::size_t i = 0; i < inboxes_.size(); ++i) {
+      const std::size_t sz = inboxes_[i].size();
+      fullest = std::max(fullest, sz);
+      inbox_hw_[i] = std::max(inbox_hw_[i], sz);
+      inboxes_[i].clear();
+      if (inboxes_[i].capacity() < inbox_hw_[i]) {
+        inboxes_[i].reserve(inbox_hw_[i]);
+      }
+    }
+    CPS_HIST("net.bus.inbox_high_water", fullest);
+  }
+
   /// One directed transmission attempt against the link model.
   void probe(const Pending& pending, NodeId to) {
     if (to == pending.from) return;
@@ -279,6 +368,10 @@ class MessageBus {
   std::uint64_t delivered_ = 0;
   std::uint64_t lost_ = 0;
   std::vector<std::vector<Delivery<M>>> inboxes_;
+  /// Per-receiver running high-water marks feeding begin_slot()'s
+  /// reservation.
+  std::vector<std::size_t> inbox_hw_ =
+      std::vector<std::size_t>(inboxes_.size(), 0);
   std::size_t total_broadcasts_ = 0;
   DeliveryMode mode_ = DeliveryMode::kGrid;
   // Lazily maintained living-receiver index (kGrid only).  Mutable:

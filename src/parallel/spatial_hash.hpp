@@ -149,6 +149,33 @@ class SpatialHash {
     return cells;
   }
 
+  /// Like collect_candidates, but skips whole cells whose closed rectangle
+  /// lies strictly outside the disk (p, radius) — typically the corner
+  /// cells of the 3x3 neighbourhood, ~15% of candidates at uniform
+  /// density.  Still a superset of the points within `radius`: callers
+  /// apply the exact distance test.  Returns the number of cells whose
+  /// members were appended.
+  std::size_t collect_candidates_pruned(
+      geo::Vec2 p, double radius, std::vector<std::uint32_t>& out) const {
+    if (ids_.empty()) return 0;
+    const std::size_t c0 = col_of(p.x - radius);
+    const std::size_t c1 = col_of(p.x + radius);
+    const std::size_t r0 = row_of(p.y - radius);
+    const std::size_t r1 = row_of(p.y + radius);
+    const double r_sq = radius * radius;
+    std::size_t cells = 0;
+    for (std::size_t row = r0; row <= r1; ++row) {
+      for (std::size_t col = c0; col <= c1; ++col) {
+        const std::size_t c = cell_index(col, row);
+        if (cell_distance_sq(p, c) > r_sq) continue;
+        ++cells;
+        const auto members = cell_members(c);
+        out.insert(out.end(), members.begin(), members.end());
+      }
+    }
+    return cells;
+  }
+
  private:
   std::size_t grid_extent(double span) const noexcept {
     const double cells = std::floor(span / cell_) + 1.0;
