@@ -19,6 +19,13 @@
 //     point-location engines (per-point remembering walk vs triangle
 //     raster spans), and a fig10-style sweep of several deployments
 //     against one frame with the reference-lattice cache on,
+//   * a planner-service job mix — the same deterministic Score / Plan /
+//     WhatIf jobs submitted to a PlannerService at pool sizes 1 and 4 AND
+//     run as a serial loop of direct calls (fresh full re-sweep per
+//     what-if) — bit-identical deltas and deployments required, with
+//     throughput (jobs/s), per-job latency percentiles, a paired-ratio
+//     `speedup_vs_serial`, and a `service_degraded` hard gate (< 1.0
+//     fails --check),
 // and emits BENCH_perf.json with wall times AND the algorithmic counters
 // (transmit attempts per slot, candidates scanned per iteration, MST
 // recomputes, heap pushes / stale pops, grid cells probed, point-location
@@ -37,12 +44,14 @@
 // to absorb runner noise — the latency gate catches order-of-magnitude
 // blowups, not percent-level drift.  --check additionally enforces
 // absolute gates independent of the baseline's numbers: any record
-// flagged `heap_degraded`, `delta_degraded`, or `shard_degraded` fails,
-// and fra.k100's `win_margin_vs_scan` must stay >= 1.0 — the heap engine
-// earns its default by never losing to the scan it replaced, and the
-// sharded CMA schedule likewise must never lose to the unsharded path.  The margin is the median of per-repeat
-// paired ratios (scan_i / heap_i) over interleaved samples, so machine
-// drift cancels pairwise instead of biasing the engine measured first.
+// flagged `heap_degraded`, `delta_degraded`, `shard_degraded`, or
+// `service_degraded` fails, and fra.k100's `win_margin_vs_scan` must
+// stay >= 1.0 — the heap engine earns its default by never losing to the
+// scan it replaced, and the sharded CMA schedule and the planner service
+// likewise must never lose to the seed paths they replaced.  Each margin
+// is the median of per-repeat paired ratios (e.g. scan_i / heap_i) over
+// interleaved samples, so machine drift cancels pairwise instead of
+// biasing the engine measured first.
 //
 // Every paired sweep doubles as an equivalence oracle: heap-vs-scan must
 // select bit-identical deployments and grid-vs-full must produce
@@ -55,14 +64,17 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <future>
 #include <map>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -72,8 +84,11 @@
 #include "core/delta.hpp"
 #include "core/fra.hpp"
 #include "core/planner.hpp"
+#include "core/planner_service.hpp"
+#include "core/reconstruction.hpp"
 #include "field/analytic_fields.hpp"
 #include "field/time_varying.hpp"
+#include "geometry/delaunay.hpp"
 #include "json_mini.hpp"
 #include "net/link_model.hpp"
 
@@ -536,6 +551,318 @@ Record run_delta_refcache_sweep(
   return rec;
 }
 
+// --- Service mix ---------------------------------------------------------
+
+// One deterministic job mix, submitted twice per thread count: through the
+// PlannerService (run_service_mix) and as a serial loop of the equivalent
+// direct calls (run_serial_mix).  The serial loop is both the throughput
+// baseline and the bit-identity oracle: Score jobs against
+// DeltaMetric::delta_of_deployment, Plan jobs against Planner::plan, and
+// WhatIf jobs against a fresh DeltaMetric::delta of the identically
+// mutated base triangulation — the full re-sweep the service's
+// cavity-local IncrementalDelta path must match bit-for-bit and beat
+// structurally (O(changed area) vs O(lattice) per query), which is why
+// the speedup gate holds even on a single-core runner.
+struct ServiceMix {
+  std::shared_ptr<const field::Field> field;
+  std::shared_ptr<const core::Deployment> base;  ///< what-if base.
+  std::vector<core::Deployment> scores;
+  std::vector<std::pair<core::PlannerKind, core::PlanRequest>> plans;
+  struct WhatIf {
+    core::WhatIfJob::Op op;
+    std::size_t node;
+    geo::Vec2 to;
+  };
+  std::vector<WhatIf> whatifs;
+
+  std::size_t total() const {
+    return scores.size() + plans.size() + whatifs.size();
+  }
+};
+
+ServiceMix make_service_mix(bool quick,
+                            std::shared_ptr<const field::Field> field) {
+  ServiceMix mix;
+  mix.field = std::move(field);
+  // Interior base positions: none coincides with a region corner, so
+  // base node i maps to vertex kCorners + i in the reconstruction (the
+  // same invariant tests/test_service.cpp leans on).
+  constexpr std::size_t kBaseK = 40;
+  mix.base = std::make_shared<core::Deployment>(core::RandomPlanner(3).plan(
+      *mix.field, core::PlanRequest{bench::kRegion, kBaseK, bench::kRc}));
+
+  const std::size_t n_scores = quick ? 6 : 10;
+  for (std::size_t i = 0; i < n_scores; ++i) {
+    mix.scores.push_back(core::RandomPlanner(200 + i).plan(
+        *mix.field, core::PlanRequest{bench::kRegion, 40, bench::kRc}));
+  }
+
+  // One plan per engine, exercising the unified PlanRequest overrides
+  // (per-request seed for Random, per-request lattice for FarthestPoint).
+  mix.plans.emplace_back(core::PlannerKind::kFra,
+                         core::PlanRequest{bench::kRegion, 12, bench::kRc});
+  mix.plans.emplace_back(
+      core::PlannerKind::kRandom,
+      core::PlanRequest{bench::kRegion, 40, bench::kRc, 0, /*seed=*/11});
+  mix.plans.emplace_back(core::PlannerKind::kGrid,
+                         core::PlanRequest{bench::kRegion, 36, bench::kRc});
+  mix.plans.emplace_back(
+      core::PlannerKind::kFarthestPoint,
+      core::PlanRequest{bench::kRegion, 20, bench::kRc, /*lattice=*/30});
+  if (!quick) {
+    mix.plans.emplace_back(
+        core::PlannerKind::kRandom,
+        core::PlanRequest{bench::kRegion, 40, bench::kRc, 0, /*seed=*/12});
+    mix.plans.emplace_back(
+        core::PlannerKind::kFarthestPoint,
+        core::PlanRequest{bench::kRegion, 24, bench::kRc, /*lattice=*/40});
+  }
+
+  // What-if traffic dominates the mix, as it would in production: many
+  // cheap probes against one shared base.  Destinations are interior and
+  // distinct from every base position, cycling move / insert / remove.
+  const std::size_t n_whatifs = quick ? 24 : 64;
+  for (std::size_t i = 0; i < n_whatifs; ++i) {
+    ServiceMix::WhatIf w;
+    w.to = {8.0 + static_cast<double>((i * 37) % 83) + 0.375,
+            6.0 + static_cast<double>((i * 53) % 89) + 0.625};
+    switch (i % 3) {
+      case 0:
+        w.op = core::WhatIfJob::Op::kMove;
+        w.node = (i * 5) % kBaseK;
+        break;
+      case 1:
+        w.op = core::WhatIfJob::Op::kInsert;
+        w.node = 0;
+        break;
+      default:
+        w.op = core::WhatIfJob::Op::kRemove;
+        w.node = (i * 7 + 3) % kBaseK;
+        break;
+    }
+    mix.whatifs.push_back(w);
+  }
+  return mix;
+}
+
+/// Per-job-type duration histogram summary captured from the obs registry
+/// at the end of a service run (the serial half of the pair resets the
+/// registry, so this must be read inside run_service_mix).
+struct ServiceObs {
+  struct HistSummary {
+    std::uint64_t count = 0;
+    double p50_us = 0.0, p90_us = 0.0, p99_us = 0.0, mean_us = 0.0;
+  };
+  HistSummary hists[3];  // score, plan, whatif — kServiceHistNames order.
+};
+
+constexpr const char* kServiceHistNames[3] = {
+    "service.job.score_us", "service.job.plan_us", "service.job.whatif_us"};
+
+Record run_service_mix(const ServiceMix& mix, std::size_t threads,
+                       std::vector<double>& deltas_out,
+                       std::vector<std::vector<geo::Vec2>>& plans_out,
+                       bool& all_ok, ServiceObs& sobs) {
+  Record rec;
+  rec.id = "service.mix.t" + std::to_string(threads);
+
+  obs::registry().reset();
+  core::PlannerService service;
+  const auto snapshot = service.intern(mix.field);
+  // Prewarm the shared reference lattice: the one cache miss lands here,
+  // deterministically, instead of racing inside the first batch.
+  service.prewarm(snapshot, bench::kRegion, bench::kDeltaResolution);
+
+  const double t0 = now_ms();
+  std::vector<std::future<core::JobResult>> futures;
+  futures.reserve(mix.total());
+  for (const auto& d : mix.scores) {
+    futures.push_back(service.submit(core::ScoreJob{
+        snapshot, d, bench::kRegion, bench::kDeltaResolution}));
+  }
+  for (const auto& [kind, request] : mix.plans) {
+    futures.push_back(service.submit(core::PlanJob{
+        snapshot, kind, request,
+        /*score_resolution=*/bench::kDeltaResolution}));
+  }
+  for (const auto& w : mix.whatifs) {
+    futures.push_back(service.submit(
+        core::WhatIfJob{snapshot, mix.base, w.op, w.node, w.to,
+                        bench::kRegion, bench::kDeltaResolution}));
+  }
+
+  deltas_out.clear();
+  plans_out.clear();
+  all_ok = true;
+  std::vector<double> job_latencies;
+  job_latencies.reserve(futures.size());
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const core::JobResult r = futures[i].get();
+    if (!r.ok) {
+      std::fprintf(stderr, "%s: job %zu failed: %s\n", rec.id.c_str(), i,
+                   r.error.c_str());
+      all_ok = false;
+    }
+    deltas_out.push_back(r.delta);
+    if (i >= mix.scores.size() &&
+        i < mix.scores.size() + mix.plans.size()) {
+      plans_out.push_back(r.deployment.positions);
+    }
+    job_latencies.push_back(r.latency_ms);
+  }
+  rec.wall_ms = now_ms() - t0;
+
+  for (const char* name :
+       {"service.jobs.submitted", "service.jobs.completed",
+        "service.jobs.score", "service.jobs.plan", "service.jobs.whatif",
+        "service.snapshot.hits", "service.snapshot.misses",
+        "service.base_state.hits", "service.base_state.misses",
+        "core.delta.ref_cache_hits", "core.delta.ref_cache_misses",
+        "core.delta.inc_events", "core.delta.inc_points"}) {
+    rec.counters.emplace_back(name, cval(name));
+  }
+  rec.derived.emplace_back(
+      "throughput_jps",
+      ratio(static_cast<double>(mix.total()), rec.wall_ms / 1000.0));
+  std::sort(job_latencies.begin(), job_latencies.end());
+  rec.derived.emplace_back("job_latency_p50_ms",
+                           exact_quantile(job_latencies, 0.5));
+  rec.derived.emplace_back("job_latency_p99_ms",
+                           exact_quantile(job_latencies, 0.99));
+
+  for (std::size_t h = 0; h < 3; ++h) {
+    const obs::Histogram& hist =
+        obs::registry().duration_histogram(kServiceHistNames[h]);
+    sobs.hists[h].count = hist.count();
+    sobs.hists[h].p50_us = hist.quantile(0.5);
+    sobs.hists[h].p90_us = hist.quantile(0.9);
+    sobs.hists[h].p99_us = hist.quantile(0.99);
+    sobs.hists[h].mean_us = hist.mean();
+  }
+  return rec;
+}
+
+Record run_serial_mix(const ServiceMix& mix, std::size_t threads,
+                      std::vector<double>& deltas_out,
+                      std::vector<std::vector<geo::Vec2>>& plans_out) {
+  Record rec;
+  rec.id = "service.mix.t" + std::to_string(threads) + ".serial";
+
+  obs::registry().reset();
+  core::DeltaMetric metric(bench::kRegion, bench::kDeltaResolution);
+  metric.reference_lattice(*mix.field);  // Same prewarm as the service.
+
+  const double t0 = now_ms();
+  deltas_out.clear();
+  plans_out.clear();
+  for (const auto& d : mix.scores) {
+    deltas_out.push_back(metric.delta_of_deployment(
+        *mix.field, d.positions, core::CornerPolicy::kFieldValue));
+  }
+  for (const auto& [kind, request] : mix.plans) {
+    core::Deployment d;
+    switch (kind) {
+      case core::PlannerKind::kFra:
+        d = core::FraPlanner().plan(*mix.field, request);
+        break;
+      case core::PlannerKind::kRandom:
+        d = core::RandomPlanner().plan(*mix.field, request);
+        break;
+      case core::PlannerKind::kGrid:
+        d = core::GridPlanner().plan(*mix.field, request);
+        break;
+      case core::PlannerKind::kFarthestPoint:
+        d = core::FarthestPointPlanner().plan(*mix.field, request);
+        break;
+    }
+    deltas_out.push_back(metric.delta_of_deployment(
+        *mix.field, d.positions, core::CornerPolicy::kFieldValue));
+    plans_out.push_back(std::move(d.positions));
+  }
+  // What-ifs the pre-service way: copy the base triangulation, mutate,
+  // full re-sweep.  This is the oracle protocol (DESIGN.md §13/§15) and
+  // the cost model the service's incremental path is gated against.
+  const auto samples = core::take_samples(*mix.field, mix.base->positions);
+  const geo::Delaunay dt_base = core::reconstruct_surface(
+      samples, bench::kRegion, core::CornerPolicy::kFieldValue,
+      mix.field.get());
+  for (const auto& w : mix.whatifs) {
+    geo::Delaunay dt = dt_base;
+    switch (w.op) {
+      case core::WhatIfJob::Op::kMove:
+        dt.move_vertex(geo::Delaunay::kCorners + w.node, w.to,
+                       mix.field->value(w.to));
+        break;
+      case core::WhatIfJob::Op::kInsert:
+        dt.insert(w.to, mix.field->value(w.to));
+        break;
+      case core::WhatIfJob::Op::kRemove:
+        dt.remove(geo::Delaunay::kCorners + w.node);
+        break;
+    }
+    deltas_out.push_back(metric.delta(*mix.field, dt));
+  }
+  rec.wall_ms = now_ms() - t0;
+
+  for (const char* name :
+       {"core.delta.ref_cache_hits", "core.delta.ref_cache_misses",
+        "geometry.delaunay.locates"}) {
+    rec.counters.emplace_back(name, cval(name));
+  }
+  rec.derived.emplace_back(
+      "throughput_jps",
+      ratio(static_cast<double>(mix.total()), rec.wall_ms / 1000.0));
+  return rec;
+}
+
+/// The service.* sidecar CI uploads next to BENCH_perf.json: per thread
+/// count, the service record's counters/derived plus the per-job-type
+/// duration histogram summaries (which the main JSON does not carry).
+void write_service_sidecar(
+    const std::string& path, const std::string& mode,
+    const std::vector<std::tuple<std::size_t, Record, ServiceObs>>& runs) {
+  std::ofstream out(path);
+  if (!out) {
+    std::printf("note: cannot write %s\n", path.c_str());
+    return;
+  }
+  out.precision(17);
+  out << "{\n";
+  out << "  \"schema\": \"cps.bench_perf.service.v1\",\n";
+  out << "  \"mode\": \"" << mode << "\",\n";
+  out << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto& [threads, rec, sobs] = runs[i];
+    out << "    {\n";
+    out << "      \"threads\": " << threads << ",\n";
+    out << "      \"wall_ms\": " << rec.wall_ms << ",\n";
+    out << "      \"counters\": {";
+    for (std::size_t j = 0; j < rec.counters.size(); ++j) {
+      out << (j == 0 ? "\n" : ",\n") << "        \""
+          << rec.counters[j].first << "\": " << rec.counters[j].second;
+    }
+    out << "\n      },\n";
+    out << "      \"derived\": {";
+    for (std::size_t j = 0; j < rec.derived.size(); ++j) {
+      out << (j == 0 ? "\n" : ",\n") << "        \""
+          << rec.derived[j].first << "\": " << rec.derived[j].second;
+    }
+    out << "\n      },\n";
+    out << "      \"job_histograms\": {";
+    for (std::size_t h = 0; h < 3; ++h) {
+      const auto& s = sobs.hists[h];
+      out << (h == 0 ? "\n" : ",\n") << "        \"" << kServiceHistNames[h]
+          << "\": {\"count\": " << s.count << ", \"p50_us\": " << s.p50_us
+          << ", \"p90_us\": " << s.p90_us << ", \"p99_us\": " << s.p99_us
+          << ", \"mean_us\": " << s.mean_us << "}";
+    }
+    out << "\n      }\n";
+    out << "    }" << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+}
+
 // --- Equivalence oracles -------------------------------------------------
 
 bool same_positions(const std::vector<geo::Vec2>& a,
@@ -564,6 +891,24 @@ void write_json(std::ostream& out, const std::string& mode,
   out << "    \"cps_threads_env\": \""
       << (threads_env != nullptr ? threads_env : "") << "\",\n";
   out << "    \"pool_threads\": " << par::thread_count() << ",\n";
+  // Build-configuration stamps: records from a Debug, simd-off, or
+  // cold-cache build are not comparable to Release numbers, so say which
+  // one produced this file.
+#if defined(CPS_SIMD_ENABLED)
+  out << "    \"simd\": true,\n";
+#else
+  out << "    \"simd\": false,\n";
+#endif
+#if defined(CPS_BENCH_BUILD_TYPE)
+  out << "    \"build_type\": \"" << CPS_BENCH_BUILD_TYPE << "\",\n";
+#else
+  out << "    \"build_type\": \"\",\n";
+#endif
+#if defined(CPS_BENCH_CCACHE)
+  out << "    \"ccache\": \"" << CPS_BENCH_CCACHE << "\",\n";
+#else
+  out << "    \"ccache\": \"unknown\",\n";
+#endif
   out << "    \"engines\": {\n";
   out << "      \"fra_selection\": \"heap\",\n";
   out << "      \"bus_delivery\": \"grid\",\n";
@@ -730,6 +1075,18 @@ int check_against_baseline(const std::string& path,
       std::fprintf(stderr,
                    "REGRESSION %s: shard_degraded is set — the tile-sharded "
                    "schedule lost to the unsharded seed path\n",
+                   r.id.c_str());
+      ++regressions;
+    }
+    // And for the planner service: its what-if path is cavity-local by
+    // construction, so losing to a serial loop of full re-sweeps means
+    // the service layer itself (batching, snapshot sharing, base-state
+    // cache) regressed, regardless of the runner's core count.
+    if (const double* flag = r.derived_value("service_degraded");
+        flag != nullptr && *flag != 0.0) {
+      std::fprintf(stderr,
+                   "REGRESSION %s: service_degraded is set — the planner "
+                   "service lost to the serial direct-call loop\n",
                    r.id.c_str());
       ++regressions;
     }
@@ -1096,6 +1453,114 @@ int main(int argc, char** argv) {
             sweep.counter("core.delta.ref_cache_misses")),
         static_cast<unsigned long long>(
             sweep.counter("core.delta.batch_rows")));
+  }
+
+  // Planner service: the same deterministic job mix through the service
+  // (batched on the pool) and as a serial loop of direct calls, at pool
+  // sizes 1 and 4.  The serial half doubles as the bit-identity oracle.
+  // The timeline stays disarmed across the whole section: concurrent jobs
+  // would interleave counter deltas across intervals meaninglessly, and
+  // the service's determinism contract (DESIGN.md §15) excludes armed
+  // concurrent batches.
+  {
+#if defined(CPS_OBS_ENABLED)
+    obs::timeline().set_armed(false);
+#endif
+    const std::size_t prev_threads = par::thread_count();
+    const ServiceMix mix = make_service_mix(
+        quick,
+        std::make_shared<field::FieldSlice>(env, bench::reference_time()));
+    std::vector<std::tuple<std::size_t, Record, ServiceObs>> service_runs;
+    for (const std::size_t t : {std::size_t{1}, std::size_t{4}}) {
+      par::set_thread_count(t);
+      std::vector<double> service_deltas, serial_deltas;
+      std::vector<std::vector<geo::Vec2>> service_plans, serial_plans;
+      bool service_ok = true;
+      ServiceObs sobs;
+      std::vector<double> pair_ratios;
+      auto [service, serial] = timed_repeat_pair(
+          repeats,
+          [&] {
+            return run_service_mix(mix, t, service_deltas, service_plans,
+                                   service_ok, sobs);
+          },
+          [&] {
+            return run_serial_mix(mix, t, serial_deltas, serial_plans);
+          },
+          &pair_ratios);
+      std::sort(pair_ratios.begin(), pair_ratios.end());
+      const double speedup = exact_quantile(pair_ratios, 0.5);
+      service.derived.emplace_back("speedup_vs_serial", speedup);
+      if (speedup < 1.0) {
+        service.derived.emplace_back("service_degraded", 1.0);
+        std::fprintf(stderr,
+                     "warning: %s service degraded — speedup_vs_serial "
+                     "%.3f < 1.0\n",
+                     service.id.c_str(), speedup);
+      }
+      if (!service_ok) {
+        std::fprintf(stderr,
+                     "EQUIVALENCE FAILURE %s: one or more jobs reported "
+                     "errors\n",
+                     service.id.c_str());
+        ++failures;
+      }
+      if (service_deltas.size() != serial_deltas.size()) {
+        std::fprintf(stderr,
+                     "EQUIVALENCE FAILURE %s: %zu results vs %zu direct\n",
+                     service.id.c_str(), service_deltas.size(),
+                     serial_deltas.size());
+        ++failures;
+      } else {
+        for (std::size_t i = 0; i < service_deltas.size(); ++i) {
+          if (service_deltas[i] != serial_deltas[i]) {
+            std::fprintf(stderr,
+                         "EQUIVALENCE FAILURE %s: job %zu delta %.17g vs "
+                         "direct %.17g\n",
+                         service.id.c_str(), i, service_deltas[i],
+                         serial_deltas[i]);
+            ++failures;
+          }
+        }
+      }
+      if (service_plans.size() != serial_plans.size()) {
+        std::fprintf(stderr,
+                     "EQUIVALENCE FAILURE %s: %zu plans vs %zu direct\n",
+                     service.id.c_str(), service_plans.size(),
+                     serial_plans.size());
+        ++failures;
+      } else {
+        for (std::size_t i = 0; i < service_plans.size(); ++i) {
+          if (!same_positions(service_plans[i], serial_plans[i])) {
+            std::fprintf(stderr,
+                         "EQUIVALENCE FAILURE %s: plan %zu selected a "
+                         "different deployment than the direct planner\n",
+                         service.id.c_str(), i);
+            ++failures;
+          }
+        }
+      }
+      const double* p50 = service.derived_value("job_latency_p50_ms");
+      const double* p99 = service.derived_value("job_latency_p99_ms");
+      std::printf(
+          "service t=%zu %zu jobs: %.0f jobs/s (x%.2f vs serial), "
+          "job p50 %.2f ms p99 %.2f ms, wall %.0f ms -> %.0f ms\n",
+          t, mix.total(),
+          service.derived_value("throughput_jps") != nullptr
+              ? *service.derived_value("throughput_jps")
+              : 0.0,
+          speedup, p50 != nullptr ? *p50 : 0.0, p99 != nullptr ? *p99 : 0.0,
+          serial.wall_ms, service.wall_ms);
+      records.push_back(service);
+      records.push_back(serial);
+      service_runs.emplace_back(t, std::move(service), sobs);
+    }
+    par::set_thread_count(prev_threads);
+#if defined(CPS_OBS_ENABLED)
+    obs::timeline().set_armed(true);
+#endif
+    write_service_sidecar(bench::output_dir() + "/perf_service_metrics.json",
+                          quick ? "quick" : "full", service_runs);
   }
 
   std::ofstream out(out_path);

@@ -62,6 +62,15 @@ struct DeltaMetric::RefCache {
     std::shared_ptr<const std::vector<double>> rows;
   };
 
+  /// One independently locked LRU list.  With a single shard (the
+  /// default) this is exactly the original PR 7 cache; the service's
+  /// shared mode splits the key space over several shards so concurrent
+  /// queries on different fields do not serialise on one mutex.
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> entries;  // Front = most recently used.
+  };
+
   /// The field's content key IS the cache key: parameter hashes for the
   /// analytic zoo (equal-parameter fields share entries), never-reused
   /// instance ids elsewhere, and FieldSlice folds its slice time in.
@@ -71,9 +80,23 @@ struct DeltaMetric::RefCache {
     return reference.content_key();
   }
 
-  mutable std::mutex mutex;
-  std::size_t capacity = kDefaultReferenceCacheCapacity;
-  std::list<Entry> entries;  // Front = most recently used.
+  explicit RefCache(std::size_t shard_count = 1) {
+    shards.reserve(shard_count > 0 ? shard_count : 1);
+    for (std::size_t s = 0; s < (shard_count > 0 ? shard_count : 1); ++s) {
+      shards.push_back(std::make_unique<Shard>());
+    }
+  }
+
+  /// Deterministic key -> shard map (Fibonacci multiplicative mix: the
+  /// content key's low bits can be structured, e.g. sequential instance
+  /// ids).
+  Shard& shard_for(Key key) const {
+    const std::uint64_t mixed = key * 0x9E3779B97F4A7C15ull;
+    return *shards[static_cast<std::size_t>(mixed >> 32) % shards.size()];
+  }
+
+  std::size_t capacity = kDefaultReferenceCacheCapacity;  // Per shard.
+  std::vector<std::unique_ptr<Shard>> shards;
 };
 
 DeltaMetric::DeltaMetric(const num::Rect& region, std::size_t resolution)
@@ -94,7 +117,7 @@ DeltaMetric::DeltaMetric(const DeltaMetric& other)
     : region_(other.region_),
       resolution_(other.resolution_),
       engine_(other.engine_),
-      cache_(std::make_unique<RefCache>()) {
+      cache_(std::make_unique<RefCache>(other.cache_->shards.size())) {
   cache_->capacity = other.cache_->capacity;
 }
 
@@ -103,16 +126,16 @@ DeltaMetric& DeltaMetric::operator=(const DeltaMetric& other) {
   region_ = other.region_;
   resolution_ = other.resolution_;
   engine_ = other.engine_;
-  cache_ = std::make_unique<RefCache>();
+  cache_ = std::make_unique<RefCache>(other.cache_->shards.size());
   cache_->capacity = other.cache_->capacity;
   return *this;
 }
 
 void DeltaMetric::set_reference_cache_capacity(std::size_t max_entries) {
-  const std::lock_guard<std::mutex> lock(cache_->mutex);
   cache_->capacity = max_entries;
-  while (cache_->entries.size() > cache_->capacity) {
-    cache_->entries.pop_back();
+  for (auto& shard : cache_->shards) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    while (shard->entries.size() > max_entries) shard->entries.pop_back();
   }
 }
 
@@ -120,14 +143,33 @@ std::size_t DeltaMetric::reference_cache_capacity() const noexcept {
   return cache_->capacity;
 }
 
+void DeltaMetric::set_reference_cache_shards(std::size_t shards) {
+  if (shards == 0) {
+    throw std::invalid_argument("DeltaMetric: reference cache shards == 0");
+  }
+  const std::size_t capacity = cache_->capacity;
+  cache_ = std::make_unique<RefCache>(shards);
+  cache_->capacity = capacity;
+}
+
+std::size_t DeltaMetric::reference_cache_shards() const noexcept {
+  return cache_->shards.size();
+}
+
 std::size_t DeltaMetric::reference_cache_size() const {
-  const std::lock_guard<std::mutex> lock(cache_->mutex);
-  return cache_->entries.size();
+  std::size_t total = 0;
+  for (const auto& shard : cache_->shards) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->entries.size();
+  }
+  return total;
 }
 
 void DeltaMetric::clear_reference_cache() {
-  const std::lock_guard<std::mutex> lock(cache_->mutex);
-  cache_->entries.clear();
+  for (auto& shard : cache_->shards) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->entries.clear();
+  }
 }
 
 std::shared_ptr<const std::vector<double>>
@@ -135,14 +177,14 @@ DeltaMetric::cached_reference_lattice(const field::Field& reference,
                                       const num::MidpointLattice& lat) const {
   if (cache_->capacity == 0) return nullptr;
   const RefCache::Key key = RefCache::key_for(reference);
+  RefCache::Shard& shard = cache_->shard_for(key);
   {
-    const std::lock_guard<std::mutex> lock(cache_->mutex);
-    for (auto it = cache_->entries.begin(); it != cache_->entries.end();
-         ++it) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    for (auto it = shard.entries.begin(); it != shard.entries.end(); ++it) {
       if (it->key == key) {
-        cache_->entries.splice(cache_->entries.begin(), cache_->entries, it);
+        shard.entries.splice(shard.entries.begin(), shard.entries, it);
         CPS_COUNT("core.delta.ref_cache_hits", 1);
-        return cache_->entries.front().rows;
+        return shard.entries.front().rows;
       }
     }
   }
@@ -160,17 +202,17 @@ DeltaMetric::cached_reference_lattice(const field::Field& reference,
         }
       },
       /*grain=*/4);
-  const std::lock_guard<std::mutex> lock(cache_->mutex);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
   // A racing fill may have inserted the same key meanwhile; reuse it so
   // every caller shares one buffer.
-  for (auto it = cache_->entries.begin(); it != cache_->entries.end(); ++it) {
+  for (auto it = shard.entries.begin(); it != shard.entries.end(); ++it) {
     if (it->key == key) {
-      cache_->entries.splice(cache_->entries.begin(), cache_->entries, it);
-      return cache_->entries.front().rows;
+      shard.entries.splice(shard.entries.begin(), shard.entries, it);
+      return shard.entries.front().rows;
     }
   }
-  cache_->entries.push_front(RefCache::Entry{key, rows});
-  while (cache_->entries.size() > cache_->capacity) cache_->entries.pop_back();
+  shard.entries.push_front(RefCache::Entry{key, rows});
+  while (shard.entries.size() > cache_->capacity) shard.entries.pop_back();
   return rows;
 }
 

@@ -77,9 +77,20 @@ class DeltaMetric {
   /// count; 0 disables caching.
   void set_reference_cache_capacity(std::size_t max_entries);
   std::size_t reference_cache_capacity() const noexcept;
-  /// Entries currently held (for tests / benches).
+  /// Entries currently held (for tests / benches), summed over shards.
   std::size_t reference_cache_size() const;
   void clear_reference_cache();
+
+  /// Thread-safe shared mode (PlannerService): splits the cache's key
+  /// space over `shards` independently locked LRU lists so concurrent
+  /// queries on different fields do not serialise on one mutex.  1 (the
+  /// default) is the original single-mutex cache; in sharded mode
+  /// `max_entries` applies per shard.  Cached bits are unchanged —
+  /// sharding only changes lock granularity and eviction locality.
+  /// Clears the cache; configure before sharing the metric across
+  /// threads (not safe against concurrent lookups).  Throws on 0.
+  void set_reference_cache_shards(std::size_t shards);
+  std::size_t reference_cache_shards() const noexcept;
 
   /// Volume between the referential field and a rebuilt surface.
   double delta(const field::Field& reference, const geo::Delaunay& dt) const;

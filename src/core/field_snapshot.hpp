@@ -1,0 +1,54 @@
+// Immutable, refcounted field snapshots for concurrent queries.
+//
+// A PlannerService job cannot borrow a caller's field by reference: the
+// caller may destroy it while the job is still queued.  A FieldSnapshot
+// pins the field through a shared_ptr and freezes its content key at
+// capture, so thousands of in-flight queries share one field object —
+// and, through DeltaMetric's content-keyed reference cache, one sampled
+// reference lattice.
+//
+// Immutability contract: the wrapped field must not be mutated while a
+// snapshot of it is alive.  The snapshot's key() is the content_key at
+// capture; a mutation would bump the live field's key (mutable fields
+// fold a mutation counter in, see field/field.hpp) and silently diverge
+// from the frozen one, so the service's snapshot interning and the
+// metric's cache would disagree about identity.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "field/field.hpp"
+
+namespace cps::core {
+
+class FieldSnapshot {
+ public:
+  explicit FieldSnapshot(std::shared_ptr<const field::Field> field)
+      : field_(std::move(field)) {
+    if (field_ == nullptr) {
+      throw std::invalid_argument("FieldSnapshot: null field");
+    }
+    key_ = field_->content_key();
+  }
+
+  const field::Field& field() const noexcept { return *field_; }
+  const std::shared_ptr<const field::Field>& shared_field() const noexcept {
+    return field_;
+  }
+
+  /// The field's content key, frozen at capture (see field/field.hpp:
+  /// parameter hashes for the analytic zoo, never-reused instance ids
+  /// elsewhere).  The service interns snapshots by this key.
+  std::uint64_t key() const noexcept { return key_; }
+
+ private:
+  std::shared_ptr<const field::Field> field_;
+  std::uint64_t key_ = 0;
+};
+
+using FieldSnapshotPtr = std::shared_ptr<const FieldSnapshot>;
+
+}  // namespace cps::core

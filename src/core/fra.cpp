@@ -268,7 +268,9 @@ FraResult FraPlanner::plan_detailed(const field::Field& reference,
 
   // Candidate lattice (the paper's sqrt(A) x sqrt(A) positions), bucketed
   // by containing triangle.
-  const std::size_t n = config_.error_grid;
+  const std::size_t n =
+      request.lattice != 0 ? request.lattice : config_.error_grid;
+  if (n < 2) throw std::invalid_argument("FRA: request lattice < 2");
   std::vector<Candidate> candidates(n * n);
   const double dx = region.width() / static_cast<double>(n - 1);
   const double dy = region.height() / static_cast<double>(n - 1);
@@ -441,7 +443,7 @@ FraResult FraPlanner::plan_detailed(const field::Field& reference,
     }
   }
 
-  num::Rng rng(config_.seed);
+  num::Rng rng(request.seed != 0 ? request.seed : config_.seed);
   std::vector<geo::Vec2> selected;
   selected.reserve(request.k);
 

@@ -11,7 +11,7 @@ namespace cps::core {
 
 Deployment RandomPlanner::plan(const field::Field& /*reference*/,
                                const PlanRequest& request) {
-  num::Rng rng(seed_);
+  num::Rng rng(request.seed != 0 ? request.seed : seed_);
   Deployment d;
   d.positions.reserve(request.k);
   for (std::size_t i = 0; i < request.k; ++i) {
@@ -32,15 +32,19 @@ Deployment FarthestPointPlanner::plan(const field::Field& /*reference*/,
                                       const PlanRequest& request) {
   Deployment d;
   if (request.k == 0) return d;
+  const std::size_t lattice = request.lattice != 0 ? request.lattice : lattice_;
+  if (lattice < 2) {
+    throw std::invalid_argument("FarthestPointPlanner: request lattice < 2");
+  }
   // Candidate lattice over the region.
   std::vector<geo::Vec2> candidates;
-  candidates.reserve(lattice_ * lattice_);
+  candidates.reserve(lattice * lattice);
   const double dx =
-      request.region.width() / static_cast<double>(lattice_ - 1);
+      request.region.width() / static_cast<double>(lattice - 1);
   const double dy =
-      request.region.height() / static_cast<double>(lattice_ - 1);
-  for (std::size_t j = 0; j < lattice_; ++j) {
-    for (std::size_t i = 0; i < lattice_; ++i) {
+      request.region.height() / static_cast<double>(lattice - 1);
+  for (std::size_t j = 0; j < lattice; ++j) {
+    for (std::size_t i = 0; i < lattice; ++i) {
       candidates.push_back({request.region.x0 + static_cast<double>(i) * dx,
                             request.region.y0 + static_cast<double>(j) * dy});
     }

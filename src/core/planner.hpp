@@ -17,10 +17,23 @@
 namespace cps::core {
 
 /// Common planner inputs.
+///
+/// `lattice` and `seed` let a caller vary per-request what used to be
+/// planner constructor state (a long-lived service cannot rebuild planners
+/// per job).  Both use 0 as "not set": the planner falls back to its
+/// configured value, so existing positional initializers keep their exact
+/// pre-unification behaviour.
 struct PlanRequest {
   num::Rect region{0.0, 0.0, 100.0, 100.0};
   std::size_t k = 0;      ///< Node budget.
   double rc = 10.0;       ///< Communication radius.
+  /// Candidate-lattice density per axis for lattice-based planners
+  /// (FarthestPointPlanner candidates, FRA's error grid).  Must be >= 2
+  /// when set; 0 means "use the planner's configured density".
+  std::size_t lattice = 0;
+  /// RNG seed for stochastic planners (RandomPlanner, FRA's kRandom
+  /// measure).  0 means "use the planner's configured seed".
+  std::uint64_t seed = 0;
 };
 
 /// Strategy interface.  Implementations must return at most k positions,
@@ -36,7 +49,8 @@ class Planner {
 
 /// Uniform-random scatter (the "widely used method in WSN study" the paper
 /// compares against in Fig. 7).  Ignores the reference surface; makes no
-/// connectivity promise.
+/// connectivity promise.  The constructor seed is the fallback when
+/// PlanRequest::seed is 0.
 class RandomPlanner final : public Planner {
  public:
   explicit RandomPlanner(std::uint64_t seed = 1) noexcept : seed_(seed) {}
@@ -55,7 +69,8 @@ class RandomPlanner final : public Planner {
 /// connectivity promise (like RandomPlanner).
 class FarthestPointPlanner final : public Planner {
  public:
-  /// `lattice` is candidate positions per axis (>= 2).
+  /// `lattice` is candidate positions per axis (>= 2); the fallback when
+  /// PlanRequest::lattice is 0.
   explicit FarthestPointPlanner(std::size_t lattice = 50);
 
   Deployment plan(const field::Field& reference,

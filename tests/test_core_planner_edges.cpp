@@ -1,0 +1,130 @@
+// Planner edge cases and the unified PlanRequest (core/planner.hpp):
+// zero budgets, budgets exceeding the candidate lattice, degenerate
+// (zero-area / zero-width) regions, and the per-request lattice/seed
+// overrides that let a long-lived service vary what used to be planner
+// constructor state.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/fra.hpp"
+#include "core/planner.hpp"
+#include "field/analytic_fields.hpp"
+
+namespace cps::core {
+namespace {
+
+const num::Rect kRegion{0.0, 0.0, 100.0, 100.0};
+const field::ConstantField kFlat(0.0);
+
+void expect_in_region(const Deployment& d, const num::Rect& region) {
+  for (const auto& p : d.positions) {
+    EXPECT_TRUE(region.contains(p.x, p.y)) << p.x << "," << p.y;
+  }
+}
+
+TEST(PlannerEdges, ZeroBudgetIsEmptyForEveryPlanner) {
+  const PlanRequest request{kRegion, 0, 10.0};
+  EXPECT_TRUE(RandomPlanner().plan(kFlat, request).empty());
+  EXPECT_TRUE(GridPlanner().plan(kFlat, request).empty());
+  EXPECT_TRUE(FarthestPointPlanner().plan(kFlat, request).empty());
+  EXPECT_TRUE(FraPlanner().plan(kFlat, request).empty());
+}
+
+TEST(PlannerEdges, FarthestPointBudgetExceedingLatticeStopsShort) {
+  // A 2x2 candidate lattice has 4 distinct positions; with the centre
+  // start that is 5 placements, after which every candidate coincides
+  // with a placed node and the planner must stop rather than repeat.
+  FarthestPointPlanner planner(2);
+  const auto d = planner.plan(kFlat, {kRegion, 10, 10.0});
+  EXPECT_EQ(d.size(), 5u);
+  expect_in_region(d, kRegion);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    for (std::size_t j = i + 1; j < d.size(); ++j) {
+      EXPECT_NE(d.positions[i], d.positions[j]);
+    }
+  }
+}
+
+TEST(PlannerEdges, ZeroAreaRegion) {
+  const num::Rect point{5.0, 5.0, 5.0, 5.0};
+  const auto random = RandomPlanner().plan(kFlat, {point, 8, 10.0});
+  EXPECT_EQ(random.size(), 8u);
+  expect_in_region(random, point);
+
+  const auto grid = GridPlanner().plan(kFlat, {point, 8, 10.0});
+  EXPECT_EQ(grid.size(), 8u);
+  expect_in_region(grid, point);
+
+  // Every candidate collapses onto the centre: one placement, then the
+  // lattice is exhausted.
+  const auto farthest = FarthestPointPlanner().plan(kFlat, {point, 8, 10.0});
+  EXPECT_EQ(farthest.size(), 1u);
+  expect_in_region(farthest, point);
+}
+
+TEST(PlannerEdges, ZeroWidthLineRegion) {
+  const num::Rect line{20.0, 10.0, 20.0, 90.0};
+  const auto random = RandomPlanner().plan(kFlat, {line, 6, 10.0});
+  EXPECT_EQ(random.size(), 6u);
+  expect_in_region(random, line);
+
+  const auto grid = GridPlanner().plan(kFlat, {line, 6, 10.0});
+  EXPECT_EQ(grid.size(), 6u);
+  expect_in_region(grid, line);
+
+  const auto farthest =
+      FarthestPointPlanner().plan(kFlat, {line, 6, 10.0, /*lattice=*/5});
+  EXPECT_LE(farthest.size(), 6u);
+  EXPECT_GE(farthest.size(), 1u);
+  expect_in_region(farthest, line);
+}
+
+TEST(PlannerEdges, RequestSeedOverridesConstructorSeed) {
+  const auto via_ctor = RandomPlanner(7).plan(kFlat, {kRegion, 20, 10.0});
+  const auto via_request =
+      RandomPlanner().plan(kFlat, {kRegion, 20, 10.0, 0, /*seed=*/7});
+  EXPECT_EQ(via_ctor.positions, via_request.positions);
+  // Different seeds actually differ (the override is not a no-op).
+  const auto other =
+      RandomPlanner().plan(kFlat, {kRegion, 20, 10.0, 0, /*seed=*/8});
+  EXPECT_NE(via_request.positions, other.positions);
+}
+
+TEST(PlannerEdges, RequestLatticeOverridesConstructorLattice) {
+  const auto via_ctor = FarthestPointPlanner(13).plan(kFlat, {kRegion, 9, 10.0});
+  const auto via_request =
+      FarthestPointPlanner().plan(kFlat, {kRegion, 9, 10.0, /*lattice=*/13});
+  EXPECT_EQ(via_ctor.positions, via_request.positions);
+  EXPECT_THROW(
+      FarthestPointPlanner().plan(kFlat, {kRegion, 9, 10.0, /*lattice=*/1}),
+      std::invalid_argument);
+}
+
+TEST(PlannerEdges, FraHonoursRequestLatticeAndSeed) {
+  const field::PeaksField peaks(kRegion);
+  FraConfig coarse;
+  coarse.error_grid = 40;
+  const auto via_config =
+      FraPlanner(coarse).plan(peaks, {kRegion, 12, 10.0});
+  const auto via_request =
+      FraPlanner().plan(peaks, {kRegion, 12, 10.0, /*lattice=*/40});
+  EXPECT_EQ(via_config.positions, via_request.positions);
+  EXPECT_THROW(FraPlanner().plan(peaks, {kRegion, 12, 10.0, /*lattice=*/1}),
+               std::invalid_argument);
+
+  FraConfig random_measure;
+  random_measure.measure = SelectionMeasure::kRandom;
+  random_measure.foresight = false;
+  FraConfig seeded = random_measure;
+  seeded.seed = 9;
+  const auto seed_via_config =
+      FraPlanner(seeded).plan(peaks, {kRegion, 10, 10.0});
+  const auto seed_via_request = FraPlanner(random_measure)
+                                    .plan(peaks, {kRegion, 10, 10.0, 0,
+                                                  /*seed=*/9});
+  EXPECT_EQ(seed_via_config.positions, seed_via_request.positions);
+}
+
+}  // namespace
+}  // namespace cps::core
